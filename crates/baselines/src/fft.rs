@@ -1,0 +1,251 @@
+//! FFT convolution — the third algorithm family §2 surveys ("FFT is
+//! efficient for large filters").
+//!
+//! The paper excludes FFT from its benchmark set because, like non-fused
+//! Winograd, it "requires a much larger workspace to achieve a much greater
+//! reduction in time complexity" (§6.1.1); having it in the repository makes
+//! that trade-off measurable. The implementation is a straightforward
+//! radix-2 Cooley–Tukey over zero-padded planes with frequency-domain
+//! accumulation across input channels:
+//!
+//! `Y[b, :, :, oc] = IFFT( Σ_ic FFT(X[b, :, :, ic]) ⊙ conj(FFT(W[oc, :, :, ic])) )`
+//!
+//! (conjugation because convolution layers compute *correlation*).
+
+use iwino_parallel as par;
+use iwino_tensor::{ConvShape, Tensor4};
+
+/// A complex number, kept minimal on purpose.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    fn mul(self, o: Complex) -> Self {
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+
+    fn add(self, o: Complex) -> Self {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    fn sub(self, o: Complex) -> Self {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+/// In-place iterative radix-2 FFT (`inverse = true` for the unscaled
+/// inverse; caller divides by `n`). Length must be a power of two.
+pub fn fft(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2].mul(w);
+                buf[start + k] = u.add(v);
+                buf[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// 2-D FFT over a `p×p` row-major plane.
+fn fft2(plane: &mut [Complex], p: usize, inverse: bool) {
+    // Rows.
+    for row in plane.chunks_exact_mut(p) {
+        fft(row, inverse);
+    }
+    // Columns (via gather/scatter through a scratch column).
+    let mut col = vec![Complex::ZERO; p];
+    for x in 0..p {
+        for y in 0..p {
+            col[y] = plane[y * p + x];
+        }
+        fft(&mut col, inverse);
+        for y in 0..p {
+            plane[y * p + x] = col[y];
+        }
+    }
+}
+
+/// FFT-based convolution with the same semantics as
+/// [`crate::direct::direct_conv`] (unit stride; arbitrary zero padding).
+pub fn fft_conv(x: &Tensor4<f32>, w: &Tensor4<f32>, s: &ConvShape) -> Tensor4<f32> {
+    assert!(s.is_unit_stride(), "FFT path implements unit stride");
+    assert_eq!(x.dims(), s.x_dims());
+    assert_eq!(w.dims(), s.w_dims());
+    let (oh, ow) = (s.oh(), s.ow());
+    // Plane size: big enough that circular correlation equals linear.
+    let need = (s.ih + s.fh).max(s.iw + s.fw);
+    let p = need.next_power_of_two();
+
+    // Frequency-domain filters: Wf[oc][ic] (conjugated once here).
+    let mut wf = vec![Complex::ZERO; s.oc * s.ic * p * p];
+    {
+        let plane_len = p * p;
+        let parts = par::SliceParts::new(&mut wf, s.ic * plane_len);
+        par::parallel_for(s.oc, &|o| {
+            let planes = parts.take(o);
+            for i in 0..s.ic {
+                let plane = &mut planes[i * plane_len..(i + 1) * plane_len];
+                for fh in 0..s.fh {
+                    for fx in 0..s.fw {
+                        plane[fh * p + fx] = Complex::new(w.at(o, fh, fx, i) as f64, 0.0);
+                    }
+                }
+                fft2(plane, p, false);
+                for c in plane.iter_mut() {
+                    *c = c.conj();
+                }
+            }
+        });
+    }
+
+    let mut y = Tensor4::<f32>::zeros(s.y_dims());
+    let img_out = oh * ow * s.oc;
+    let parts = par::SliceParts::new(y.as_mut_slice(), img_out);
+    par::parallel_for(s.n, &|b| {
+        let out = parts.take(b);
+        let plane_len = p * p;
+        // FFT of every input channel of this image.
+        let mut xf = vec![Complex::ZERO; s.ic * plane_len];
+        for i in 0..s.ic {
+            let plane = &mut xf[i * plane_len..(i + 1) * plane_len];
+            for iy in 0..s.ih {
+                for ix in 0..s.iw {
+                    plane[iy * p + ix] = Complex::new(x.at(b, iy, ix, i) as f64, 0.0);
+                }
+            }
+            fft2(plane, p, false);
+        }
+        let mut acc = vec![Complex::ZERO; plane_len];
+        for o in 0..s.oc {
+            acc.fill(Complex::ZERO);
+            for i in 0..s.ic {
+                let xp = &xf[i * plane_len..(i + 1) * plane_len];
+                let wp = &wf[(o * s.ic + i) * plane_len..(o * s.ic + i + 1) * plane_len];
+                for ((a, &xc), &wc) in acc.iter_mut().zip(xp).zip(wp) {
+                    *a = a.add(xc.mul(wc));
+                }
+            }
+            fft2(&mut acc, p, true);
+            let scale = 1.0 / (plane_len as f64);
+            for oy in 0..oh {
+                let sy = (oy as isize - s.ph as isize).rem_euclid(p as isize) as usize;
+                for ox in 0..ow {
+                    let sx = (ox as isize - s.pw as isize).rem_euclid(p as isize) as usize;
+                    out[(oy * ow + ox) * s.oc + o] = (acc[sy * p + sx].re * scale) as f32;
+                }
+            }
+        }
+    });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::direct_conv;
+    use iwino_tensor::max_mixed_error;
+
+    #[test]
+    fn fft_roundtrip() {
+        let mut buf: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64) / 3.0)).collect();
+        let orig = buf.clone();
+        fft(&mut buf, false);
+        fft(&mut buf, true);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!((a.re / 16.0 - b.re).abs() < 1e-10);
+            assert!((a.im / 16.0 - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy() {
+        let mut buf: Vec<Complex> = (0..32).map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, 0.0)).collect();
+        let time_energy: f64 = buf.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        fft(&mut buf, false);
+        let freq_energy: f64 = buf.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fft_requires_power_of_two() {
+        let mut buf = vec![Complex::ZERO; 12];
+        fft(&mut buf, false);
+    }
+
+    fn check(s: &ConvShape, seed: u64) {
+        let x = Tensor4::<f32>::random(s.x_dims(), seed, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), seed + 1, -1.0, 1.0);
+        let want = direct_conv(&x, &w, s);
+        let got = fft_conv(&x, &w, s);
+        let e = max_mixed_error(&got, &want);
+        assert!(e < 1e-4, "{s:?}: {e}");
+    }
+
+    #[test]
+    fn matches_direct_3x3() {
+        check(&ConvShape::square(2, 8, 3, 4, 3), 40);
+    }
+
+    #[test]
+    fn matches_direct_large_filter() {
+        // The FFT's home turf: 9×9 filters.
+        check(&ConvShape::square(1, 12, 2, 3, 9), 41);
+    }
+
+    #[test]
+    fn matches_direct_no_padding_and_even_filter() {
+        check(&ConvShape::unit(1, 9, 9, 2, 2, 4, 4, 0, 0), 42);
+        check(&ConvShape::unit(2, 7, 10, 3, 2, 2, 2, 1, 1), 43);
+    }
+
+    #[test]
+    fn flop_crossover_argument() {
+        // FFT work per plane is O(p² log p) regardless of r, while direct is
+        // O(r²) per output: by r = 9 the FFT's asymptotic advantage is the
+        // §2 claim. Check the operation-count ordering at fixed geometry.
+        let p = 32usize;
+        let fft_ops = (p * p) as f64 * (p as f64).log2() * 6.0;
+        let direct_ops_r3 = (p * p * 9) as f64 * 2.0;
+        let direct_ops_r13 = (p * p * 169) as f64 * 2.0;
+        assert!(fft_ops > direct_ops_r3, "small filters favour direct/Winograd");
+        assert!(fft_ops < direct_ops_r13, "large filters favour FFT");
+    }
+}

@@ -1,0 +1,149 @@
+//! Blocked, multithreaded single-precision GEMM: `C = A·B (+ C)`.
+//!
+//! Row-major everywhere. The kernel uses the broadcast-row scheme: for each
+//! row of `A`, FMA `a[i][k] · B[k][:]` into `C[i][:]`, with `K` blocked for
+//! L1/L2 residency. The inner loop runs along contiguous `B`/`C` rows and
+//! autovectorises. Parallelism is over row blocks of `C` (disjoint output).
+//!
+//! This is the GEMM behind the im2col baselines and behind Im2col-Winograd's
+//! boundary-treatment segments (§5.5: "GEMM convolution processes the final
+//! remaining segment").
+
+use iwino_parallel as par;
+
+/// Rows of `C` processed per parallel task.
+const MB: usize = 64;
+/// `K` block size (keeps a `KB×N` panel of `B` hot in cache).
+const KB: usize = 256;
+
+/// `C[m×n] += A[m×k] · B[k×n]` if `accumulate`, else `C = A·B`.
+pub fn sgemm_acc(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], accumulate: bool) {
+    assert_eq!(a.len(), m * k, "A shape");
+    assert_eq!(b.len(), k * n, "B shape");
+    assert_eq!(c.len(), m * n, "C shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if !accumulate {
+        c.fill(0.0);
+    }
+    if k == 0 {
+        return;
+    }
+    let parts = par::SliceParts::new(c, MB * n);
+    par::parallel_for(m.div_ceil(MB), &|blk| {
+        let c_blk = parts.take(blk);
+        let i0 = blk * MB;
+        let rows = ((i0 + MB).min(m)) - i0;
+        for k0 in (0..k).step_by(KB) {
+            let k1 = (k0 + KB).min(k);
+            for i in 0..rows {
+                let a_row = &a[(i0 + i) * k..(i0 + i) * k + k];
+                let c_row = &mut c_blk[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let av = a_row[kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `C = A·B` (row-major, overwrite).
+pub fn sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm_acc(m, n, k, a, b, c, false);
+}
+
+/// Naive reference for testing.
+pub fn sgemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * y.abs().max(1.0), "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let n = 16;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..n * n).map(|i| i as f32 * 0.1).collect();
+        let mut c = vec![0.0f32; n * n];
+        sgemm(n, n, n, &eye, &b, &mut c);
+        assert_close(&c, &b, 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds_on_top() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [10.0f32];
+        sgemm_acc(1, 1, 2, &a, &b, &mut c, true);
+        assert_eq!(c[0], 10.0 + 11.0);
+        sgemm_acc(1, 1, 2, &a, &b, &mut c, false);
+        assert_eq!(c[0], 11.0);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let mut c = vec![7.0f32; 4];
+        sgemm(2, 2, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![0.0; 4]);
+        sgemm(0, 0, 5, &[], &[], &mut []);
+    }
+
+    #[test]
+    fn large_block_boundary_sizes() {
+        // Exercise m > MB and k > KB boundaries.
+        let (m, n, k) = (MB + 3, 17, KB + 5);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+        let mut c = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        sgemm(m, n, k, &a, &b, &mut c);
+        sgemm_naive(m, n, k, &a, &b, &mut want);
+        assert_close(&c, &want, 1e-4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn matches_naive(m in 1usize..20, n in 1usize..20, k in 1usize..40, seed in 0u64..1000) {
+            let gen = |len: usize, s: u64| -> Vec<f32> {
+                (0..len).map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(s * 97) % 1000) as f32 / 500.0) - 1.0).collect()
+            };
+            let a = gen(m * k, seed);
+            let b = gen(k * n, seed + 1);
+            let mut c = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            sgemm(m, n, k, &a, &b, &mut c);
+            sgemm_naive(m, n, k, &a, &b, &mut want);
+            assert_close(&c, &want, 1e-4);
+        }
+    }
+}

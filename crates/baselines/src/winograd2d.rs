@@ -1,0 +1,235 @@
+//! Fused 2D Winograd convolution `F(m×m, r×r)` — the stand-in for cuDNN's
+//! `Fused_Winograd` algorithm.
+//!
+//! Computes `Y = Aᵀ[Σ_ic (G·W·Gᵀ) ⊙ (Dᵀ·X·D)]A` per 2-D tile. The classic
+//! fused configuration is `F(2×2, 3×3)` (the paper notes FP32 fused
+//! implementations are "restricted to 3×3 filters"); `F(4×4, 3×3)` is also
+//! supported here for the crossover studies. The 2-D state count is `α²`
+//! per tile — the space-complexity number Im2col-Winograd's `α` is compared
+//! against (§4.2).
+//!
+//! Boundary tiles are handled with conditional stores — exactly the
+//! "requires additional registers to check coordinates and causes redundant
+//! computations" approach §5.5 contrasts with the segment planner.
+
+use iwino_parallel as par;
+use iwino_tensor::{ConvShape, Tensor4};
+use iwino_transforms::WinogradTransform;
+
+/// Fused 2D Winograd convolution on NHWC tensors with an `r×r` filter,
+/// producing `m×m` output tiles. Requires unit stride and square filters.
+pub fn winograd2d_conv(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, m: usize) -> Tensor4<f32> {
+    let s = *shape;
+    assert!(s.is_unit_stride(), "2D Winograd requires unit stride");
+    assert_eq!(s.fh, s.fw, "2D Winograd requires square filters");
+    assert_eq!(x.dims(), s.x_dims());
+    assert_eq!(w.dims(), s.w_dims());
+    let r = s.fw;
+    let t = WinogradTransform::generate(m, r);
+    let alpha = t.alpha;
+    let at = t.at.to_f64().iter().map(|&v| v as f32).collect::<Vec<_>>();
+    let g = t.g.to_f64().iter().map(|&v| v as f32).collect::<Vec<_>>();
+    let dt = t.dt.to_f64().iter().map(|&v| v as f32).collect::<Vec<_>>();
+
+    let (oh, ow) = (s.oh(), s.ow());
+    let (tiles_y, tiles_x) = (oh.div_ceil(m), ow.div_ceil(m));
+    let (ic, oc) = (s.ic, s.oc);
+
+    // Transformed filters U[s1][s2][ic][oc] = (G·w·Gᵀ)[s1][s2].
+    // cuDNN's fused kernel transforms filters on the fly in SMEM; doing it
+    // once per call here is the CPU analogue and is part of why the paper
+    // counts fused-Winograd as workspace-free-ish (the buffer is
+    // α²·IC·OC — small next to the ifms for the benchmark shapes).
+    let mut u = vec![0.0f32; alpha * alpha * ic * oc];
+    {
+        let ws = w.as_slice();
+        // scratch: wtile[r][r] -> gw[alpha][r] -> u_tile[alpha][alpha]
+        for o in 0..oc {
+            for i in 0..ic {
+                let mut wt = vec![0.0f32; r * r];
+                for fh in 0..r {
+                    for fw in 0..r {
+                        wt[fh * r + fw] = ws[((o * r + fh) * r + fw) * ic + i];
+                    }
+                }
+                // gw = G(α×r) · wt(r×r)  -> (α×r)
+                let mut gw = vec![0.0f32; alpha * r];
+                for a in 0..alpha {
+                    for col in 0..r {
+                        let mut acc = 0.0f32;
+                        for k in 0..r {
+                            acc += g[a * r + k] * wt[k * r + col];
+                        }
+                        gw[a * r + col] = acc;
+                    }
+                }
+                // ut = gw(α×r) · Gᵀ(r×α) -> (α×α)
+                for a in 0..alpha {
+                    for b2 in 0..alpha {
+                        let mut acc = 0.0f32;
+                        for k in 0..r {
+                            acc += gw[a * r + k] * g[b2 * r + k];
+                        }
+                        u[((a * alpha + b2) * ic + i) * oc + o] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut y = Tensor4::<f32>::zeros(s.y_dims());
+    let xs = x.as_slice();
+    let y_img_elems = oh * ow * oc;
+    let parts = par::SliceParts::new(y.as_mut_slice(), y_img_elems);
+    par::parallel_for(s.n, &|b| {
+        let y_img = parts.take(b);
+        let x_img = &xs[b * s.ih * s.iw * ic..(b + 1) * s.ih * s.iw * ic];
+        let mut xt = vec![0.0f32; alpha * alpha];
+        let mut v = vec![0.0f32; alpha * alpha];
+        let mut tmp = vec![0.0f32; alpha * alpha];
+        let mut acc = vec![0.0f32; alpha * alpha * oc];
+        let mut ytile = vec![0.0f32; m * m];
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                acc.fill(0.0);
+                for i in 0..ic {
+                    // Gather the α×α input tile for channel i (zero padded).
+                    for dy in 0..alpha {
+                        let iy = (ty * m + dy) as isize - s.ph as isize;
+                        for dx in 0..alpha {
+                            let ix = (tx * m + dx) as isize - s.pw as isize;
+                            xt[dy * alpha + dx] = if iy >= 0
+                                && iy < s.ih as isize
+                                && ix >= 0
+                                && ix < s.iw as isize
+                            {
+                                x_img[((iy as usize) * s.iw + ix as usize) * ic + i]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    // v = Dᵀ · xt · D
+                    mat_mul(&dt, &xt, &mut tmp, alpha, alpha, alpha);
+                    mat_mul_bt(&tmp, &dt, &mut v, alpha, alpha, alpha);
+                    // acc[s1][s2][:] += v[s1][s2] * U[s1][s2][i][:]
+                    for si in 0..alpha * alpha {
+                        let vv = v[si];
+                        if vv == 0.0 {
+                            continue;
+                        }
+                        let urow = &u[(si * ic + i) * oc..(si * ic + i + 1) * oc];
+                        let arow = &mut acc[si * oc..(si + 1) * oc];
+                        for (a, &uu) in arow.iter_mut().zip(urow) {
+                            *a += vv * uu;
+                        }
+                    }
+                }
+                // Output transform per oc: ytile = Aᵀ · M · A.
+                for o in 0..oc {
+                    for si in 0..alpha * alpha {
+                        v[si] = acc[si * oc + o];
+                    }
+                    // tmp(m×α) = Aᵀ(m×α) · M(α×α)
+                    mat_mul(&at, &v, &mut tmp[..m * alpha], m, alpha, alpha);
+                    // ytile(m×m) = tmp(m×α) · A(α×m) = tmp · Aᵀᵀ
+                    mat_mul_bt(&tmp[..m * alpha], &at, &mut ytile, m, m, alpha);
+                    for dy in 0..m {
+                        let oy = ty * m + dy;
+                        if oy >= oh {
+                            break;
+                        }
+                        for dx in 0..m {
+                            let ox = tx * m + dx;
+                            if ox >= ow {
+                                break;
+                            }
+                            y_img[(oy * ow + ox) * oc + o] = ytile[dy * m + dx];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    y
+}
+
+/// `c(mm×nn) = a(mm×kk) · b(kk×nn)`, all row-major.
+fn mat_mul(a: &[f32], b: &[f32], c: &mut [f32], mm: usize, nn: usize, kk: usize) {
+    for i in 0..mm {
+        for j in 0..nn {
+            let mut acc = 0.0f32;
+            for k in 0..kk {
+                acc += a[i * kk + k] * b[k * nn + j];
+            }
+            c[i * nn + j] = acc;
+        }
+    }
+}
+
+/// `c(mm×nn) = a(mm×kk) · bᵀ` where `b` is `nn×kk` row-major.
+fn mat_mul_bt(a: &[f32], b: &[f32], c: &mut [f32], mm: usize, nn: usize, kk: usize) {
+    for i in 0..mm {
+        for j in 0..nn {
+            let mut acc = 0.0f32;
+            for k in 0..kk {
+                acc += a[i * kk + k] * b[j * kk + k];
+            }
+            c[i * nn + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::direct_conv;
+    use iwino_tensor::max_mixed_error;
+
+    fn check(s: &ConvShape, m: usize, seed: u64, tol: f64) {
+        let x = Tensor4::<f32>::random(s.x_dims(), seed, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), seed + 1, -1.0, 1.0);
+        let want = direct_conv(&x, &w, s);
+        let got = winograd2d_conv(&x, &w, s, m);
+        let e = max_mixed_error(&got, &want);
+        assert!(e < tol, "F({m}x{m},{}x{}) {s:?}: {e}", s.fw, s.fw);
+    }
+
+    #[test]
+    fn f2x2_3x3_matches_direct() {
+        check(&ConvShape::square(2, 8, 3, 4, 3), 2, 30, 1e-4);
+    }
+
+    #[test]
+    fn f4x4_3x3_matches_direct() {
+        check(&ConvShape::square(1, 12, 2, 3, 3), 4, 31, 1e-3);
+    }
+
+    #[test]
+    fn ragged_boundary_tiles() {
+        // OH = OW = 7 is not a multiple of m = 2: exercises partial tiles.
+        check(&ConvShape::square(1, 7, 2, 2, 3), 2, 32, 1e-4);
+        check(&ConvShape::square(1, 9, 2, 2, 3), 4, 33, 1e-3);
+    }
+
+    #[test]
+    fn no_padding_case() {
+        check(&ConvShape::unit(1, 8, 8, 2, 2, 3, 3, 0, 0), 2, 34, 1e-4);
+    }
+
+    #[test]
+    fn f2x2_5x5_also_works() {
+        // α = 6 per axis; bigger filters are possible in principle, just
+        // expensive in state count — the paper's point.
+        check(&ConvShape::square(1, 8, 2, 2, 5), 2, 35, 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_unit_stride() {
+        let s = ConvShape { sw: 2, ..ConvShape::square(1, 8, 2, 2, 3) };
+        let x = Tensor4::<f32>::zeros(s.x_dims());
+        let w = Tensor4::<f32>::zeros(s.w_dims());
+        let _ = winograd2d_conv(&x, &w, &s, 2);
+    }
+}

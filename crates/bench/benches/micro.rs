@@ -1,0 +1,76 @@
+//! Micro-benchmarks for the ablation experiments:
+//!
+//! * A3 (§5.3): paired ("simplified") vs dense input transformation;
+//! * boundary planner cost (it runs per call);
+//! * SGEMM building block;
+//! * the deconvolution path vs forward convolution (backward kernels
+//!   "have similar performance to the forward kernels", §5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iwino_baselines::sgemm;
+use iwino_core::plan::{default_kernel_prefs, SegmentPlan};
+use iwino_core::{conv2d, deconv2d};
+use iwino_tensor::{ConvShape, Tensor4};
+use iwino_transforms::WinogradTransform;
+
+fn transform_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-transforms");
+    for (n, r) in [(6usize, 3usize), (4, 5), (8, 9)] {
+        let t = WinogradTransform::generate(n, r);
+        let alpha = t.alpha;
+        let paired = t.dt_paired();
+        let dense = t.dt.to_f64().iter().map(|&v| v as f32).collect::<Vec<f32>>();
+        let width = 32usize;
+        let x = vec![1.0f32; alpha * width];
+        let mut out = vec![0.0f32; alpha * width];
+        group.bench_with_input(BenchmarkId::new("paired", format!("F({n},{r})")), &alpha, |b, _| {
+            b.iter(|| paired.apply_f32_strided(&x, width, &mut out, width, width));
+        });
+        group.bench_with_input(BenchmarkId::new("dense", format!("F({n},{r})")), &alpha, |b, &a| {
+            b.iter(|| {
+                for i in 0..a {
+                    for cch in 0..width {
+                        let mut acc = 0.0f32;
+                        for j in 0..a {
+                            acc += dense[i * a + j] * x[j * width + cch];
+                        }
+                        out[i * width + cch] = acc;
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn planner_bench(c: &mut Criterion) {
+    c.bench_function("segment-planner/ow=223,r=3", |b| {
+        let prefs = default_kernel_prefs(3, false);
+        b.iter(|| SegmentPlan::build(223, &prefs));
+    });
+}
+
+fn sgemm_bench(c: &mut Criterion) {
+    let (m, n, k) = (256usize, 256usize, 256usize);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 17) as f32).collect();
+    let bmat: Vec<f32> = (0..k * n).map(|i| (i % 13) as f32).collect();
+    let mut cmat = vec![0.0f32; m * n];
+    c.bench_function("sgemm/256x256x256", |b| {
+        b.iter(|| sgemm(m, n, k, &a, &bmat, &mut cmat));
+    });
+}
+
+fn deconv_vs_conv(c: &mut Criterion) {
+    let s = ConvShape::square(4, 24, 32, 32, 3);
+    let x = Tensor4::<f32>::random(s.x_dims(), 1, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(s.w_dims(), 2, -1.0, 1.0);
+    let dy = Tensor4::<f32>::random(s.y_dims(), 3, -1.0, 1.0);
+    let mut group = c.benchmark_group("conv-vs-deconv");
+    group.sample_size(20);
+    group.bench_function("forward", |b| b.iter(|| conv2d(&x, &w, &s)));
+    group.bench_function("backward-data", |b| b.iter(|| deconv2d(&dy, &w, &s)));
+    group.finish();
+}
+
+criterion_group!(benches, transform_benches, planner_bench, sgemm_bench, deconv_vs_conv);
+criterion_main!(benches);

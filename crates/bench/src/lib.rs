@@ -1,0 +1,28 @@
+//! Experiment harness for the Im2col-Winograd reproduction.
+//!
+//! The `repro` binary regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index):
+//!
+//! ```text
+//! repro fig8 [--quick|--full]     Figure 8  (RTX 3060 Ti panels: simulated + CPU-measured)
+//! repro fig9 [--quick|--full]     Figure 9  (RTX 4090 panels)
+//! repro table2                    Table 2   (speedup ranges, derived from fig8/fig9)
+//! repro table3 [--quick|--full]   Table 3   (average relative error vs FP64 CPU)
+//! repro fig10 [--quick]           Figure 10 (relative-error distributions)
+//! repro train-cifar [--quick]     Figure 12 + Table 5 (Cifar10-like training)
+//! repro train-imagenet [--quick]  Figure 11 + Table 4 (ILSVRC-like training)
+//! repro ablation-banks            §5.2 bank-conflict ablation
+//! repro ablation-variants         §5.4/§5.6 ruse/c64 ablation
+//! repro ablation-transforms       §5.3 simplified-transformation ablation
+//! repro all [--quick]             everything above
+//! ```
+//!
+//! Quick mode scales batch sizes so each measurement stays around a couple
+//! of Gflop and shrinks the training runs; every scaling factor is printed
+//! alongside the row it affects.
+
+pub mod figures;
+pub mod runner;
+
+pub use figures::{scale_batch, AccuracyTable, Ofms, Panel, FIG8, FIG9, TABLE3};
+pub use runner::*;

@@ -1,0 +1,326 @@
+//! Measurement and simulation drivers shared by the `repro` binary and the
+//! criterion benches.
+
+use crate::figures::{scale_batch, AccuracyTable, Panel};
+use iwino_baselines::{direct_conv_f64_ref, im2col_conv_nchw, im2col_conv_nhwc, winograd2d_conv, Im2colPlan};
+use iwino_core::{conv2d_opts, ConvOptions, GammaSpec};
+use iwino_gpu_sim::model::{Algorithm, Layout};
+use iwino_gpu_sim::DeviceSpec;
+use iwino_tensor::{nhwc_to_nchw, relative_error_histogram, ConvShape, ErrorStats, Tensor4};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One plotted point: series label → Gflop/s.
+#[derive(Clone, Debug, Serialize)]
+pub struct SeriesPoint {
+    pub series: String,
+    pub gflops: f64,
+}
+
+/// One x-axis position of a figure panel.
+#[derive(Clone, Debug, Serialize)]
+pub struct PanelRow {
+    pub ofms: String,
+    /// Batch scaling applied in quick mode (1.0 = paper size).
+    pub batch_scale: f64,
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A regenerated figure panel.
+#[derive(Clone, Debug, Serialize)]
+pub struct PanelResult {
+    pub panel: String,
+    pub rows: Vec<PanelRow>,
+}
+
+fn time_reps(mut f: impl FnMut(), reps: usize) -> f64 {
+    f(); // warm-up ("each algorithm was executed once to optimize performance")
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Measured CPU Gflop/s of `Γ` with a forced primary kernel.
+pub fn measure_gamma(shape: &ConvShape, spec: GammaSpec, reps: usize) -> f64 {
+    let x = Tensor4::<f32>::random(shape.x_dims(), 11, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 12, -1.0, 1.0);
+    let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+    let dt = time_reps(|| drop(conv2d_opts(&x, &w, shape, &opts)), reps);
+    shape.flops() / dt / 1e9
+}
+
+/// Measured CPU Gflop/s of the im2col+GEMM baselines.
+pub fn measure_im2col(shape: &ConvShape, layout: Layout, reps: usize) -> f64 {
+    let plan = Im2colPlan::new(shape);
+    let dt = match layout {
+        Layout::Nhwc => {
+            let x = Tensor4::<f32>::random(shape.x_dims(), 13, -1.0, 1.0);
+            let w = Tensor4::<f32>::random(shape.w_dims(), 14, -1.0, 1.0);
+            time_reps(|| drop(im2col_conv_nhwc(&x, &w, &plan)), reps)
+        }
+        Layout::Nchw => {
+            let x = nhwc_to_nchw(&Tensor4::<f32>::random(shape.x_dims(), 13, -1.0, 1.0));
+            // OIHW weights.
+            let mut w = Tensor4::<f32>::zeros([shape.oc, shape.ic, shape.fh, shape.fw]);
+            w.fill_uniform(14, -1.0, 1.0);
+            time_reps(|| drop(im2col_conv_nchw(&x, &w, &plan)), reps)
+        }
+    };
+    shape.flops() / dt / 1e9
+}
+
+/// Measured CPU Gflop/s of the fused 2-D Winograd baseline (r = 3 only).
+pub fn measure_winograd2d(shape: &ConvShape, reps: usize) -> f64 {
+    let x = Tensor4::<f32>::random(shape.x_dims(), 15, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 16, -1.0, 1.0);
+    let dt = time_reps(|| drop(winograd2d_conv(&x, &w, shape, 2)), reps);
+    shape.flops() / dt / 1e9
+}
+
+/// Regenerate one figure panel: GPU-simulated series for every variant and
+/// baseline, plus CPU-measured series when `measure` is set.
+pub fn run_panel(panel: &Panel, dev: &DeviceSpec, measure: bool, target_gflop: f64, reps: usize) -> PanelResult {
+    let mut rows = Vec::new();
+    for &ofms in panel.shapes {
+        let full_shape = panel.conv_shape(ofms);
+        let mut points = Vec::new();
+        // Simulated GPU series (both with and without the filter-transpose
+        // charge, like the figures' paired series).
+        for &variant in panel.variants {
+            let spec = panel.spec(variant);
+            for include_transpose in [true, false] {
+                let algo = Algorithm::Gamma { spec, include_transpose };
+                let r = iwino_gpu_sim::estimate(dev, &full_shape, &algo);
+                points.push(SeriesPoint { series: format!("sim:{}", algo.label()), gflops: r.gflops });
+            }
+        }
+        for layout in [Layout::Nchw, Layout::Nhwc] {
+            let algo = Algorithm::ImplicitGemm { layout };
+            let r = iwino_gpu_sim::estimate(dev, &full_shape, &algo);
+            points.push(SeriesPoint { series: format!("sim:{}", algo.label()), gflops: r.gflops });
+        }
+        if panel.fused_winograd {
+            let r = iwino_gpu_sim::estimate(dev, &full_shape, &Algorithm::FusedWinograd2d);
+            points.push(SeriesPoint { series: "sim:cuDNN-Fused-Winograd".into(), gflops: r.gflops });
+        }
+        // CPU-measured series on the (possibly batch-scaled) shape.
+        let (scaled_n, batch_scale) = scale_batch(ofms, panel.r, target_gflop);
+        if measure {
+            let (_, oh, ow, oc) = ofms;
+            let shape = ConvShape::from_ofms(scaled_n, oh, ow, oc, oc, panel.r);
+            for &variant in panel.variants {
+                let spec = panel.spec(variant);
+                let gf = measure_gamma(&shape, spec, reps);
+                points.push(SeriesPoint { series: format!("cpu:Im2col-Winograd-{spec}"), gflops: gf });
+            }
+            points.push(SeriesPoint {
+                series: "cpu:Im2col-GEMM-NHWC".into(),
+                gflops: measure_im2col(&shape, Layout::Nhwc, reps),
+            });
+            points.push(SeriesPoint {
+                series: "cpu:Im2col-GEMM-NCHW".into(),
+                gflops: measure_im2col(&shape, Layout::Nchw, reps),
+            });
+            if panel.fused_winograd {
+                points.push(SeriesPoint {
+                    series: "cpu:Fused-Winograd-2D".into(),
+                    gflops: measure_winograd2d(&shape, reps),
+                });
+            }
+        }
+        let (n, oh, ow, oc) = ofms;
+        rows.push(PanelRow { ofms: format!("{n}x{oh}x{ow}x{oc}"), batch_scale, points });
+    }
+    PanelResult { panel: format!("Im2col-Winograd-{}", panel.label()), rows }
+}
+
+/// Table 2: per-panel speedup range of the best Γ series over (a) the
+/// fastest baseline and (b) the NHWC GEMM, computed from simulated series.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpeedupRow {
+    pub panel: String,
+    pub vs_fastest: (f64, f64),
+    pub vs_nhwc_gemm: (f64, f64),
+}
+
+pub fn speedups(results: &[PanelResult]) -> Vec<SpeedupRow> {
+    results
+        .iter()
+        .map(|pr| {
+            let mut vs_fast: Vec<f64> = Vec::new();
+            let mut vs_nhwc: Vec<f64> = Vec::new();
+            for row in &pr.rows {
+                // Best Γ series *including* transpose (the conservative one),
+                // matching Table 2 which uses the non-starred series.
+                let best_gamma = row
+                    .points
+                    .iter()
+                    .filter(|p| p.series.starts_with("sim:Im2col-Winograd") && !p.series.ends_with('*'))
+                    .map(|p| p.gflops)
+                    .fold(0.0, f64::max);
+                let nhwc = row
+                    .points
+                    .iter()
+                    .find(|p| p.series == "sim:cuDNN-Implicit-Precomp-GEMM-NHWC")
+                    .map(|p| p.gflops)
+                    .unwrap_or(f64::NAN);
+                let fastest_baseline = row
+                    .points
+                    .iter()
+                    .filter(|p| p.series.starts_with("sim:cuDNN"))
+                    .map(|p| p.gflops)
+                    .fold(0.0, f64::max);
+                if best_gamma > 0.0 && fastest_baseline > 0.0 {
+                    vs_fast.push(best_gamma / fastest_baseline);
+                    vs_nhwc.push(best_gamma / nhwc);
+                }
+            }
+            let range = |v: &[f64]| {
+                (
+                    v.iter().copied().fold(f64::INFINITY, f64::min),
+                    v.iter().copied().fold(0.0, f64::max),
+                )
+            };
+            SpeedupRow { panel: pr.panel.clone(), vs_fastest: range(&vs_fast), vs_nhwc_gemm: range(&vs_nhwc) }
+        })
+        .collect()
+}
+
+/// Table 3 row: mean relative error of each algorithm vs the FP64 CPU
+/// reference on uniform-[1,2) data.
+#[derive(Clone, Debug, Serialize)]
+pub struct AccuracyRow {
+    pub ofms: String,
+    pub batch_scale: f64,
+    pub gamma: f64,
+    pub cugemm: f64,
+    pub cuwinograd: Option<f64>,
+}
+
+pub fn run_accuracy(table: &AccuracyTable, target_gflop: f64) -> Vec<AccuracyRow> {
+    table
+        .shapes
+        .iter()
+        .map(|&ofms| {
+            let (scaled_n, batch_scale) = scale_batch(ofms, table.r, target_gflop);
+            let (_, oh, ow, oc) = ofms;
+            let shape = ConvShape::from_ofms(scaled_n, oh, ow, oc, oc, table.r);
+            // §6.2.1: ifms/filters uniform in [1, 2).
+            let x = Tensor4::<f32>::random(shape.x_dims(), 21, 1.0, 2.0);
+            let w = Tensor4::<f32>::random(shape.w_dims(), 22, 1.0, 2.0);
+            let truth = direct_conv_f64_ref(&x, &w, &shape);
+            let opts = ConvOptions {
+                force_kernels: Some(vec![table.spec()]),
+                ..Default::default()
+            };
+            let gamma = ErrorStats::between(&conv2d_opts(&x, &w, &shape, &opts), &truth).mean;
+            let plan = Im2colPlan::new(&shape);
+            let cugemm = ErrorStats::between(&im2col_conv_nhwc(&x, &w, &plan), &truth).mean;
+            let cuwinograd = table
+                .fused_winograd
+                .then(|| ErrorStats::between(&winograd2d_conv(&x, &w, &shape, 2), &truth).mean);
+            let (n, ..) = ofms;
+            AccuracyRow {
+                ofms: format!("{n}x{oh}x{ow}x{oc}"),
+                batch_scale,
+                gamma,
+                cugemm,
+                cuwinograd,
+            }
+        })
+        .collect()
+}
+
+/// Figure 10: relative-error distribution (percent per bucket) for a Γ
+/// kernel vs the GEMM baseline on one shape.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    pub label: String,
+    pub bucket_width: f64,
+    pub gamma_pct: Vec<f64>,
+    pub cugemm_pct: Vec<f64>,
+}
+
+pub fn run_histogram(table: &AccuracyTable, bins: usize, hi: f64, target_gflop: f64) -> Histogram {
+    let ofms = table.shapes[0];
+    let (scaled_n, _) = scale_batch(ofms, table.r, target_gflop);
+    let (_, oh, ow, oc) = ofms;
+    let shape = ConvShape::from_ofms(scaled_n, oh, ow, oc, oc, table.r);
+    let x = Tensor4::<f32>::random(shape.x_dims(), 31, 1.0, 2.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 32, 1.0, 2.0);
+    let truth = direct_conv_f64_ref(&x, &w, &shape);
+    let opts = ConvOptions { force_kernels: Some(vec![table.spec()]), ..Default::default() };
+    let gamma = conv2d_opts(&x, &w, &shape, &opts);
+    let plan = Im2colPlan::new(&shape);
+    let gemm = im2col_conv_nhwc(&x, &w, &plan);
+    Histogram {
+        label: table.label(),
+        bucket_width: hi / bins as f64,
+        gamma_pct: relative_error_histogram(&gamma, &truth, bins, hi),
+        cugemm_pct: relative_error_histogram(&gemm, &truth, bins, hi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FIG8;
+    use crate::figures::AccuracyTable;
+
+    #[test]
+    fn panel_simulation_produces_all_series() {
+        let dev = DeviceSpec::rtx3060ti();
+        let pr = run_panel(&FIG8[3], &dev, false, 0.5, 1); // Γ8(6,3), sim only
+        assert_eq!(pr.rows.len(), 10);
+        let first = &pr.rows[0];
+        // Std variant ×2 (with/without transpose) + 2 GEMM + fused-winograd.
+        assert_eq!(first.points.len(), 5, "{:?}", first.points);
+        assert!(first.points.iter().all(|p| p.gflops.is_finite() && p.gflops > 0.0));
+    }
+
+    #[test]
+    fn accuracy_rows_have_paper_error_ordering() {
+        // Γ8 ≈ 1e-7-ish mean relative error, far below the f32 GEMM. A tiny
+        // custom sub-table keeps the debug-mode f64 reference fast; the full
+        // Table 3 shapes run via `repro table3`.
+        let tiny = AccuracyTable {
+            alpha: 8,
+            n: 6,
+            r: 3,
+            fused_winograd: true,
+            shapes: &[(1, 24, 24, 32), (1, 12, 12, 64)],
+        };
+        let rows = run_accuracy(&tiny, f64::INFINITY);
+        for r in &rows {
+            assert!(r.gamma < 5e-6, "{r:?}");
+            assert!(r.gamma < r.cugemm * 50.0, "{r:?}"); // GEMM is much worse
+            assert!(r.cuwinograd.is_some());
+        }
+    }
+
+    #[test]
+    fn speedup_ranges_are_sane() {
+        let dev = DeviceSpec::rtx3060ti();
+        let results: Vec<_> = [3usize, 8]
+            .iter()
+            .map(|&i| run_panel(&FIG8[i], &dev, false, 0.5, 1))
+            .collect();
+        let rows = speedups(&results);
+        for row in &rows {
+            assert!(row.vs_fastest.0 > 0.2 && row.vs_fastest.1 < 20.0, "{row:?}");
+            assert!(row.vs_fastest.0 <= row.vs_fastest.1);
+        }
+    }
+
+    #[test]
+    fn histogram_percentages_sum_to_100() {
+        let tiny = AccuracyTable { alpha: 16, n: 8, r: 9, fused_winograd: false, shapes: &[(1, 16, 16, 32)] };
+        let h = run_histogram(&tiny, 12, 1.5e-4, 0.02);
+        let s: f64 = h.gamma_pct.iter().sum();
+        assert!((s - 100.0).abs() < 1e-6);
+        let s: f64 = h.cugemm_pct.iter().sum();
+        assert!((s - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,554 @@
+//! Convolution / deconvolution orchestration.
+//!
+//! [`conv2d`] plans the width axis (§5.5), transforms the filters once per
+//! call (forward or rotated, §5.1), and then runs one parallel task per
+//! `N×OH` output row — the same task decomposition the paper uses for
+//! thread blocks, chosen because `feature-map size × channel size` is
+//! roughly constant across CNN layers so the task count stays consistent
+//! (§5.1).
+
+use crate::filter::{filter_hwio, TransformedFilter};
+use crate::kernel::{cached_kernel, direct_row_segment, GammaKernel, RowJob, Scratch, Variant};
+use std::sync::Arc;
+use crate::plan::{default_kernel_prefs, GammaSpec, KernelChoice, SegmentPlan};
+use iwino_parallel as par;
+use iwino_tensor::{ConvShape, Tensor4};
+use std::cell::RefCell;
+
+/// Output epilogue fused into the convolution's row pass (bias add and/or
+/// activation applied while the freshly written row is still cache-hot —
+/// the kind of operator fusion Dragon-Alpha's higher-level encapsulation
+/// performs over these kernels, §5.7).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Epilogue {
+    /// Plain convolution output.
+    #[default]
+    None,
+    /// `y += bias[oc]`.
+    Bias(Vec<f32>),
+    /// `y = max(y, 0)`.
+    Relu,
+    /// `y = y > 0 ? y : slope·y`.
+    LeakyRelu(f32),
+    /// `y = act(y + bias[oc])` with LeakyReLU slope (0 = plain ReLU).
+    BiasLeakyRelu(Vec<f32>, f32),
+}
+
+impl Epilogue {
+    fn apply(&self, out_row: &mut [f32], oc: usize) {
+        match self {
+            Epilogue::None => {}
+            Epilogue::Bias(b) => {
+                debug_assert_eq!(b.len(), oc);
+                for px in out_row.chunks_exact_mut(oc) {
+                    for (v, &bv) in px.iter_mut().zip(b) {
+                        *v += bv;
+                    }
+                }
+            }
+            Epilogue::Relu => {
+                for v in out_row.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            Epilogue::LeakyRelu(slope) => {
+                for v in out_row.iter_mut() {
+                    if *v < 0.0 {
+                        *v *= slope;
+                    }
+                }
+            }
+            Epilogue::BiasLeakyRelu(b, slope) => {
+                debug_assert_eq!(b.len(), oc);
+                for px in out_row.chunks_exact_mut(oc) {
+                    for (v, &bv) in px.iter_mut().zip(b) {
+                        let t = *v + bv;
+                        *v = if t >= 0.0 { t } else { slope * t };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tuning and selection options for [`conv2d_opts`] / [`deconv2d_opts`].
+#[derive(Clone, Debug, Default)]
+pub struct ConvOptions {
+    /// Force a specific primary kernel instead of the automatic choice
+    /// (used by the benchmark harness to sweep `Γα(n, r)` variants).
+    pub force_kernels: Option<Vec<GammaSpec>>,
+    /// Prefer `α = 16` kernels where both α = 8 and α = 16 apply (r = 7).
+    pub prefer_alpha16: bool,
+    /// Upgrade α = 16 kernels to the `c64` cache-block variant (§5.6) when
+    /// the output-channel count is a multiple of 64 ("many channel sizes in
+    /// modern CNNs are multiples of 64").
+    pub allow_c64: bool,
+}
+
+impl ConvOptions {
+    fn plan_for(&self, ow: usize, r: usize, oc: usize) -> SegmentPlan {
+        let mut prefs = match &self.force_kernels {
+            Some(k) => k.clone(),
+            None => default_kernel_prefs(r, self.prefer_alpha16 || r >= 8),
+        };
+        if self.allow_c64 && oc % 64 == 0 {
+            for p in &mut prefs {
+                if p.alpha == 16 && p.variant == Variant::Standard {
+                    p.variant = Variant::C64;
+                }
+            }
+        }
+        SegmentPlan::build(ow, &prefs)
+    }
+}
+
+/// Pick reasonable [`ConvOptions`] for a shape: α = 16 kernels where they
+/// apply, and the `c64` cache-block variant when the channel count is a
+/// multiple of 64 (§5.6's "many channel sizes in modern CNNs are multiples
+/// of 64").
+pub fn auto_options(shape: &ConvShape) -> ConvOptions {
+    ConvOptions {
+        force_kernels: None,
+        prefer_alpha16: shape.fw >= 7,
+        allow_c64: shape.oc % 64 == 0,
+    }
+}
+
+/// Unit-stride 2-D convolution with the default kernel selection.
+/// `x` is `N×IH×IW×IC` NHWC; `w` is `OC×FH×FW×IC`; returns `N×OH×OW×OC`.
+pub fn conv2d(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape) -> Tensor4<f32> {
+    conv2d_opts(x, w, shape, &ConvOptions::default())
+}
+
+/// Unit-stride 2-D convolution with explicit options.
+pub fn conv2d_opts(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Tensor4<f32> {
+    assert!(shape.is_unit_stride(), "Im2col-Winograd is a unit-stride algorithm (§4); use a GEMM/direct path for strided convolution");
+    assert_eq!(x.dims(), shape.x_dims(), "input dims mismatch");
+    assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
+    run(x, w, shape, opts, false, &Epilogue::None)
+}
+
+/// Convolution with a fused output epilogue (bias / activation applied
+/// inside the row pass while the output is cache-hot).
+pub fn conv2d_fused(
+    x: &Tensor4<f32>,
+    w: &Tensor4<f32>,
+    shape: &ConvShape,
+    opts: &ConvOptions,
+    epilogue: &Epilogue,
+) -> Tensor4<f32> {
+    assert!(shape.is_unit_stride(), "Im2col-Winograd is a unit-stride algorithm");
+    assert_eq!(x.dims(), shape.x_dims(), "input dims mismatch");
+    assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
+    run(x, w, shape, opts, false, epilogue)
+}
+
+/// Deconvolution (backward-data): given `dy = N×OH×OW×OC` and the forward
+/// filter `w = OC×FH×FW×IC`, returns `dx = N×IH×IW×IC` for the unit-stride
+/// forward convolution described by `shape`. The 180° rotation and channel
+/// swap are fused into the filter transform (§5.1).
+pub fn deconv2d(dy: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape) -> Tensor4<f32> {
+    deconv2d_opts(dy, w, shape, &ConvOptions::default())
+}
+
+/// [`deconv2d`] with explicit options.
+pub fn deconv2d_opts(dy: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Tensor4<f32> {
+    assert!(shape.is_unit_stride(), "unit-stride only; strided deconvolution goes through the GEMM path");
+    assert_eq!(dy.dims(), shape.y_dims(), "dy dims mismatch");
+    assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
+    // Backward-data of conv(pad p) is conv(dy, rot180(W), pad r−1−p):
+    // ih = oh + fh − 1 − 2·(fh−1−ph) wait—the shape below says it directly:
+    // the deconv is itself a unit-stride convolution with input dy and
+    // output dx.
+    let bw = ConvShape::unit(
+        shape.n,
+        shape.oh(),
+        shape.ow(),
+        shape.oc,
+        shape.ic,
+        shape.fh,
+        shape.fw,
+        shape.fh - 1 - shape.ph,
+        shape.fw - 1 - shape.pw,
+    );
+    debug_assert_eq!(bw.oh(), shape.ih);
+    debug_assert_eq!(bw.ow(), shape.iw);
+    run(dy, w, &bw, opts, true, &Epilogue::None)
+}
+
+/// Shared forward/deconv driver. For deconv, `shape` is already the
+/// backward geometry (input = dy) and `w` is the *forward* filter — the
+/// rotation happens inside the filter transforms.
+fn run(
+    x: &Tensor4<f32>,
+    w: &Tensor4<f32>,
+    shape: &ConvShape,
+    opts: &ConvOptions,
+    rotate: bool,
+    epilogue: &Epilogue,
+) -> Tensor4<f32> {
+    let s = *shape;
+    let (oh, ow) = (s.oh(), s.ow());
+    let plan = opts.plan_for(ow, s.fw, s.oc);
+
+    // Each distinct Γ kernel (cached process-wide — transform generation is
+    // exact rational arithmetic) plus its per-call transformed filter bank.
+    let mut kernels: Vec<(GammaSpec, Arc<GammaKernel>, TransformedFilter)> = Vec::new();
+    for spec in plan.gamma_specs() {
+        let kernel = cached_kernel(spec.alpha, spec.n, spec.r, spec.variant);
+        let t = kernel.transform();
+        let tw = if rotate { TransformedFilter::deconv(w, &t) } else { TransformedFilter::forward(w, &t) };
+        kernels.push((spec, kernel, tw));
+    }
+    // Untransformed HWIO filter for the GEMM remainder (built only if used).
+    let needs_direct = plan.segments.iter().any(|g| g.kernel == KernelChoice::Gemm);
+    let w_direct = needs_direct.then(|| filter_hwio(w, rotate));
+    // Segment → kernel index, resolved once instead of per row.
+    let seg_kernels: Vec<Option<usize>> = plan
+        .segments
+        .iter()
+        .map(|seg| match seg.kernel {
+            KernelChoice::Gamma(spec) => Some(
+                kernels
+                    .iter()
+                    .position(|(ks, _, _)| *ks == spec)
+                    .expect("planned kernel was built"),
+            ),
+            KernelChoice::Gemm => None,
+        })
+        .collect();
+
+    let mut y = Tensor4::<f32>::zeros(s.y_dims());
+    let xs = x.as_slice();
+    let row_elems = ow * s.oc;
+    let img_elems = s.ih * s.iw * s.ic;
+
+    // Per-worker scratch, reused across rows (thread-local because tasks of
+    // many rows land on the same worker).
+    thread_local! {
+        static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    }
+
+    let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
+    par::parallel_for(s.n * oh, &|row| {
+        let out_row = parts.take(row);
+        let b = row / oh;
+        let oy = row % oh;
+        // Row plan: one entry per in-bounds filter row (plane = fh); rows
+        // falling outside the image are absent (implicit zero padding).
+        // Stack-allocated: FH ≤ 16 always holds for the 2-D path.
+        let mut rows_buf = [(0usize, 0usize); 16];
+        let mut row_count = 0usize;
+        for fh in 0..s.fh {
+            let iy = oy as isize + fh as isize - s.ph as isize;
+            if iy >= 0 && (iy as usize) < s.ih {
+                rows_buf[row_count] = (iy as usize * s.iw * s.ic, fh);
+                row_count += 1;
+            }
+        }
+        let job = RowJob {
+            x: &xs[b * img_elems..(b + 1) * img_elems],
+            rows: &rows_buf[..row_count],
+            iw: s.iw,
+            ic: s.ic,
+            pw: s.pw,
+            ow,
+            oc: s.oc,
+        };
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            for (seg, k_idx) in plan.segments.iter().zip(&seg_kernels) {
+                match k_idx {
+                    Some(k) => {
+                        let (spec, kernel, tw) = &kernels[*k];
+                        kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut scratch);
+                    }
+                    None => {
+                        let wd = w_direct.as_ref().expect("direct filter was built");
+                        direct_row_segment(&job, wd.as_slice(), s.fw, seg.start, seg.len, out_row);
+                    }
+                }
+            }
+            epilogue.apply(out_row, s.oc);
+        });
+    });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwino_baselines::{direct_conv, direct_conv_f64_ref};
+    use iwino_tensor::{max_mixed_error, rotate_filter_180};
+
+    fn check_conv(s: &ConvShape, opts: &ConvOptions, seed: u64, tol: f64) {
+        let x = Tensor4::<f32>::random(s.x_dims(), seed, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), seed + 1, -1.0, 1.0);
+        let want = direct_conv_f64_ref(&x, &w, s);
+        let got = conv2d_opts(&x, &w, s, opts);
+        let e = max_mixed_error(&got, &want);
+        assert!(e < tol, "{s:?} {opts:?}: error {e}");
+    }
+
+    #[test]
+    fn gamma8_6_3_exact_cover() {
+        // OW = 24 divisible by 6: pure Γ8(6,3).
+        check_conv(&ConvShape::square(2, 24, 8, 8, 3), &ConvOptions::default(), 60, 1e-4);
+    }
+
+    #[test]
+    fn gamma8_6_3_with_boundary() {
+        // OW = 23: Γ8(6,3) + Γ4(2,3) + GEMM.
+        check_conv(&ConvShape::square(1, 23, 8, 8, 3), &ConvOptions::default(), 61, 1e-4);
+    }
+
+    #[test]
+    fn all_filter_widths_2_to_9() {
+        for r in 2..=9usize {
+            let s = ConvShape::square(1, 20, 8, 8, r);
+            // r ≥ 8 runs on Γ16 whose transform entries span ~10 orders of
+            // magnitude; under sign-varying inputs the f32 mixed error grows
+            // to ~1e-3 (the conditioning effect §6.2.2 describes).
+            let tol = if r >= 8 { 1e-2 } else { 2e-4 };
+            check_conv(&s, &ConvOptions::default(), 62 + r as u64, tol);
+        }
+    }
+
+    #[test]
+    fn ruse_variant_matches() {
+        for r in [5usize, 6, 7] {
+            let n = 9 - r;
+            let opts = ConvOptions {
+                force_kernels: Some(vec![GammaSpec::new(8, n, r, Variant::Ruse)]),
+                ..Default::default()
+            };
+            check_conv(&ConvShape::square(1, 4 * n, 8, 8, r), &opts, 70 + r as u64, 2e-4);
+        }
+    }
+
+    #[test]
+    fn c64_variant_matches() {
+        // Γ16(8,9) in f32 has percent-level worst-case error under
+        // cancellation (κ ≈ 1e5 transform amplification), so this test uses
+        // the paper's positive [1,2) distribution and additionally checks
+        // the c64 variant agrees with the standard blocking bit-for-bit
+        // (same summation order, different cache-block geometry).
+        let s = ConvShape::square(1, 16, 64, 64, 9);
+        let x = Tensor4::<f32>::random(s.x_dims(), 80, 1.0, 2.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 81, 1.0, 2.0);
+        let want = direct_conv_f64_ref(&x, &w, &s);
+        let std_opts = ConvOptions { prefer_alpha16: true, ..Default::default() };
+        let c64_opts = ConvOptions { prefer_alpha16: true, allow_c64: true, ..Default::default() };
+        let y_std = conv2d_opts(&x, &w, &s, &std_opts);
+        let y_c64 = conv2d_opts(&x, &w, &s, &c64_opts);
+        let stats = iwino_tensor::ErrorStats::between(&y_c64, &want);
+        assert!(stats.mean < 1e-4, "{stats:?}");
+        assert_eq!(y_std.as_slice(), y_c64.as_slice(), "c64 must be a pure blocking change");
+    }
+
+    #[test]
+    fn alpha16_kernels() {
+        for r in [7usize, 8, 9] {
+            let opts = ConvOptions { prefer_alpha16: true, ..Default::default() };
+            let s = ConvShape::square(1, 20, 8, 8, r);
+            check_conv(&s, &opts, 90 + r as u64, 1e-2);
+        }
+    }
+
+    #[test]
+    fn channels_not_multiple_of_block() {
+        // IC = 5, OC = 7: exercises ragged channel blocks.
+        check_conv(&ConvShape::square(1, 12, 5, 7, 3), &ConvOptions::default(), 100, 1e-4);
+    }
+
+    #[test]
+    fn zero_padding_variants() {
+        // pw = 0 (valid convolution) and asymmetric-feeling sizes.
+        check_conv(&ConvShape::unit(1, 10, 17, 4, 4, 3, 3, 0, 0), &ConvOptions::default(), 101, 1e-4);
+        check_conv(&ConvShape::unit(1, 10, 17, 4, 4, 5, 5, 0, 2), &ConvOptions::default(), 102, 2e-4);
+    }
+
+    #[test]
+    fn non_square_filters() {
+        // FH ≠ FW: the 1-D decomposition only constrains FW (§4.2).
+        check_conv(&ConvShape::unit(1, 12, 12, 4, 4, 5, 3, 2, 1), &ConvOptions::default(), 103, 1e-4);
+        check_conv(&ConvShape::unit(1, 12, 12, 4, 4, 2, 7, 0, 3), &ConvOptions::default(), 104, 2e-4);
+    }
+
+    #[test]
+    fn tiny_output_goes_through_gemm_only() {
+        // OW = 1 < every tile size: pure GEMM path.
+        let s = ConvShape::unit(1, 6, 1, 3, 2, 3, 3, 1, 1);
+        check_conv(&s, &ConvOptions::default(), 105, 1e-4);
+    }
+
+    #[test]
+    fn deconv_matches_conv_of_rotated_filter() {
+        let s = ConvShape::square(2, 12, 4, 6, 3);
+        let dy = Tensor4::<f32>::random(s.y_dims(), 110, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 111, -1.0, 1.0);
+        let got = deconv2d(&dy, &w, &s);
+        // Reference: materialised rotated filter + direct convolution.
+        let bw = ConvShape::unit(s.n, s.oh(), s.ow(), s.oc, s.ic, 3, 3, 2 - s.ph, 2 - s.pw);
+        let wr = rotate_filter_180(&w);
+        let want = direct_conv(&dy, &wr, &bw);
+        let e = max_mixed_error(&got, &want);
+        assert!(e < 1e-4, "deconv error {e}");
+        assert_eq!(got.dims(), s.x_dims());
+    }
+
+    #[test]
+    fn deconv_all_widths() {
+        for r in 2..=9usize {
+            let s = ConvShape::square(1, 16, 4, 4, r);
+            let dy = Tensor4::<f32>::random(s.y_dims(), 120 + r as u64, -1.0, 1.0);
+            let w = Tensor4::<f32>::random(s.w_dims(), 130 + r as u64, -1.0, 1.0);
+            let got = deconv2d(&dy, &w, &s);
+            let bw = ConvShape::unit(s.n, s.oh(), s.ow(), s.oc, s.ic, r, r, r - 1 - s.ph, r - 1 - s.pw);
+            let wr = rotate_filter_180(&w);
+            let want = direct_conv(&dy, &wr, &bw);
+            let e = max_mixed_error(&got, &want);
+            let tol = if r >= 8 { 1e-2 } else { 2e-4 };
+            assert!(e < tol, "r = {r}: deconv error {e}");
+        }
+    }
+
+    /// ⟨conv(x), y⟩ = ⟨x, deconv(y)⟩ — conv and backward-data are adjoint.
+    #[test]
+    fn conv_deconv_adjointness() {
+        let s = ConvShape::square(1, 10, 3, 5, 3);
+        let x = Tensor4::<f32>::random(s.x_dims(), 140, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 141, -1.0, 1.0);
+        let yr = Tensor4::<f32>::random(s.y_dims(), 142, -1.0, 1.0);
+        let cx = conv2d(&x, &w, &s);
+        let dy = deconv2d(&yr, &w, &s);
+        let lhs: f64 = cx.as_slice().iter().zip(yr.as_slice()).map(|(&a, &b)| (a as f64) * b as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| (a as f64) * b as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_strided_shapes() {
+        let s = ConvShape { sw: 2, ..ConvShape::square(1, 8, 2, 2, 3) };
+        let x = Tensor4::<f32>::zeros(s.x_dims());
+        let w = Tensor4::<f32>::zeros(s.w_dims());
+        let _ = conv2d(&x, &w, &s);
+    }
+
+    #[test]
+    fn fused_epilogue_matches_unfused() {
+        let s = ConvShape::square(1, 13, 6, 5, 3);
+        let x = Tensor4::<f32>::random(s.x_dims(), 500, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 501, -1.0, 1.0);
+        let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.3 - 0.5).collect();
+        let opts = ConvOptions::default();
+        let plain = conv2d_opts(&x, &w, &s, &opts);
+
+        // Bias only.
+        let got = conv2d_fused(&x, &w, &s, &opts, &Epilogue::Bias(bias.clone()));
+        for (px_g, px_p) in got.as_slice().chunks_exact(5).zip(plain.as_slice().chunks_exact(5)) {
+            for o in 0..5 {
+                assert!((px_g[o] - (px_p[o] + bias[o])).abs() < 1e-6);
+            }
+        }
+        // ReLU.
+        let got = conv2d_fused(&x, &w, &s, &opts, &Epilogue::Relu);
+        for (&g, &p) in got.as_slice().iter().zip(plain.as_slice()) {
+            assert_eq!(g, p.max(0.0));
+        }
+        // LeakyReLU(0.1).
+        let got = conv2d_fused(&x, &w, &s, &opts, &Epilogue::LeakyRelu(0.1));
+        for (&g, &p) in got.as_slice().iter().zip(plain.as_slice()) {
+            let want = if p >= 0.0 { p } else { 0.1 * p };
+            assert!((g - want).abs() < 1e-7);
+        }
+        // Bias + LeakyReLU.
+        let got = conv2d_fused(&x, &w, &s, &opts, &Epilogue::BiasLeakyRelu(bias.clone(), 0.2));
+        for (px_g, px_p) in got.as_slice().chunks_exact(5).zip(plain.as_slice().chunks_exact(5)) {
+            for o in 0..5 {
+                let t = px_p[o] + bias[o];
+                let want = if t >= 0.0 { t } else { 0.2 * t };
+                assert!((px_g[o] - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma4_kernels_as_primary() {
+        // The α = 4 family the paper's Figure 3 lists: Γ4(3,2) and Γ4(2,3).
+        for (n, r, variant) in [(3usize, 2usize, Variant::Standard), (2, 3, Variant::Standard), (2, 3, Variant::Ruse)] {
+            let opts = ConvOptions {
+                force_kernels: Some(vec![GammaSpec::new(4, n, r, variant)]),
+                ..Default::default()
+            };
+            check_conv(&ConvShape::square(1, 3 * n + 1, 8, 8, r), &opts, 300 + (n * 10 + r) as u64, 1e-4);
+        }
+    }
+
+    #[test]
+    fn filter_widths_beyond_nine() {
+        // §4.2: "Im2col-Winograd can deal with 2-15 filter widths". Widths
+        // 10–15 ride Γ16(17−r, r); f32 conditioning is rough out here, so the
+        // test uses the positive [1,2) distribution and a mean-error budget.
+        for r in [10usize, 12, 15] {
+            let n = 17 - r;
+            let opts = ConvOptions {
+                force_kernels: Some(vec![GammaSpec::new(16, n, r, Variant::Standard)]),
+                ..Default::default()
+            };
+            let s = ConvShape::square(1, 2 * n.max(r), 4, 4, r);
+            let x = Tensor4::<f32>::random(s.x_dims(), 400 + r as u64, 1.0, 2.0);
+            let w = Tensor4::<f32>::random(s.w_dims(), 410 + r as u64, 1.0, 2.0);
+            let want = direct_conv_f64_ref(&x, &w, &s);
+            let got = conv2d_opts(&x, &w, &s, &opts);
+            let stats = iwino_tensor::ErrorStats::between(&got, &want);
+            assert!(stats.mean < 1e-3, "r = {r}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn auto_options_heuristics() {
+        let small = ConvShape::square(1, 16, 32, 48, 3);
+        let o = auto_options(&small);
+        assert!(!o.prefer_alpha16);
+        assert!(!o.allow_c64);
+        let wide = ConvShape::square(1, 16, 64, 128, 7);
+        let o = auto_options(&wide);
+        assert!(o.prefer_alpha16);
+        assert!(o.allow_c64);
+    }
+
+    #[test]
+    fn accuracy_on_paper_distribution() {
+        // §6.2.1 setup: uniform [1, 2), OW a multiple of n. Γ8 should land
+        // around 1e-7 mean relative error (Table 3).
+        let s = ConvShape::square(1, 24, 32, 32, 3);
+        let x = Tensor4::<f32>::random(s.x_dims(), 150, 1.0, 2.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 151, 1.0, 2.0);
+        let want = direct_conv_f64_ref(&x, &w, &s);
+        let got = conv2d(&x, &w, &s);
+        let stats = iwino_tensor::ErrorStats::between(&got, &want);
+        assert!(stats.mean < 5e-6, "mean relative error too large: {stats:?}");
+    }
+}
+
+#[cfg(test)]
+mod accuracy {
+    use super::*;
+    use iwino_baselines::direct_conv_f64_ref;
+
+    #[test]
+    fn gamma16_accuracy_paper_distribution() {
+        // Γ16(8,9), uniform [1,2): paper Table 3 reports ~1e-5 mean rel err.
+        let s = ConvShape::square(1, 16, 32, 32, 9);
+        let x = Tensor4::<f32>::random(s.x_dims(), 300, 1.0, 2.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 301, 1.0, 2.0);
+        let want = direct_conv_f64_ref(&x, &w, &s);
+        let opts = ConvOptions { prefer_alpha16: true, ..Default::default() };
+        let got = conv2d_opts(&x, &w, &s, &opts);
+        let stats = iwino_tensor::ErrorStats::between(&got, &want);
+        eprintln!("gamma16 stats: {stats:?}");
+        assert!(stats.mean < 1e-4, "{stats:?}");
+    }
+}

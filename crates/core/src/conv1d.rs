@@ -1,0 +1,77 @@
+//! 1-D convolution — the `Γα(n, r)` algorithm in its native habitat.
+//!
+//! A 1-D convolution is the `FH = 1` special case of the 2-D path, so this
+//! module is a thin, allocation-free-as-possible wrapper that exposes the
+//! natural signal-processing API (`[batch, width, channels]`).
+
+use crate::conv::{conv2d_opts, ConvOptions};
+use iwino_tensor::{ConvShape, Tensor4};
+
+/// Unit-stride 1-D convolution.
+///
+/// * `x`: input, `N×W×C` packed as a `Tensor4` of shape `[n, 1, w, c]`;
+/// * `w`: filters, `OC×R×IC` packed as `[oc, 1, r, ic]`;
+/// * `pad`: zero padding on both ends of the width axis.
+pub fn conv1d(x: &Tensor4<f32>, w: &Tensor4<f32>, pad: usize) -> Tensor4<f32> {
+    conv1d_opts(x, w, pad, &ConvOptions::default())
+}
+
+/// [`conv1d`] with explicit kernel-selection options.
+pub fn conv1d_opts(x: &Tensor4<f32>, w: &Tensor4<f32>, pad: usize, opts: &ConvOptions) -> Tensor4<f32> {
+    let [n, one_x, iw, ic] = x.dims();
+    let [oc, one_w, r, wic] = w.dims();
+    assert_eq!(one_x, 1, "conv1d input must be [n, 1, w, c]");
+    assert_eq!(one_w, 1, "conv1d filter must be [oc, 1, r, ic]");
+    assert_eq!(ic, wic, "channel mismatch");
+    let shape = ConvShape::unit(n, 1, iw, ic, oc, 1, r, 0, pad);
+    conv2d_opts(x, w, &shape, opts)
+}
+
+/// Helper: pack a flat `N×W×C` buffer into the `Tensor4` the 1-D API uses.
+pub fn pack_1d(n: usize, w: usize, c: usize, data: Vec<f32>) -> Tensor4<f32> {
+    Tensor4::from_vec([n, 1, w, c], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwino_baselines::direct_conv;
+    use iwino_tensor::max_mixed_error;
+
+    #[test]
+    fn matches_direct_correlation() {
+        // Single channel: plain sliding dot product.
+        let x = pack_1d(1, 8, 1, (1..=8).map(|v| v as f32).collect());
+        let w = Tensor4::from_vec([1, 1, 3, 1], vec![1.0, 10.0, 100.0]);
+        let y = conv1d(&x, &w, 0);
+        assert_eq!(y.dims(), [1, 1, 6, 1]);
+        // y_i = x_i + 10 x_{i+1} + 100 x_{i+2} (to f32 Winograd rounding).
+        assert!((y.at(0, 0, 0, 0) - (1.0 + 20.0 + 300.0)).abs() < 1e-3);
+        assert!((y.at(0, 0, 5, 0) - (6.0 + 70.0 + 800.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multi_channel_against_direct() {
+        for r in 2..=9usize {
+            let (n, iw, ic, oc) = (2usize, 30usize, 6usize, 5usize);
+            let x = Tensor4::<f32>::random([n, 1, iw, ic], 60 + r as u64, -1.0, 1.0);
+            let w = Tensor4::<f32>::random([oc, 1, r, ic], 70 + r as u64, -1.0, 1.0);
+            let pad = r / 2;
+            let got = conv1d(&x, &w, pad);
+            let shape = ConvShape::unit(n, 1, iw, ic, oc, 1, r, 0, pad);
+            let want = direct_conv(&x, &w, &shape);
+            let e = max_mixed_error(&got, &want);
+            let tol = if r >= 8 { 1e-2 } else { 5e-4 };
+            assert!(e < tol, "r = {r}: {e}");
+        }
+    }
+
+    #[test]
+    fn padding_grows_output() {
+        let x = Tensor4::<f32>::random([1, 1, 10, 2], 80, -1.0, 1.0);
+        let w = Tensor4::<f32>::random([3, 1, 3, 2], 81, -1.0, 1.0);
+        assert_eq!(conv1d(&x, &w, 0).dims(), [1, 1, 8, 3]);
+        assert_eq!(conv1d(&x, &w, 1).dims(), [1, 1, 10, 3]);
+        assert_eq!(conv1d(&x, &w, 2).dims(), [1, 1, 12, 3]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Backward-filter pass (`dW`) for CNN training.
+//!
+//! `dW[oc, fh, fw, ic] = Σ_{b, oy, ox} dY[b, oy, ox, oc] · X[b, oy·sh+fh−ph, ox·sw+fw−pw, ic]`
+//!
+//! The paper's training experiment notes that "the training speed is also
+//! related to computing filter gradients" (§6.3.2) but Winograd is not
+//! applied to this pass; like Dragon-Alpha we compute it with a direct
+//! outer-product accumulation, parallelised over the `(fh, fw)` taps —
+//! each tap's `OC×IC` gradient panel is an independent reduction over all
+//! output pixels, and both inner axes run along contiguous NHWC channels.
+
+use iwino_parallel as par;
+use iwino_tensor::{ConvShape, Tensor4};
+
+/// Compute the filter gradient for the convolution described by `shape`
+/// (any stride). Returns `dW` in the native `OC×FH×FW×IC` layout.
+pub fn filter_grad(x: &Tensor4<f32>, dy: &Tensor4<f32>, shape: &ConvShape) -> Tensor4<f32> {
+    let s = *shape;
+    assert_eq!(x.dims(), s.x_dims(), "x dims mismatch");
+    assert_eq!(dy.dims(), s.y_dims(), "dy dims mismatch");
+    let (oh, ow) = (s.oh(), s.ow());
+    let (ic, oc) = (s.ic, s.oc);
+    let xs = x.as_slice();
+    let dys = dy.as_slice();
+
+    // Per-tap OC×IC panels, computed independently then scattered into the
+    // OC×FH×FW×IC result.
+    let taps = s.fh * s.fw;
+    let mut panels = vec![0.0f32; taps * oc * ic];
+    {
+        let parts = par::SliceParts::new(&mut panels, oc * ic);
+        par::parallel_for(taps, &|tap| {
+            let panel = parts.take(tap);
+            let (fh, fw) = (tap / s.fw, tap % s.fw);
+            for b in 0..s.n {
+                let x_img = &xs[b * s.ih * s.iw * ic..(b + 1) * s.ih * s.iw * ic];
+                let dy_img = &dys[b * oh * ow * oc..(b + 1) * oh * ow * oc];
+                for oy in 0..oh {
+                    let iy = (oy * s.sh + fh) as isize - s.ph as isize;
+                    if iy < 0 || iy >= s.ih as isize {
+                        continue;
+                    }
+                    let x_row = &x_img[iy as usize * s.iw * ic..(iy as usize + 1) * s.iw * ic];
+                    let dy_row = &dy_img[oy * ow * oc..(oy + 1) * ow * oc];
+                    for ox in 0..ow {
+                        let px = (ox * s.sw + fw) as isize - s.pw as isize;
+                        if px < 0 || px >= s.iw as isize {
+                            continue;
+                        }
+                        let x_px = &x_row[px as usize * ic..(px as usize + 1) * ic];
+                        let dy_px = &dy_row[ox * oc..(ox + 1) * oc];
+                        for (o, &g) in dy_px.iter().enumerate() {
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let dst = &mut panel[o * ic..(o + 1) * ic];
+                            for (d, &xv) in dst.iter_mut().zip(x_px) {
+                                *d += g * xv;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    let mut dw = Tensor4::<f32>::zeros(s.w_dims());
+    let dws = dw.as_mut_slice();
+    for tap in 0..taps {
+        let (fh, fw) = (tap / s.fw, tap % s.fw);
+        for o in 0..oc {
+            let src = &panels[(tap * oc + o) * ic..(tap * oc + o + 1) * ic];
+            let dst = &mut dws[((o * s.fh + fh) * s.fw + fw) * ic..((o * s.fh + fh) * s.fw + fw + 1) * ic];
+            dst.copy_from_slice(src);
+        }
+    }
+    dw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwino_baselines::direct_conv;
+
+    /// Finite-difference check: perturb one weight, the loss `Σ y²/2`
+    /// changes by `dW · ε` to first order.
+    #[test]
+    fn matches_finite_differences() {
+        let s = ConvShape::square(1, 6, 2, 3, 3);
+        let x = Tensor4::<f32>::random(s.x_dims(), 200, -1.0, 1.0);
+        let mut w = Tensor4::<f32>::random(s.w_dims(), 201, -0.5, 0.5);
+        // dL/dy = y for L = Σ y²/2 ⟹ dW = filter_grad(x, y).
+        let y = direct_conv(&x, &w, &s);
+        let dw = filter_grad(&x, &y, &s);
+        let eps = 1e-3f32;
+        for probe in [(0usize, 0usize, 0usize, 0usize), (2, 1, 2, 1), (1, 2, 0, 1)] {
+            let (o, fh, fw, i) = probe;
+            let orig = w.at(o, fh, fw, i);
+            *w.at_mut(o, fh, fw, i) = orig + eps;
+            let yp = direct_conv(&x, &w, &s);
+            *w.at_mut(o, fh, fw, i) = orig - eps;
+            let ym = direct_conv(&x, &w, &s);
+            *w.at_mut(o, fh, fw, i) = orig;
+            let lp: f64 = yp.as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+            let lm: f64 = ym.as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let an = dw.at(o, fh, fw, i) as f64;
+            assert!(
+                (fd - an).abs() < 1e-2 * an.abs().max(1.0),
+                "probe {probe:?}: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    /// Adjointness in the filter argument:
+    /// ⟨conv(x, W), dy⟩ = ⟨W, filter_grad(x, dy)⟩.
+    #[test]
+    fn filter_adjointness() {
+        let s = ConvShape::square(2, 7, 3, 4, 5);
+        let x = Tensor4::<f32>::random(s.x_dims(), 210, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 211, -1.0, 1.0);
+        let dy = Tensor4::<f32>::random(s.y_dims(), 212, -1.0, 1.0);
+        let y = direct_conv(&x, &w, &s);
+        let dw = filter_grad(&x, &dy, &s);
+        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = w.as_slice().iter().zip(dw.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn strided_filter_grad_adjointness() {
+        let s = ConvShape { sh: 2, sw: 2, ..ConvShape::square(1, 8, 2, 3, 3) };
+        let x = Tensor4::<f32>::random(s.x_dims(), 220, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 221, -1.0, 1.0);
+        let dy = Tensor4::<f32>::random(s.y_dims(), 222, -1.0, 1.0);
+        let y = direct_conv(&x, &w, &s);
+        let dw = filter_grad(&x, &dy, &s);
+        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = w.as_slice().iter().zip(dw.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn zero_dy_gives_zero_grad() {
+        let s = ConvShape::square(1, 5, 2, 2, 3);
+        let x = Tensor4::<f32>::random(s.x_dims(), 230, -1.0, 1.0);
+        let dy = Tensor4::<f32>::zeros(s.y_dims());
+        let dw = filter_grad(&x, &dy, &s);
+        assert!(dw.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,414 @@
+//! The cache-blocked `Γα(n, r)` row kernel (§5.1, Algorithms 1 & 2).
+//!
+//! One kernel invocation computes a *segment* of one output row
+//! `Y[b, oy, seg_start .. seg_start + tiles·n, :]`. The work is blocked
+//! exactly like the paper's thread blocks:
+//!
+//! * `BN` output channels × `BM` width-tiles per block, iterating
+//!   `FH × (IC / BK)` times (the `fh`/`oic` loops of Algorithm 1);
+//! * per iteration the input tiles are gathered from the NHWC row (implicit
+//!   zero padding via bounds checks, §5), transformed with the *simplified*
+//!   `Dᵀ` (§5.3 even/odd pairing), and multiplied into the `α`-state
+//!   accumulators with an FMA loop that runs along the contiguous `oc` axis
+//!   of the transformed filter (the CPU analogue of the 8×(8×8) outer
+//!   products);
+//! * accumulation stays in the Winograd domain across `fh` **and** `ic` —
+//!   the defining trick of Im2col-Winograd — so a single output transform
+//!   per tile finishes the block (Algorithm 1's `transformOutput`).
+//!
+//! Variants:
+//!
+//! * [`Variant::Ruse`] — §5.4 input-tile overlap reuse: adjacent tiles of
+//!   `F(n, r)` share `r − 1` input items; the ruse kernel gathers one
+//!   contiguous *strip* of `(tiles−1)·n + α` positions per `(fh, ic-block)`
+//!   instead of `tiles·α` positions, cutting gather traffic by the factor
+//!   the paper derives (`α → α − (r−1)·(tiles−1)/tiles` per tile).
+//! * [`Variant::C64`] — §5.6 enlarged cache block: `BN` doubled to 64 for
+//!   `α = 16`, raising arithmetic intensity from `256/(α+r)` to
+//!   `512/(α+2r)`.
+
+use crate::filter::TransformedFilter;
+use iwino_transforms::{PairedTransform, WinogradTransform};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Kernel flavour (§5.4, §5.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    Standard,
+    /// Input-tile overlap reuse (`Γα^ruse`).
+    Ruse,
+    /// Enlarged cache block (`Γα^c64`), meaningful for α = 16.
+    C64,
+}
+
+/// Channels gathered/transformed per inner block (the paper's `BK = 8` is
+/// sized for SMEM ports; on CPU a 32-wide channel panel fills cache lines).
+const BK: usize = 32;
+
+/// A ready-to-run `Γα(n, r)` kernel: transform matrices in f32 with the
+/// §5.3 pairing plans, plus the block geometry.
+pub struct GammaKernel {
+    pub n: usize,
+    pub r: usize,
+    pub alpha: usize,
+    pub variant: Variant,
+    /// Input transform `Dᵀ` (α×α) with even/odd pairing.
+    dt: PairedTransform,
+    /// Output transform `Aᵀ` (n×α) with pairing (mostly singles).
+    at: PairedTransform,
+    /// Output-channel block size (`BN`).
+    pub bn: usize,
+    /// Width-tile block size (`BM`).
+    pub bm: usize,
+}
+
+/// Everything a kernel needs to know about the output row it is computing.
+///
+/// The job is expressed as a *row plan*: the list of input rows that
+/// contribute to this output row, each paired with the transformed-filter
+/// plane that multiplies it. For 2-D convolution the plan holds one entry
+/// per in-bounds `fh` (plane = `fh`); for the ND extension (§4.2) it holds
+/// one entry per in-bounds `(f_outer…, fh)` combination — Stage 2 of the
+/// algorithm is completely unchanged, exactly as the paper claims.
+pub struct RowJob<'a> {
+    /// The input image (any outer layout; rows are addressed by offset).
+    pub x: &'a [f32],
+    /// `(offset of the input row start within x, filter plane index)` for
+    /// every contributing row. Out-of-bounds rows are simply absent
+    /// (implicit zero padding along the outer axes).
+    pub rows: &'a [(usize, usize)],
+    /// Input row width (items) and channel count.
+    pub iw: usize,
+    pub ic: usize,
+    /// Horizontal padding.
+    pub pw: usize,
+    /// Output row geometry.
+    pub ow: usize,
+    pub oc: usize,
+}
+
+/// Reusable per-task scratch buffers (the CPU's "shared memory"). One
+/// `Scratch` per worker task; sized for the largest kernel in the plan.
+#[derive(Default)]
+pub struct Scratch {
+    /// Gathered input strip/tiles: `α` (or strip length) rows × BK channels.
+    gather: Vec<f32>,
+    /// Transformed input tile: `α × BK`.
+    tx: Vec<f32>,
+    /// Winograd-domain accumulators: `BM × α × BN`.
+    acc: Vec<f32>,
+    /// Output tile staging: `n × BN`.
+    ytile: Vec<f32>,
+}
+
+/// Process-wide kernel cache: generating the transform matrices runs exact
+/// rational arithmetic (expensive for α = 16), and convolutions inside a
+/// training loop would otherwise pay it on every call.
+pub fn cached_kernel(alpha: usize, n: usize, r: usize, variant: Variant) -> Arc<GammaKernel> {
+    static CACHE: OnceLock<Mutex<HashMap<(usize, usize, usize, Variant), Arc<GammaKernel>>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("kernel cache poisoned");
+    Arc::clone(
+        map.entry((alpha, n, r, variant))
+            .or_insert_with(|| Arc::new(GammaKernel::new(alpha, n, r, variant))),
+    )
+}
+
+impl GammaKernel {
+    /// Build the kernel for one [`crate::plan::GammaSpec`]-equivalent triple.
+    pub fn new(alpha: usize, n: usize, r: usize, variant: Variant) -> Self {
+        assert_eq!(alpha, n + r - 1);
+        let t = WinogradTransform::generate(n, r);
+        // Block geometry per §5.1: BN×BM = 64×64 (α=4), 64×32 (α=8),
+        // 32×32 (α=16); c64 doubles BN back to 64 (§5.6).
+        let (bn, bm) = match alpha {
+            4 => (64, 64),
+            8 => (64, 32),
+            16 => {
+                if variant == Variant::C64 {
+                    (64, 32)
+                } else {
+                    (32, 32)
+                }
+            }
+            _ => (32, 32),
+        };
+        GammaKernel { n, r, alpha, variant, dt: t.dt_paired(), at: t.at_paired(), bn, bm }
+    }
+
+    /// The `WinogradTransform` this kernel was generated from (for tests and
+    /// op counting).
+    pub fn transform(&self) -> WinogradTransform {
+        WinogradTransform::generate(self.n, self.r)
+    }
+
+    /// Compute the segment `[seg_start, seg_start + tiles·n)` of the row
+    /// described by `job`, writing into `out_row` (the full `OW×OC` row).
+    ///
+    /// `tw` must have been built with the same `F(n, r)` transform.
+    pub fn run_segment(
+        &self,
+        job: &RowJob<'_>,
+        tw: &TransformedFilter,
+        seg_start: usize,
+        tiles: usize,
+        out_row: &mut [f32],
+        scratch: &mut Scratch,
+    ) {
+        debug_assert_eq!(tw.alpha, self.alpha);
+        debug_assert_eq!(tw.ic, job.ic);
+        debug_assert_eq!(tw.oc, job.oc);
+        debug_assert_eq!(out_row.len(), job.ow * job.oc);
+        debug_assert!(seg_start + tiles * self.n <= job.ow);
+        let alpha = self.alpha;
+        let n = self.n;
+        let (bn, bm) = (self.bn, self.bm);
+
+        // Disjoint borrows of the scratch fields for the loops below.
+        let Scratch { gather, tx, acc: acc_buf, ytile } = scratch;
+        tx.resize(alpha * BK, 0.0);
+        acc_buf.resize(bm * alpha * bn, 0.0);
+        ytile.resize(n * bn, 0.0);
+
+        for oc0 in (0..job.oc).step_by(bn) {
+            let ocb = bn.min(job.oc - oc0);
+            for t0 in (0..tiles).step_by(bm) {
+                let tb = bm.min(tiles - t0);
+                let acc = &mut acc_buf[..tb * alpha * bn];
+                acc.fill(0.0);
+                for &(x_off, plane) in job.rows {
+                    let x_row = &job.x[x_off..x_off + job.iw * job.ic];
+                    for ic0 in (0..job.ic).step_by(BK) {
+                        let icb = BK.min(job.ic - ic0);
+                        let s = GatherTx { gather: &mut *gather, tx: &mut *tx };
+                        match self.variant {
+                            Variant::Ruse => self.block_ruse(
+                                job, tw, x_row, seg_start, t0, tb, plane, ic0, icb, oc0, ocb, acc, s,
+                            ),
+                            _ => self.block_standard(
+                                job, tw, x_row, seg_start, t0, tb, plane, ic0, icb, oc0, ocb, acc, s,
+                            ),
+                        }
+                    }
+                }
+                // Output transform: ytile(n×BN) = Aᵀ(n×α) · acc_t(α×BN).
+                for t in 0..tb {
+                    let acc_t = &acc_buf[t * alpha * bn..(t + 1) * alpha * bn];
+                    self.at.apply_f32_strided(acc_t, bn, ytile, bn, ocb);
+                    let ox0 = seg_start + (t0 + t) * n;
+                    for j in 0..n {
+                        let dst = &mut out_row[(ox0 + j) * job.oc + oc0..(ox0 + j) * job.oc + oc0 + ocb];
+                        dst.copy_from_slice(&ytile[j * bn..j * bn + ocb]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Disjoint mutable views of the gather/transform scratch, reborrowed per
+/// inner block.
+struct GatherTx<'a> {
+    gather: &'a mut Vec<f32>,
+    tx: &'a mut Vec<f32>,
+}
+
+impl GammaKernel {
+    /// Standard block: gather each tile's α positions, transform, FMA.
+    #[allow(clippy::too_many_arguments)]
+    fn block_standard(
+        &self,
+        job: &RowJob<'_>,
+        tw: &TransformedFilter,
+        x_row: &[f32],
+        seg_start: usize,
+        t0: usize,
+        tb: usize,
+        plane: usize,
+        ic0: usize,
+        icb: usize,
+        oc0: usize,
+        ocb: usize,
+        acc: &mut [f32],
+        s: GatherTx<'_>,
+    ) {
+        let alpha = self.alpha;
+        let bn = self.bn;
+        s.gather.resize(alpha * BK, 0.0);
+        for t in 0..tb {
+            let px0 = (seg_start + (t0 + t) * self.n) as isize - job.pw as isize;
+            gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, alpha, s.gather);
+            self.dt.apply_f32_strided(s.gather, BK, s.tx, BK, icb);
+            fma_tile(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+        }
+    }
+
+    /// Ruse block (§5.4): gather one strip covering all `tb` tiles once,
+    /// then transform each tile from its offset inside the strip. Adjacent
+    /// tiles overlap by `r − 1` positions, which are now loaded once.
+    #[allow(clippy::too_many_arguments)]
+    fn block_ruse(
+        &self,
+        job: &RowJob<'_>,
+        tw: &TransformedFilter,
+        x_row: &[f32],
+        seg_start: usize,
+        t0: usize,
+        tb: usize,
+        plane: usize,
+        ic0: usize,
+        icb: usize,
+        oc0: usize,
+        ocb: usize,
+        acc: &mut [f32],
+        s: GatherTx<'_>,
+    ) {
+        let alpha = self.alpha;
+        let bn = self.bn;
+        let strip_len = (tb - 1) * self.n + alpha;
+        s.gather.resize(strip_len * BK, 0.0);
+        let px0 = (seg_start + t0 * self.n) as isize - job.pw as isize;
+        gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, strip_len, s.gather);
+        for t in 0..tb {
+            let from = &s.gather[t * self.n * BK..];
+            self.dt.apply_f32_strided(from, BK, s.tx, BK, icb);
+            fma_tile(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+        }
+    }
+}
+
+/// Gather `count` consecutive width positions starting at (possibly
+/// negative) `px0` for channels `[ic0, ic0 + icb)` into `dst[count × BK]`.
+/// Out-of-range positions contribute zeros (implicit padding, §5).
+fn gather_positions(
+    x_row: &[f32],
+    iw: usize,
+    ic: usize,
+    ic0: usize,
+    icb: usize,
+    px0: isize,
+    count: usize,
+    dst: &mut [f32],
+) {
+    for k in 0..count {
+        let px = px0 + k as isize;
+        let d = &mut dst[k * BK..k * BK + icb];
+        if px >= 0 && (px as usize) < iw {
+            let base = px as usize * ic + ic0;
+            d.copy_from_slice(&x_row[base..base + icb]);
+        } else {
+            d.fill(0.0);
+        }
+    }
+}
+
+/// The element-wise multiply stage for one tile: for every state `s` and
+/// block channel `i`, FMA the transformed input scalar against the filter's
+/// contiguous `oc` row — the paper's outer-product unit, laid out so the
+/// inner loop vectorises along `oc`.
+#[allow(clippy::too_many_arguments)]
+fn fma_tile(
+    acc: &mut [f32],
+    t: usize,
+    alpha: usize,
+    bn: usize,
+    tx: &[f32],
+    icb: usize,
+    tw: &TransformedFilter,
+    plane: usize,
+    ic0: usize,
+    oc0: usize,
+    ocb: usize,
+) {
+    for s in 0..alpha {
+        let arow = &mut acc[(t * alpha + s) * bn..(t * alpha + s) * bn + ocb];
+        for i in 0..icb {
+            let v = tx[s * BK + i];
+            if v == 0.0 {
+                continue;
+            }
+            let wrow = &tw.row(plane, s, ic0 + i)[oc0..oc0 + ocb];
+            for (a, &w) in arow.iter_mut().zip(wrow) {
+                *a += v * w;
+            }
+        }
+    }
+}
+
+/// Direct (GEMM-style) computation of a row segment, used for the boundary
+/// remainder (§5.5) and as the in-crate fallback. `w_hwio` is the
+/// `planes×FW×IC×OC` filter from [`crate::filter::filter_hwio`] (planes =
+/// `FH` in 2-D, `FD·FH` in 3-D); the inner FMA runs along the contiguous
+/// `oc` axis. `fw` is the filter width.
+pub fn direct_row_segment(
+    job: &RowJob<'_>,
+    w_hwio: &[f32],
+    fw: usize,
+    seg_start: usize,
+    len: usize,
+    out_row: &mut [f32],
+) {
+    let (iw, ic, oc) = (job.iw, job.ic, job.oc);
+    for ox in seg_start..seg_start + len {
+        let out_px = &mut out_row[ox * oc..(ox + 1) * oc];
+        out_px.fill(0.0);
+        for &(x_off, plane) in job.rows {
+            let x_row = &job.x[x_off..x_off + iw * ic];
+            for fx in 0..fw {
+                let px = ox as isize + fx as isize - job.pw as isize;
+                if px < 0 || px >= iw as isize {
+                    continue;
+                }
+                let x_px = &x_row[px as usize * ic..(px as usize + 1) * ic];
+                let w_base = (plane * fw + fx) * ic * oc;
+                for (i, &xv) in x_px.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let wrow = &w_hwio[w_base + i * oc..w_base + (i + 1) * oc];
+                    for (a, &w) in out_px.iter_mut().zip(wrow) {
+                        *a += xv * w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_block_geometry_follows_paper() {
+        assert_eq!({ let k = GammaKernel::new(4, 3, 2, Variant::Standard); (k.bn, k.bm) }, (64, 64));
+        assert_eq!({ let k = GammaKernel::new(8, 6, 3, Variant::Standard); (k.bn, k.bm) }, (64, 32));
+        assert_eq!({ let k = GammaKernel::new(16, 8, 9, Variant::Standard); (k.bn, k.bm) }, (32, 32));
+        assert_eq!({ let k = GammaKernel::new(16, 8, 9, Variant::C64); (k.bn, k.bm) }, (64, 32));
+    }
+
+    #[test]
+    fn gather_handles_padding_on_both_sides() {
+        // x row: 3 positions × 2 channels = [10,11, 20,21, 30,31]
+        let x_row = [10.0f32, 11.0, 20.0, 21.0, 30.0, 31.0];
+        let mut dst = vec![9.0f32; 5 * BK];
+        gather_positions(&x_row, 3, 2, 0, 2, -1, 5, &mut dst);
+        // px = -1 → zeros; px = 0,1,2 → data; px = 3 → zeros.
+        assert_eq!(&dst[0..2], &[0.0, 0.0]);
+        assert_eq!(&dst[BK..BK + 2], &[10.0, 11.0]);
+        assert_eq!(&dst[2 * BK..2 * BK + 2], &[20.0, 21.0]);
+        assert_eq!(&dst[3 * BK..3 * BK + 2], &[30.0, 31.0]);
+        assert_eq!(&dst[4 * BK..4 * BK + 2], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_channel_offset() {
+        // 1 position × 4 channels; take channels 2..4.
+        let x_row = [1.0f32, 2.0, 3.0, 4.0];
+        let mut dst = vec![0.0f32; BK];
+        gather_positions(&x_row, 1, 4, 2, 2, 0, 1, &mut dst);
+        assert_eq!(&dst[0..2], &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The ND extension (§4.2): 3-D Im2col-Winograd convolution.
+//!
+//! "Im2col-Winograd can be applied to ND convolution, by expanding Stage1
+//! Im2col to ND, while remaining Stage2 unchanged." Concretely: a 3-D
+//! convolution decomposes into `FD × FH` 1-D convolutions along the width
+//! axis, and the element-wise products accumulate in the Winograd domain
+//! over `(fd, fh, ic)` before the single per-tile output transform. The
+//! same [`crate::kernel::GammaKernel`] executes Stage 2 — the only new code
+//! is the row plan (ND im2col index mapping) and the 3-D filter transform.
+//!
+//! 2-D Winograd cannot scale here at all: `F(n×n×n, r×r×r)` would need `α³`
+//! states (4096 for α = 16).
+
+use crate::filter::{filter_hwio3d, TransformedFilter};
+use crate::kernel::{cached_kernel, direct_row_segment, GammaKernel, RowJob, Scratch};
+use std::sync::Arc;
+use crate::plan::{KernelChoice, SegmentPlan};
+use crate::ConvOptions;
+use iwino_parallel as par;
+use iwino_tensor::{Conv3dShape, Tensor5};
+use std::cell::RefCell;
+
+/// Unit-stride 3-D convolution: `x` is `N×ID×IH×IW×IC` NDHWC, `w` is
+/// `OC×FD×FH×FW×IC`; returns `N×OD×OH×OW×OC`.
+pub fn conv3d(x: &Tensor5<f32>, w: &Tensor5<f32>, shape: &Conv3dShape) -> Tensor5<f32> {
+    conv3d_opts(x, w, shape, &ConvOptions::default())
+}
+
+/// [`conv3d`] with explicit kernel-selection options.
+pub fn conv3d_opts(x: &Tensor5<f32>, w: &Tensor5<f32>, shape: &Conv3dShape, opts: &ConvOptions) -> Tensor5<f32> {
+    let s = *shape;
+    assert_eq!(x.dims(), s.x_dims(), "input dims mismatch");
+    assert_eq!(w.dims(), s.w_dims(), "filter dims mismatch");
+    let (od, oh, ow) = (s.od(), s.oh(), s.ow());
+
+    let plan = plan_for_3d(opts, ow, s.fw, s.oc);
+    let mut kernels: Vec<(crate::plan::GammaSpec, Arc<GammaKernel>, TransformedFilter)> = Vec::new();
+    for spec in plan.gamma_specs() {
+        let kernel = cached_kernel(spec.alpha, spec.n, spec.r, spec.variant);
+        let t = kernel.transform();
+        let tw = TransformedFilter::forward3d(w, &t);
+        kernels.push((spec, kernel, tw));
+    }
+    let needs_direct = plan.segments.iter().any(|g| g.kernel == KernelChoice::Gemm);
+    let w_direct = needs_direct.then(|| filter_hwio3d(w));
+
+    let mut y = Tensor5::<f32>::zeros(s.y_dims());
+    let xs = x.as_slice();
+    let row_elems = ow * s.oc;
+    let vol_elems = s.id * s.ih * s.iw * s.ic;
+
+    thread_local! {
+        static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    }
+
+    let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
+    par::parallel_for(s.n * od * oh, &|row| {
+        let out_row = parts.take(row);
+        let b = row / (od * oh);
+        let oz = (row / oh) % od;
+        let oy = row % oh;
+        // ND row plan: one entry per in-bounds (fd, fh), plane = fd·FH + fh.
+        let mut rows: Vec<(usize, usize)> = Vec::with_capacity(s.fd * s.fh);
+        for fd in 0..s.fd {
+            let iz = oz as isize + fd as isize - s.pd as isize;
+            if iz < 0 || iz >= s.id as isize {
+                continue;
+            }
+            for fh in 0..s.fh {
+                let iy = oy as isize + fh as isize - s.ph as isize;
+                if iy < 0 || iy >= s.ih as isize {
+                    continue;
+                }
+                let offset = (iz as usize * s.ih + iy as usize) * s.iw * s.ic;
+                rows.push((offset, fd * s.fh + fh));
+            }
+        }
+        let job = RowJob {
+            x: &xs[b * vol_elems..(b + 1) * vol_elems],
+            rows: &rows,
+            iw: s.iw,
+            ic: s.ic,
+            pw: s.pw,
+            ow,
+            oc: s.oc,
+        };
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            for seg in &plan.segments {
+                match seg.kernel {
+                    KernelChoice::Gamma(spec) => {
+                        let (_, kernel, tw) = kernels
+                            .iter()
+                            .find(|(ks, _, _)| *ks == spec)
+                            .expect("planned kernel was built");
+                        kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut scratch);
+                    }
+                    KernelChoice::Gemm => {
+                        let wd = w_direct.as_ref().expect("direct filter was built");
+                        direct_row_segment(&job, wd, s.fw, seg.start, seg.len, out_row);
+                    }
+                }
+            }
+        });
+    });
+    y
+}
+
+fn plan_for_3d(opts: &ConvOptions, ow: usize, r: usize, oc: usize) -> SegmentPlan {
+    use crate::kernel::Variant;
+    let mut prefs = match &opts.force_kernels {
+        Some(k) => k.clone(),
+        None => crate::plan::default_kernel_prefs(r, opts.prefer_alpha16 || r >= 8),
+    };
+    if opts.allow_c64 && oc % 64 == 0 {
+        for p in &mut prefs {
+            if p.alpha == 16 && p.variant == Variant::Standard {
+                p.variant = Variant::C64;
+            }
+        }
+    }
+    SegmentPlan::build(ow, &prefs)
+}
+
+/// Direct 3-D convolution reference (f64 accumulators over f32 inputs).
+pub fn direct_conv3d_f64(x: &Tensor5<f32>, w: &Tensor5<f32>, s: &Conv3dShape) -> Tensor5<f64> {
+    let (od, oh, ow) = (s.od(), s.oh(), s.ow());
+    let mut y = Tensor5::<f64>::zeros(s.y_dims());
+    for b in 0..s.n {
+        for oz in 0..od {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for o in 0..s.oc {
+                        let mut acc = 0.0f64;
+                        for fd in 0..s.fd {
+                            let iz = oz as isize + fd as isize - s.pd as isize;
+                            if iz < 0 || iz >= s.id as isize {
+                                continue;
+                            }
+                            for fh in 0..s.fh {
+                                let iy = oy as isize + fh as isize - s.ph as isize;
+                                if iy < 0 || iy >= s.ih as isize {
+                                    continue;
+                                }
+                                for fx in 0..s.fw {
+                                    let ix = ox as isize + fx as isize - s.pw as isize;
+                                    if ix < 0 || ix >= s.iw as isize {
+                                        continue;
+                                    }
+                                    for i in 0..s.ic {
+                                        acc += x.at(b, iz as usize, iy as usize, ix as usize, i) as f64
+                                            * w.at(o, fd, fh, fx, i) as f64;
+                                    }
+                                }
+                            }
+                        }
+                        *y.at_mut(b, oz, oy, ox, o) = acc;
+                    }
+                }
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::GammaSpec;
+    use crate::Variant;
+
+    fn max_err(got: &Tensor5<f32>, want: &Tensor5<f64>) -> f64 {
+        got.as_slice()
+            .iter()
+            .zip(want.as_slice())
+            .map(|(&g, &w)| ((g as f64) - w).abs() / (w.abs() + 1.0))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn conv3d_matches_direct_r3() {
+        let s = Conv3dShape::cube(1, 8, 3, 4, 3);
+        let x = Tensor5::<f32>::random(s.x_dims(), 1, -1.0, 1.0);
+        let w = Tensor5::<f32>::random(s.w_dims(), 2, -1.0, 1.0);
+        let got = conv3d(&x, &w, &s);
+        let want = direct_conv3d_f64(&x, &w, &s);
+        let e = max_err(&got, &want);
+        assert!(e < 5e-4, "{e}");
+        assert_eq!(got.dims(), s.y_dims());
+    }
+
+    #[test]
+    fn conv3d_matches_direct_varied_widths() {
+        for r in [2usize, 4, 5] {
+            let s = Conv3dShape::cube(1, 7, 2, 3, r);
+            let x = Tensor5::<f32>::random(s.x_dims(), 10 + r as u64, -1.0, 1.0);
+            let w = Tensor5::<f32>::random(s.w_dims(), 20 + r as u64, -1.0, 1.0);
+            let got = conv3d(&x, &w, &s);
+            let want = direct_conv3d_f64(&x, &w, &s);
+            let e = max_err(&got, &want);
+            assert!(e < 5e-4, "r = {r}: {e}");
+        }
+    }
+
+    #[test]
+    fn conv3d_anisotropic_filter() {
+        // FD ≠ FH ≠ FW: only the width is constrained by the 1-D Winograd.
+        let s = Conv3dShape {
+            n: 1,
+            id: 6,
+            ih: 7,
+            iw: 11,
+            ic: 2,
+            oc: 3,
+            fd: 2,
+            fh: 4,
+            fw: 3,
+            pd: 0,
+            ph: 2,
+            pw: 1,
+        };
+        let x = Tensor5::<f32>::random(s.x_dims(), 31, -1.0, 1.0);
+        let w = Tensor5::<f32>::random(s.w_dims(), 32, -1.0, 1.0);
+        let got = conv3d(&x, &w, &s);
+        let want = direct_conv3d_f64(&x, &w, &s);
+        let e = max_err(&got, &want);
+        assert!(e < 5e-4, "{e}");
+    }
+
+    #[test]
+    fn conv3d_forced_kernel_with_boundary() {
+        let spec = GammaSpec::new(8, 6, 3, Variant::Standard);
+        let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+        // OW = 13: Γ8(6,3) ×2 tiles + remainder.
+        let s = Conv3dShape { iw: 13, ..Conv3dShape::cube(1, 8, 2, 2, 3) };
+        let x = Tensor5::<f32>::random(s.x_dims(), 41, -1.0, 1.0);
+        let w = Tensor5::<f32>::random(s.w_dims(), 42, -1.0, 1.0);
+        let got = conv3d_opts(&x, &w, &s, &opts);
+        let want = direct_conv3d_f64(&x, &w, &s);
+        let e = max_err(&got, &want);
+        assert!(e < 5e-4, "{e}");
+    }
+
+    #[test]
+    fn conv3d_ruse_variant() {
+        let spec = GammaSpec::new(8, 4, 5, Variant::Ruse);
+        let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+        let s = Conv3dShape::cube(1, 8, 3, 3, 5);
+        let x = Tensor5::<f32>::random(s.x_dims(), 51, -1.0, 1.0);
+        let w = Tensor5::<f32>::random(s.w_dims(), 52, -1.0, 1.0);
+        let got = conv3d_opts(&x, &w, &s, &opts);
+        let want = direct_conv3d_f64(&x, &w, &s);
+        let e = max_err(&got, &want);
+        assert!(e < 1e-3, "{e}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Device specifications for the two GPUs in the paper's evaluation.
+
+/// The subset of GPU parameters the cost model consumes. Values are the
+/// public specifications of the retail boards (boost clocks).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// FP32 FMA lanes per SM (CUDA cores).
+    pub fma_per_sm: usize,
+    /// Boost clock in Hz.
+    pub clock_hz: f64,
+    /// Global memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// L2 / on-chip bandwidth, bytes/s (serves the tile-load stream the
+    /// §5.6 intensity counts; Ada's 72 MB L2 is both larger and much
+    /// faster than Ampere's).
+    pub l2_bw: f64,
+    /// L2 cache size, bytes.
+    pub l2_bytes: usize,
+    /// Max shared memory per block (the 49152-byte limit §4.1 designs for).
+    pub smem_per_block: usize,
+    /// Shared memory per SM available for occupancy.
+    pub smem_per_sm: usize,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: usize,
+    /// Max resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Max resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Fraction of peak FP32 a hand-tuned C++ (no PTX/SASS) kernel sustains;
+    /// the paper notes its implementations trade peak efficiency for
+    /// portability (§4.1).
+    pub achievable_fp32: f64,
+    /// Kernel launch + tail latency charged per kernel, seconds.
+    pub launch_overhead: f64,
+}
+
+impl DeviceSpec {
+    /// Peak FP32 throughput in FLOP/s (2 ops per FMA).
+    pub fn peak_flops(&self) -> f64 {
+        2.0 * (self.sms * self.fma_per_sm) as f64 * self.clock_hz
+    }
+
+    /// RTX 3060 Ti (Ampere GA104: 38 SMs × 128 cores, 1.665 GHz boost,
+    /// 448 GB/s GDDR6, 4 MB L2).
+    pub fn rtx3060ti() -> Self {
+        DeviceSpec {
+            name: "RTX 3060 Ti",
+            sms: 38,
+            fma_per_sm: 128,
+            clock_hz: 1.665e9,
+            mem_bw: 448.0e9,
+            l2_bw: 2.0e12,
+            l2_bytes: 4 << 20,
+            smem_per_block: 49152,
+            smem_per_sm: 100 << 10,
+            regs_per_sm: 65536,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 16,
+            achievable_fp32: 0.55,
+            launch_overhead: 4.0e-6,
+        }
+    }
+
+    /// RTX 4090 (Ada AD102: 128 SMs × 128 cores, 2.52 GHz boost,
+    /// 1008 GB/s GDDR6X, 72 MB L2).
+    pub fn rtx4090() -> Self {
+        DeviceSpec {
+            name: "RTX 4090",
+            sms: 128,
+            fma_per_sm: 128,
+            clock_hz: 2.52e9,
+            mem_bw: 1008.0e9,
+            l2_bw: 8.0e12,
+            l2_bytes: 72 << 20,
+            smem_per_block: 49152,
+            smem_per_sm: 100 << 10,
+            regs_per_sm: 65536,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 24,
+            achievable_fp32: 0.55,
+            launch_overhead: 4.0e-6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_match_public_specs() {
+        // 3060 Ti ≈ 16.2 TFLOPS FP32; 4090 ≈ 82.6 TFLOPS.
+        let a = DeviceSpec::rtx3060ti().peak_flops() / 1e12;
+        assert!((a - 16.2).abs() < 0.3, "{a}");
+        let b = DeviceSpec::rtx4090().peak_flops() / 1e12;
+        assert!((b - 82.6).abs() < 1.0, "{b}");
+    }
+
+    #[test]
+    fn the_4090_is_strictly_bigger() {
+        let a = DeviceSpec::rtx3060ti();
+        let b = DeviceSpec::rtx4090();
+        assert!(b.peak_flops() > a.peak_flops());
+        assert!(b.mem_bw > a.mem_bw);
+        assert!(b.l2_bw > a.l2_bw);
+        assert!(b.l2_bytes > a.l2_bytes);
+        // But the per-block SMEM budget — the constraint that bounds α — is
+        // the same 48 KiB on both (§4.1's design point).
+        assert_eq!(a.smem_per_block, b.smem_per_block);
+    }
+}

@@ -1,0 +1,177 @@
+//! SM occupancy calculation.
+//!
+//! §3 of the paper frames the whole design space as a fight for SMEM and
+//! registers: "the outer-product scale and the state-count αᴺ of ND
+//! Winograd are mutually constrained". This module computes how many blocks
+//! of a kernel fit on one SM and the resulting warp occupancy — the
+//! quantity that decides whether a kernel can hide memory latency.
+
+use crate::device::DeviceSpec;
+
+/// Per-block resource demands of a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockResources {
+    pub threads: usize,
+    /// 32-bit registers per thread.
+    pub regs_per_thread: usize,
+    /// Shared memory per block, bytes.
+    pub smem_bytes: usize,
+}
+
+impl BlockResources {
+    /// Resources of a `Γα(n,r)` block per §5.1 / Algorithms 1–2:
+    /// 16×16 threads (16×8 for `ruse` — "the thread number per block
+    /// reduces ... with each thread using twice as many registers"),
+    /// `4α(BN+BM)·BK` bytes of SMEM (doubled for the α ∈ {4, 8} double
+    /// buffer), 64 accumulators per thread plus tile/index registers.
+    pub fn gamma(alpha: usize, bn: usize, bm: usize, ruse: bool) -> Self {
+        let bk = 8;
+        let double_buffer = alpha <= 8;
+        let smem = 4 * alpha * (bn + bm) * bk * if double_buffer { 2 } else { 1 };
+        let (threads, regs) = if ruse {
+            (16 * 8, 2 * (64 + alpha + 24))
+        } else {
+            (16 * 16, 64 + alpha + 24)
+        };
+        BlockResources { threads, regs_per_thread: regs, smem_bytes: smem }
+    }
+
+    /// A 2-D Winograd `F(m×m, r×r)` fused block: α² states must live in
+    /// SMEM, which is what restricts those kernels to small filters (§2).
+    pub fn winograd2d(alpha: usize, bn: usize, bm_tiles: usize) -> Self {
+        let bk = 8;
+        let smem = 4 * alpha * alpha * (bn + bm_tiles) * bk / 2;
+        BlockResources { threads: 256, regs_per_thread: 96, smem_bytes: smem }
+    }
+
+    /// An implicit-GEMM block (64×64×8 tile, double-buffered).
+    pub fn gemm() -> Self {
+        BlockResources { threads: 256, regs_per_thread: 96, smem_bytes: 2 * 4 * (64 + 64) * 8 }
+    }
+}
+
+/// Occupancy outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Concurrent blocks per SM (0 means the kernel cannot launch).
+    pub blocks_per_sm: usize,
+    /// Resident warps / max warps.
+    pub warp_occupancy: f64,
+    /// Which resource bound (diagnostic).
+    pub limiter: Limiter,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    Smem,
+    Registers,
+    Threads,
+    BlockSlots,
+    DoesNotFit,
+}
+
+/// Compute occupancy of `block` on `dev`.
+pub fn occupancy(dev: &DeviceSpec, block: &BlockResources) -> Occupancy {
+    if block.smem_bytes > dev.smem_per_block {
+        return Occupancy { blocks_per_sm: 0, warp_occupancy: 0.0, limiter: Limiter::DoesNotFit };
+    }
+    let by_smem = if block.smem_bytes == 0 { usize::MAX } else { dev.smem_per_sm / block.smem_bytes };
+    let regs_per_block = block.regs_per_thread * block.threads;
+    let by_regs = if regs_per_block == 0 { usize::MAX } else { dev.regs_per_sm / regs_per_block };
+    let by_threads = dev.max_threads_per_sm / block.threads;
+    let by_slots = dev.max_blocks_per_sm;
+    let blocks = by_smem.min(by_regs).min(by_threads).min(by_slots);
+    let limiter = if blocks == by_smem && by_smem <= by_regs && by_smem <= by_threads && by_smem <= by_slots {
+        Limiter::Smem
+    } else if blocks == by_regs && by_regs <= by_threads && by_regs <= by_slots {
+        Limiter::Registers
+    } else if blocks == by_threads && by_threads <= by_slots {
+        Limiter::Threads
+    } else {
+        Limiter::BlockSlots
+    };
+    let warps = blocks * block.threads / 32;
+    let max_warps = dev.max_threads_per_sm / 32;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warp_occupancy: warps as f64 / max_warps as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_smem_sizes_match_section_5_1() {
+        // §5.1: a block needs 4α(BN+BM)·BK bytes; "When α is 4 or 8, the
+        // required SMEM ≤ 1/2 of the max SMEM (24576 bytes), so the
+        // double-buffered SMEM is constructed."
+        let g8 = BlockResources::gamma(8, 64, 32, false);
+        assert_eq!(g8.smem_bytes, 2 * 4 * 8 * (64 + 32) * 8); // 49152 with buffer
+        assert!(4 * 8 * (64 + 32) * 8 <= 24576);
+        let g16 = BlockResources::gamma(16, 32, 32, false);
+        assert_eq!(g16.smem_bytes, 4 * 16 * (32 + 32) * 8); // 32768, single buffer
+        let g4 = BlockResources::gamma(4, 64, 64, false);
+        assert!(4 * 4 * (64 + 64) * 8 <= 24576);
+        assert_eq!(g4.smem_bytes, 2 * 4 * 4 * (64 + 64) * 8);
+    }
+
+    #[test]
+    fn c64_still_fits_the_block_budget() {
+        // §5.6: "Γ16(n,r) still has 16384 bytes SMEM available", so c64's
+        // 64×32 block must fit 49152.
+        let c64 = BlockResources::gamma(16, 64, 32, false);
+        assert_eq!(c64.smem_bytes, 4 * 16 * (64 + 32) * 8);
+        assert!(c64.smem_bytes <= 49152);
+        let occ = occupancy(&DeviceSpec::rtx3060ti(), &c64);
+        assert!(occ.blocks_per_sm >= 1);
+    }
+
+    #[test]
+    fn all_gamma_kernels_launch_on_both_devices() {
+        for dev in [DeviceSpec::rtx3060ti(), DeviceSpec::rtx4090()] {
+            for (alpha, bn, bm) in [(4, 64, 64), (8, 64, 32), (16, 32, 32), (16, 64, 32)] {
+                for ruse in [false, true] {
+                    let occ = occupancy(&dev, &BlockResources::gamma(alpha, bn, bm, ruse));
+                    assert!(occ.blocks_per_sm >= 1, "α={alpha} ruse={ruse} on {}", dev.name);
+                    assert!(occ.warp_occupancy > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_2d_winograd_cannot_launch() {
+        // F(8×8, 9×9): α = 16 per axis ⟹ α² = 256 states. Hopelessly over
+        // the 48 KiB block budget — the §4.2 flexibility argument.
+        let blk = BlockResources::winograd2d(16, 32, 32);
+        let occ = occupancy(&DeviceSpec::rtx4090(), &blk);
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limiter, Limiter::DoesNotFit);
+    }
+
+    #[test]
+    fn f2x2_3x3_2d_winograd_launches() {
+        // α = 4 per axis: the classic fused kernel fits.
+        let blk = BlockResources::winograd2d(4, 32, 32);
+        let occ = occupancy(&DeviceSpec::rtx3060ti(), &blk);
+        assert!(occ.blocks_per_sm >= 1);
+    }
+
+    #[test]
+    fn ruse_lowers_parallelism() {
+        // §5.4: "the number of active threads decreases".
+        let dev = DeviceSpec::rtx3060ti();
+        let std = occupancy(&dev, &BlockResources::gamma(8, 64, 32, false));
+        let ruse = occupancy(&dev, &BlockResources::gamma(8, 64, 32, true));
+        assert!(ruse.warp_occupancy <= std.warp_occupancy);
+    }
+
+    #[test]
+    fn gemm_block_occupancy_is_high() {
+        let occ = occupancy(&DeviceSpec::rtx4090(), &BlockResources::gemm());
+        assert!(occ.warp_occupancy >= 0.3, "{occ:?}");
+    }
+}

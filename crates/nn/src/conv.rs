@@ -1,0 +1,316 @@
+//! The convolution layer with selectable backend.
+//!
+//! * [`Backend::ImcolWinograd`] — unit-stride convolutions run the paper's
+//!   algorithm (`iwino_core::conv2d`); the backward-data pass runs the
+//!   fused-rotation deconvolution (`iwino_core::deconv2d`); non-unit-stride
+//!   convolutions fall back to GEMM exactly as §5.7 describes
+//!   ("Im2col-Winograd is employed for unit-stride convolution and
+//!   deconvolution, while other algorithms handle the non-unit-stride
+//!   cases").
+//! * [`Backend::Gemm`] — every pass goes through im2col+GEMM / direct
+//!   paths: the "PyTorch" control arm of Experiment 3.
+//!
+//! The backward-filter pass is `iwino_core::filter_grad` for both backends
+//! (the paper does not Winograd this pass either).
+
+use crate::init::kaiming_uniform;
+use crate::layer::{Layer, Param};
+use iwino_baselines::{im2col_conv_nhwc, Im2colPlan};
+use iwino_parallel as par;
+use iwino_tensor::{ConvShape, Tensor4};
+
+/// Which convolution engine drives the layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The paper's algorithm ("Alpha" arm).
+    ImcolWinograd,
+    /// im2col + GEMM everywhere ("PyTorch" arm).
+    Gemm,
+}
+
+/// 2-D convolution layer, NHWC activations, `OC×FH×FW×IC` weights.
+pub struct Conv2d {
+    pub ic: usize,
+    pub oc: usize,
+    pub fh: usize,
+    pub fw: usize,
+    pub stride: usize,
+    pub pad: usize,
+    pub backend: Backend,
+    weight: Param,
+    bias: Option<Param>,
+    cached_x: Option<Tensor4<f32>>,
+    cached_shape: Option<ConvShape>,
+}
+
+impl Conv2d {
+    /// Kaiming-uniform initialised convolution (§6.3.1).
+    pub fn new(ic: usize, oc: usize, f: usize, stride: usize, pad: usize, bias: bool, backend: Backend, seed: u64) -> Self {
+        let fan_in = ic * f * f;
+        let weight = Param::new(kaiming_uniform(oc * f * f * ic, fan_in, seed));
+        let bias = bias.then(|| Param::new(vec![0.0; oc]));
+        Conv2d {
+            ic,
+            oc,
+            fh: f,
+            fw: f,
+            stride,
+            pad,
+            backend,
+            weight,
+            bias,
+            cached_x: None,
+            cached_shape: None,
+        }
+    }
+
+    fn shape_for(&self, x: &Tensor4<f32>) -> ConvShape {
+        let [n, ih, iw, ic] = x.dims();
+        assert_eq!(ic, self.ic, "channel mismatch in {}", self.name());
+        ConvShape {
+            n,
+            ih,
+            iw,
+            ic,
+            oc: self.oc,
+            fh: self.fh,
+            fw: self.fw,
+            ph: self.pad,
+            pw: self.pad,
+            sh: self.stride,
+            sw: self.stride,
+        }
+    }
+
+    fn weight_tensor(&self) -> Tensor4<f32> {
+        Tensor4::from_vec([self.oc, self.fh, self.fw, self.ic], self.weight.value.clone())
+    }
+
+    /// Whether this layer's forward runs the Winograd kernels.
+    pub fn uses_winograd(&self) -> bool {
+        self.backend == Backend::ImcolWinograd && self.stride == 1
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        let s = self.shape_for(x);
+        let w = self.weight_tensor();
+        let mut y = if self.uses_winograd() {
+            // Bias is fused into the Winograd row pass (cache-hot epilogue).
+            let epilogue = match &self.bias {
+                Some(b) => iwino_core::Epilogue::Bias(b.value.clone()),
+                None => iwino_core::Epilogue::None,
+            };
+            iwino_core::conv2d_fused(x, &w, &s, &iwino_core::ConvOptions::default(), &epilogue)
+        } else {
+            let plan = Im2colPlan::new(&s);
+            im2col_conv_nhwc(x, &w, &plan)
+        };
+        if !self.uses_winograd() {
+            if let Some(b) = &self.bias {
+                let oc = self.oc;
+                let bs = &b.value;
+                for px in y.as_mut_slice().chunks_exact_mut(oc) {
+                    for (v, &bv) in px.iter_mut().zip(bs) {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cached_x = Some(x.clone());
+            self.cached_shape = Some(s);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let x = self.cached_x.take().expect("backward without forward");
+        let s = self.cached_shape.take().unwrap();
+        let w = self.weight_tensor();
+        // dW (shared by both backends; §6.3.2's "computing filter gradients").
+        let dw = iwino_core::filter_grad(&x, dy, &s);
+        self.weight.grad.iter_mut().zip(dw.as_slice()).for_each(|(g, &v)| *g += v);
+        if let Some(b) = &mut self.bias {
+            let oc = self.oc;
+            for px in dy.as_slice().chunks_exact(oc) {
+                for (g, &v) in b.grad.iter_mut().zip(px) {
+                    *g += v;
+                }
+            }
+        }
+        // dX.
+        if self.uses_winograd() {
+            iwino_core::deconv2d(dy, &w, &s)
+        } else {
+            backward_data_direct(dy, &w, &s)
+        }
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut out = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            out.push(b);
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv2d({}→{}, {}×{}, s{}, p{}, {:?})",
+            self.ic, self.oc, self.fh, self.fw, self.stride, self.pad, self.backend
+        )
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cached_x.as_ref().map_or(0, |t| t.len() * 4)
+    }
+}
+
+/// Direct backward-data for arbitrary stride: scatter-free gather form —
+/// `dx[b, iy, ix, ic] = Σ_{oc, fh, fw} dy[b, oy, ox, oc] · w[oc, fh, fw, ic]`
+/// over the `(oy, ox)` that map onto `(iy, ix)`.
+pub fn backward_data_direct(dy: &Tensor4<f32>, w: &Tensor4<f32>, s: &ConvShape) -> Tensor4<f32> {
+    let (oh, ow) = (s.oh(), s.ow());
+    let mut dx = Tensor4::<f32>::zeros(s.x_dims());
+    let dys = dy.as_slice();
+    let ws = w.as_slice();
+    let row_elems = s.iw * s.ic;
+    let parts = par::SliceParts::new(dx.as_mut_slice(), row_elems);
+    par::parallel_for(s.n * s.ih, &|row| {
+        let out = parts.take(row);
+        let b = row / s.ih;
+        let iy = row % s.ih;
+        let dy_img = &dys[b * oh * ow * s.oc..(b + 1) * oh * ow * s.oc];
+        for fh in 0..s.fh {
+            // iy = oy·sh + fh − ph  ⟹  oy = (iy + ph − fh) / sh.
+            let num = iy as isize + s.ph as isize - fh as isize;
+            if num < 0 || (num as usize) % s.sh != 0 {
+                continue;
+            }
+            let oy = num as usize / s.sh;
+            if oy >= oh {
+                continue;
+            }
+            let dy_row = &dy_img[oy * ow * s.oc..(oy + 1) * ow * s.oc];
+            for ix in 0..s.iw {
+                let dst = &mut out[ix * s.ic..(ix + 1) * s.ic];
+                for fw in 0..s.fw {
+                    let num = ix as isize + s.pw as isize - fw as isize;
+                    if num < 0 || (num as usize) % s.sw != 0 {
+                        continue;
+                    }
+                    let ox = num as usize / s.sw;
+                    if ox >= ow {
+                        continue;
+                    }
+                    let dy_px = &dy_row[ox * s.oc..(ox + 1) * s.oc];
+                    for (o, &g) in dy_px.iter().enumerate() {
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let wrow = &ws[((o * s.fh + fh) * s.fw + fw) * s.ic..((o * s.fh + fh) * s.fw + fw + 1) * s.ic];
+                        for (d, &wv) in dst.iter_mut().zip(wrow) {
+                            *d += g * wv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iwino_tensor::max_mixed_error;
+
+    #[test]
+    fn both_backends_agree_on_forward() {
+        let mut a = Conv2d::new(3, 8, 3, 1, 1, true, Backend::ImcolWinograd, 7);
+        let mut b = Conv2d::new(3, 8, 3, 1, 1, true, Backend::Gemm, 7);
+        // Same seed ⟹ identical weights.
+        assert_eq!(a.weight.value, b.weight.value);
+        let x = Tensor4::<f32>::random([2, 12, 12, 3], 9, -1.0, 1.0);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        let e = max_mixed_error(&ya, &yb);
+        assert!(e < 1e-4, "{e}");
+    }
+
+    #[test]
+    fn strided_conv_falls_back_to_gemm() {
+        let c = Conv2d::new(4, 8, 3, 2, 1, false, Backend::ImcolWinograd, 1);
+        assert!(!c.uses_winograd());
+        let c = Conv2d::new(4, 8, 3, 1, 1, false, Backend::ImcolWinograd, 1);
+        assert!(c.uses_winograd());
+    }
+
+    #[test]
+    fn backward_data_direct_is_adjoint() {
+        for stride in [1usize, 2] {
+            let s = ConvShape { sh: stride, sw: stride, ..ConvShape::square(1, 8, 3, 4, 3) };
+            let x = Tensor4::<f32>::random(s.x_dims(), 20, -1.0, 1.0);
+            let w = Tensor4::<f32>::random(s.w_dims(), 21, -1.0, 1.0);
+            let dy = Tensor4::<f32>::random(s.y_dims(), 22, -1.0, 1.0);
+            let y = iwino_baselines::direct_conv(&x, &w, &s);
+            let dx = backward_data_direct(&dy, &w, &s);
+            let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+            let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+            assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "stride {stride}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut layer = Conv2d::new(2, 3, 3, 1, 1, true, Backend::Gemm, 30);
+        let x = Tensor4::<f32>::random([1, 5, 5, 2], 31, -1.0, 1.0);
+        let y = layer.forward(&x, true);
+        // L = Σ y² / 2 ⟹ dy = y.
+        let _ = layer.backward(&y);
+        let eps = 1e-2f32;
+        let idx = 7usize;
+        let analytic = layer.weight.grad[idx] as f64;
+        let orig = layer.weight.value[idx];
+        layer.weight.value[idx] = orig + eps;
+        let lp: f64 = layer.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        layer.weight.value[idx] = orig - eps;
+        let lm: f64 = layer.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        layer.weight.value[idx] = orig;
+        let fd = (lp - lm) / (2.0 * eps as f64);
+        assert!((fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0), "fd {fd} vs {analytic}");
+    }
+
+    #[test]
+    fn winograd_and_gemm_backends_agree_on_gradients() {
+        let x = Tensor4::<f32>::random([1, 8, 8, 4], 40, -1.0, 1.0);
+        let mut grads = Vec::new();
+        for backend in [Backend::ImcolWinograd, Backend::Gemm] {
+            let mut layer = Conv2d::new(4, 6, 3, 1, 1, false, backend, 41);
+            let y = layer.forward(&x, true);
+            let dx = layer.backward(&y);
+            grads.push((layer.weight.grad.clone(), dx));
+        }
+        let (gw, gx) = (&grads[0], &grads[1]);
+        for (a, b) in gw.0.iter().zip(&gx.0) {
+            assert!((a - b).abs() < 1e-3 * b.abs().max(1.0));
+        }
+        let e = max_mixed_error(&gw.1, &gx.1);
+        assert!(e < 1e-3, "{e}");
+    }
+
+    #[test]
+    fn bias_gradient_sums_dy() {
+        let mut layer = Conv2d::new(1, 2, 3, 1, 1, true, Backend::Gemm, 50);
+        let x = Tensor4::<f32>::random([1, 4, 4, 1], 51, -1.0, 1.0);
+        let _ = layer.forward(&x, true);
+        let mut dy = Tensor4::<f32>::zeros([1, 4, 4, 2]);
+        dy.as_mut_slice().iter_mut().step_by(2).for_each(|v| *v = 1.0);
+        let _ = layer.backward(&dy);
+        let b = &layer.params()[1];
+        assert_eq!(b.grad[0], 16.0);
+        assert_eq!(b.grad[1], 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic, class-structured image datasets.
+//!
+//! Cifar10 and ILSVRC2012 are not redistributable/downloadable in this
+//! environment, so Experiment 3 runs on synthetic datasets with the same
+//! tensor geometry (32×32×3 / 10 classes for the Cifar10 stand-in; a
+//! scaled 64×64×3 / 100-class set for the ILSVRC stand-in — see DESIGN.md
+//! for the substitution rationale). Every class has a fixed random
+//! prototype pattern; samples are `prototype + noise`, linearly scaled to
+//! `[−1, 1]` like the paper's preprocessing (§6.3.1). The task is linearly
+//! non-trivial but learnable, so loss curves show real convergence and the
+//! Winograd-vs-GEMM comparison is meaningful.
+
+use iwino_tensor::Tensor4;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic synthetic classification dataset.
+pub struct SyntheticDataset {
+    pub hw: usize,
+    pub channels: usize,
+    pub classes: usize,
+    pub train_len: usize,
+    pub test_len: usize,
+    seed: u64,
+    /// `classes × hw·hw·channels` prototype patterns in [−0.8, 0.8].
+    prototypes: Vec<f32>,
+    /// Sample noise amplitude.
+    pub noise: f32,
+}
+
+impl SyntheticDataset {
+    pub fn new(hw: usize, channels: usize, classes: usize, train_len: usize, test_len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(-0.8f32, 0.8);
+        let prototypes = (0..classes * hw * hw * channels).map(|_| dist.sample(&mut rng)).collect();
+        SyntheticDataset { hw, channels, classes, train_len, test_len, seed, prototypes, noise: 0.4 }
+    }
+
+    /// The Cifar10 stand-in: 32×32×3, 10 classes.
+    pub fn cifar10_like(train_len: usize, test_len: usize) -> Self {
+        Self::new(32, 3, 10, train_len, test_len, 0xc1fa_0010)
+    }
+
+    /// The ILSVRC2012 stand-in, scaled: 64×64×3, 100 classes (the paper
+    /// trains at 128×128×3 / 1000 classes; the scaling factor is recorded
+    /// by the harness).
+    pub fn imagenet_like(train_len: usize, test_len: usize) -> Self {
+        Self::new(64, 3, 100, train_len, test_len, 0x1157_20c0)
+    }
+
+    fn sample_into(&self, global_idx: usize, out: &mut [f32]) -> usize {
+        let label = global_idx % self.classes;
+        let plane = self.hw * self.hw * self.channels;
+        let proto = &self.prototypes[label * plane..(label + 1) * plane];
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (global_idx as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let dist = Uniform::new(-self.noise, self.noise);
+        for (o, &p) in out.iter_mut().zip(proto) {
+            *o = (p + dist.sample(&mut rng)).clamp(-1.0, 1.0);
+        }
+        label
+    }
+
+    /// Training batch `i` of size `batch`: `(images NHWC, labels)`.
+    pub fn train_batch(&self, i: usize, batch: usize) -> (Tensor4<f32>, Vec<usize>) {
+        self.batch_from(i * batch, batch, 0)
+    }
+
+    /// Test batch (disjoint index space from training).
+    pub fn test_batch(&self, i: usize, batch: usize) -> (Tensor4<f32>, Vec<usize>) {
+        self.batch_from(i * batch, batch, self.train_len)
+    }
+
+    fn batch_from(&self, start: usize, batch: usize, offset: usize) -> (Tensor4<f32>, Vec<usize>) {
+        let plane = self.hw * self.hw * self.channels;
+        let mut x = Tensor4::<f32>::zeros([batch, self.hw, self.hw, self.channels]);
+        let mut labels = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let idx = offset + start + b;
+            let dst = &mut x.as_mut_slice()[b * plane..(b + 1) * plane];
+            labels.push(self.sample_into(idx, dst));
+        }
+        (x, labels)
+    }
+
+    /// Batches per training epoch at the given batch size.
+    pub fn train_batches(&self, batch: usize) -> usize {
+        self.train_len / batch
+    }
+
+    pub fn test_batches(&self, batch: usize) -> usize {
+        self.test_len / batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_batches() {
+        let d = SyntheticDataset::cifar10_like(64, 32);
+        let (x1, l1) = d.train_batch(0, 8);
+        let (x2, l2) = d.train_batch(0, 8);
+        assert_eq!(x1, x2);
+        assert_eq!(l1, l2);
+        let (x3, _) = d.train_batch(1, 8);
+        assert_ne!(x1, x3);
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let d = SyntheticDataset::cifar10_like(64, 32);
+        let (x, labels) = d.train_batch(0, 10);
+        assert_eq!(x.dims(), [10, 32, 32, 3]);
+        assert_eq!(labels, (0..10).collect::<Vec<_>>());
+        assert!(x.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn test_split_is_disjoint_noise() {
+        let d = SyntheticDataset::cifar10_like(64, 32);
+        let (xtr, _) = d.train_batch(0, 4);
+        let (xte, _) = d.test_batch(0, 4);
+        assert_ne!(xtr, xte);
+    }
+
+    #[test]
+    fn same_class_samples_correlate() {
+        // Samples of class 0 should correlate with each other far more than
+        // with class 1 samples (signal-to-noise sanity).
+        let d = SyntheticDataset::cifar10_like(1000, 0);
+        let (x, labels) = d.train_batch(0, 22);
+        let plane = 32 * 32 * 3;
+        let a0 = &x.as_slice()[0..plane]; // class 0
+        let b0 = &x.as_slice()[10 * plane..11 * plane]; // class 0 again
+        let c1 = &x.as_slice()[plane..2 * plane]; // class 1
+        assert_eq!((labels[0], labels[10], labels[1]), (0, 0, 1));
+        let dot = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+        let same = dot(a0, b0);
+        let diff = dot(a0, c1);
+        assert!(same > 2.0 * diff.abs(), "same {same} diff {diff}");
+    }
+
+    #[test]
+    fn imagenet_like_geometry() {
+        let d = SyntheticDataset::imagenet_like(200, 100);
+        assert_eq!((d.hw, d.channels, d.classes), (64, 3, 100));
+        let (x, _) = d.train_batch(0, 2);
+        assert_eq!(x.dims(), [2, 64, 64, 3]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Dropout (used by the classic VGG classifier head; available for the
+//! model zoo even though the paper's scaled nets train fine without it).
+
+use crate::layer::Layer;
+use iwino_tensor::Tensor4;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `p` and the survivors are scaled by `1/(1−p)`, so eval mode
+/// is the identity.
+pub struct Dropout {
+    pub p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mut y = x.clone();
+        for (v, &m) in y.as_mut_slice().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let mut dx = dy.clone();
+        if let Some(mask) = self.mask.take() {
+            for (g, &m) in dx.as_mut_slice().iter_mut().zip(&mask) {
+                *g *= m;
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("Dropout({})", self.p)
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.mask.as_ref().map_or(0, |m| m.len() * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor4::<f32>::random([1, 4, 4, 2], 2, -1.0, 1.0);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor4::<f32>::from_vec([1, 1, 1, 10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "{frac}");
+        // Survivors scaled by 1/0.7.
+        let survivor = y.as_slice().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.7).abs() < 1e-6);
+        // Expectation preserved.
+        let mean: f64 = y.as_slice().iter().map(|&v| v as f64).sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn backward_routes_through_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor4::<f32>::from_vec([1, 1, 1, 8], vec![1.0; 8]);
+        let y = d.forward(&x, true);
+        let dy = Tensor4::<f32>::from_vec([1, 1, 1, 8], vec![1.0; 8]);
+        let dx = d.backward(&dy);
+        for (g, &v) in dx.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(*g, v, "gradient must use the forward mask");
+        }
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor4::<f32>::random([1, 2, 2, 2], 6, -1.0, 1.0);
+        assert_eq!(d.forward(&x, true), x);
+    }
+}

@@ -1,0 +1,232 @@
+//! Additional training machinery: average pooling, learning-rate
+//! schedules, weight decay and gradient clipping. Not required by the
+//! paper's exact protocol, but part of any framework a downstream user
+//! would adopt (and exercised by the extended tests).
+
+use crate::layer::{Layer, Param};
+use iwino_tensor::Tensor4;
+
+// ---------------------------------------------------------------------------
+// AvgPool2d
+// ---------------------------------------------------------------------------
+
+/// `k×k` average pooling with stride `k`.
+pub struct AvgPool2d {
+    pub k: usize,
+    in_dims: Option<[usize; 4]>,
+}
+
+impl AvgPool2d {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        AvgPool2d { k, in_dims: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        let [n, h, w, c] = x.dims();
+        let k = self.k;
+        assert!(h >= k && w >= k);
+        let (oh, ow) = (h / k, w / k);
+        let inv = 1.0 / (k * k) as f32;
+        let mut y = Tensor4::<f32>::zeros([n, oh, ow, c]);
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ch in 0..c {
+                        let mut acc = 0.0f32;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                acc += x.at(b, oy * k + dy, ox * k + dx, ch);
+                            }
+                        }
+                        *y.at_mut(b, oy, ox, ch) = acc * inv;
+                    }
+                }
+            }
+        }
+        if train {
+            self.in_dims = Some(x.dims());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let dims = self.in_dims.take().expect("backward without forward");
+        let [_, _, _, c] = dims;
+        let k = self.k;
+        let inv = 1.0 / (k * k) as f32;
+        let mut dx = Tensor4::<f32>::zeros(dims);
+        let [n, oh, ow, _] = dy.dims();
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ch in 0..c {
+                        let g = dy.at(b, oy, ox, ch) * inv;
+                        for ddy in 0..k {
+                            for ddx in 0..k {
+                                *dx.at_mut(b, oy * k + ddy, ox * k + ddx, ch) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("AvgPool2d({0}×{0})", self.k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Learning-rate schedules
+// ---------------------------------------------------------------------------
+
+/// A learning-rate schedule: maps epoch index to a multiplier on the base lr.
+pub trait LrSchedule {
+    fn factor(&self, epoch: usize) -> f32;
+}
+
+/// Constant learning rate.
+pub struct ConstantLr;
+
+impl LrSchedule for ConstantLr {
+    fn factor(&self, _epoch: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Multiply the lr by `gamma` every `step` epochs.
+pub struct StepDecay {
+    pub step: usize,
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f32 {
+        self.gamma.powi((epoch / self.step.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from 1 down to `floor` over `total` epochs.
+pub struct CosineAnneal {
+    pub total: usize,
+    pub floor: f32,
+}
+
+impl LrSchedule for CosineAnneal {
+    fn factor(&self, epoch: usize) -> f32 {
+        let t = (epoch as f32 / self.total.max(1) as f32).min(1.0);
+        self.floor + (1.0 - self.floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gradient utilities
+// ---------------------------------------------------------------------------
+
+/// Global L2 gradient-norm clipping: if ‖g‖₂ > max_norm, scale all
+/// gradients by `max_norm / ‖g‖₂`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for p in params.iter() {
+        for &g in &p.grad {
+            sq += (g as f64) * (g as f64);
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            for g in &mut p.grad {
+                *g *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Decoupled weight decay (AdamW-style): `w ← w·(1 − lr·λ)` applied before
+/// the optimiser step.
+pub fn apply_weight_decay(params: &mut [&mut Param], lr: f32, lambda: f32) {
+    let f = 1.0 - lr * lambda;
+    for p in params.iter_mut() {
+        for w in &mut p.value {
+            *w *= f;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_forward_backward() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor4::from_vec([1, 2, 2, 1], vec![1.0, 3.0, 5.0, 7.0]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.as_slice(), &[4.0]);
+        let dy = Tensor4::from_vec([1, 1, 1, 1], vec![8.0]);
+        let dx = p.backward(&dy);
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_pool_is_adjoint() {
+        let mut p = AvgPool2d::new(2);
+        let x = Tensor4::<f32>::random([1, 4, 4, 3], 1, -1.0, 1.0);
+        let y = p.forward(&x, true);
+        let dy = Tensor4::<f32>::random(y.dims(), 2, -1.0, 1.0);
+        let dx = p.backward(&dy);
+        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn step_decay_factors() {
+        let s = StepDecay { step: 10, gamma: 0.1 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert!((s.factor(10) - 0.1).abs() < 1e-7);
+        assert!((s.factor(25) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_anneal_endpoints() {
+        let s = CosineAnneal { total: 100, floor: 0.01 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(100) - 0.01).abs() < 1e-6);
+        assert!(s.factor(50) > 0.01 && s.factor(50) < 1.0);
+        // Monotone decreasing.
+        assert!(s.factor(25) > s.factor(75));
+    }
+
+    #[test]
+    fn clipping_caps_the_norm() {
+        let mut p = Param::new(vec![0.0; 4]);
+        p.grad = vec![3.0, 4.0, 0.0, 0.0]; // norm 5
+        let mut refs = [&mut p];
+        let norm = clip_grad_norm(&mut refs, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((refs[0].grad[0] - 0.6).abs() < 1e-6);
+        assert!((refs[0].grad[1] - 0.8).abs() < 1e-6);
+        // Under the cap: untouched.
+        let norm = clip_grad_norm(&mut refs, 10.0);
+        assert!((norm - 1.0).abs() < 1e-6);
+        assert!((refs[0].grad[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Param::new(vec![1.0, -2.0]);
+        let mut refs = [&mut p];
+        apply_weight_decay(&mut refs, 0.1, 0.5);
+        assert!((refs[0].value[0] - 0.95).abs() < 1e-6);
+        assert!((refs[0].value[1] + 1.9).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,41 @@
+//! Parameter initialisation: kaiming-uniform (§6.3.1, He et al. 2015).
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Kaiming-uniform: `U(−b, b)` with `b = √(6 / fan_in)` (gain for
+/// (leaky-)ReLU networks, matching PyTorch's `kaiming_uniform_` with the
+/// default `a = √5`-free convention used for conv layers).
+pub fn kaiming_uniform(len: usize, fan_in: usize, seed: u64) -> Vec<f32> {
+    assert!(fan_in > 0);
+    let bound = (6.0 / fan_in as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+    let dist = Uniform::new(-bound, bound);
+    (0..len).map(|_| dist.sample(&mut rng) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_and_determinism() {
+        let v = kaiming_uniform(10_000, 64, 1);
+        let b = (6.0f64 / 64.0).sqrt() as f32;
+        assert!(v.iter().all(|x| x.abs() <= b));
+        // Roughly centred.
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.01);
+        assert_eq!(v, kaiming_uniform(10_000, 64, 1));
+        assert_ne!(v, kaiming_uniform(10_000, 64, 2));
+    }
+
+    #[test]
+    fn variance_scales_with_fan_in() {
+        let narrow = kaiming_uniform(10_000, 16, 3);
+        let wide = kaiming_uniform(10_000, 1024, 3);
+        let var = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32;
+        assert!(var(&narrow) > 10.0 * var(&wide));
+    }
+}

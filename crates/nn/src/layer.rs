@@ -1,0 +1,75 @@
+//! The layer abstraction: explicit forward/backward with cached
+//! activations, and flat parameter/gradient pairs for the optimisers.
+
+use iwino_tensor::Tensor4;
+
+/// A learnable parameter: flat value and gradient buffers of equal length.
+#[derive(Clone, Debug, Default)]
+pub struct Param {
+    pub value: Vec<f32>,
+    pub grad: Vec<f32>,
+}
+
+impl Param {
+    pub fn new(value: Vec<f32>) -> Self {
+        let grad = vec![0.0; value.len()];
+        Param { value, grad }
+    }
+
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+/// A differentiable layer. `forward` caches whatever `backward` needs;
+/// `backward` consumes the cache, accumulates parameter gradients, and
+/// returns the input gradient.
+pub trait Layer: Send {
+    /// Run the layer. `train` enables training-time behaviour (batch-norm
+    /// batch statistics).
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32>;
+
+    /// Back-propagate. Must be called after a `forward(.., train = true)`.
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32>;
+
+    /// Mutable access to every parameter of this layer (empty by default).
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Human-readable layer description.
+    fn name(&self) -> String;
+
+    /// Approximate activation-cache bytes currently held (memory report).
+    fn cached_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Total parameter count of a set of layers.
+pub fn param_count(layers: &mut [Box<dyn Layer>]) -> usize {
+    layers.iter_mut().flat_map(|l| l.params()).map(|p| p.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_basics() {
+        let mut p = Param::new(vec![1.0, 2.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        p.grad = vec![3.0, 4.0];
+        p.zero_grad();
+        assert_eq!(p.grad, vec![0.0, 0.0]);
+    }
+}

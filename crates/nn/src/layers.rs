@@ -1,0 +1,497 @@
+//! Non-convolution layers: LeakyReLU, MaxPool2d, BatchNorm2d, Linear,
+//! Flatten.
+
+use crate::init::kaiming_uniform;
+use crate::layer::{Layer, Param};
+use iwino_tensor::Tensor4;
+
+// ---------------------------------------------------------------------------
+// LeakyReLU (§6.3.1: "Activation functions are LeakyRelu")
+// ---------------------------------------------------------------------------
+
+/// `y = x` for `x > 0`, `y = slope·x` otherwise.
+pub struct LeakyReLU {
+    pub slope: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyReLU {
+    pub fn new(slope: f32) -> Self {
+        LeakyReLU { slope, mask: None }
+    }
+}
+
+impl Default for LeakyReLU {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl Layer for LeakyReLU {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        if train {
+            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        let slope = self.slope;
+        x.map(|v| if v > 0.0 { v } else { slope * v })
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let mask = self.mask.take().expect("backward without forward");
+        let mut dx = dy.clone();
+        for (g, &pos) in dx.as_mut_slice().iter_mut().zip(&mask) {
+            if !pos {
+                *g *= self.slope;
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("LeakyReLU({})", self.slope)
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.mask.as_ref().map_or(0, Vec::len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2d (VGG down-sampling; "In contrast to VGG, ResNet uses
+// non-unit-stride convolution rather than max-pooling", §6.3.2)
+// ---------------------------------------------------------------------------
+
+/// `k×k` max pooling with stride `k` (the VGG configuration).
+pub struct MaxPool2d {
+    pub k: usize,
+    argmax: Option<(Vec<u32>, [usize; 4])>,
+}
+
+impl MaxPool2d {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        MaxPool2d { k, argmax: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        let [n, h, w, c] = x.dims();
+        let k = self.k;
+        assert!(h >= k && w >= k, "pool window larger than input");
+        let (oh, ow) = (h / k, w / k);
+        let mut y = Tensor4::<f32>::zeros([n, oh, ow, c]);
+        let mut arg = vec![0u32; n * oh * ow * c];
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ch in 0..c {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0u32;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                let v = x.at(b, oy * k + dy, ox * k + dx, ch);
+                                if v > best {
+                                    best = v;
+                                    best_idx = x.offset(b, oy * k + dy, ox * k + dx, ch) as u32;
+                                }
+                            }
+                        }
+                        *y.at_mut(b, oy, ox, ch) = best;
+                        arg[y.offset(b, oy, ox, ch)] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some((arg, x.dims()));
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let (arg, x_dims) = self.argmax.take().expect("backward without forward");
+        let mut dx = Tensor4::<f32>::zeros(x_dims);
+        let dxs = dx.as_mut_slice();
+        for (g, &idx) in dy.as_slice().iter().zip(&arg) {
+            dxs[idx as usize] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool2d({0}×{0})", self.k)
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.argmax.as_ref().map_or(0, |(a, _)| a.len() * 4)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2d (§6.3.1: "5 BatchNorm layers were added into VGG")
+// ---------------------------------------------------------------------------
+
+/// Per-channel batch normalisation over `N×H×W`.
+pub struct BatchNorm2d {
+    pub c: usize,
+    pub eps: f32,
+    pub momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Tensor4<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    pub fn new(c: usize) -> Self {
+        BatchNorm2d {
+            c,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(vec![1.0; c]),
+            beta: Param::new(vec![0.0; c]),
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        let [n, h, w, c] = x.dims();
+        assert_eq!(c, self.c);
+        let count = (n * h * w) as f32;
+        let (mean, var) = if train {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for px in x.as_slice().chunks_exact(c) {
+                for (m, &v) in mean.iter_mut().zip(px) {
+                    *m += v;
+                }
+            }
+            mean.iter_mut().for_each(|m| *m /= count);
+            for px in x.as_slice().chunks_exact(c) {
+                for ((s, &v), &m) in var.iter_mut().zip(px).zip(&mean) {
+                    *s += (v - m) * (v - m);
+                }
+            }
+            var.iter_mut().for_each(|v| *v /= count);
+            for i in 0..c {
+                self.running_mean[i] = (1.0 - self.momentum) * self.running_mean[i] + self.momentum * mean[i];
+                self.running_var[i] = (1.0 - self.momentum) * self.running_var[i] + self.momentum * var[i];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut y = x.clone();
+        let mut x_hat = x.clone();
+        for (ypx, hpx) in y
+            .as_mut_slice()
+            .chunks_exact_mut(c)
+            .zip(x_hat.as_mut_slice().chunks_exact_mut(c))
+        {
+            for i in 0..c {
+                let xh = (ypx[i] - mean[i]) * inv_std[i];
+                hpx[i] = xh;
+                ypx[i] = self.gamma.value[i] * xh + self.beta.value[i];
+            }
+        }
+        if train {
+            self.cache = Some(BnCache { x_hat, inv_std });
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let BnCache { x_hat, inv_std } = self.cache.take().expect("backward without forward");
+        let [n, h, w, c] = dy.dims();
+        let count = (n * h * w) as f32;
+        // Per-channel reductions.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for (dpx, hpx) in dy.as_slice().chunks_exact(c).zip(x_hat.as_slice().chunks_exact(c)) {
+            for i in 0..c {
+                sum_dy[i] += dpx[i];
+                sum_dy_xhat[i] += dpx[i] * hpx[i];
+            }
+        }
+        for i in 0..c {
+            self.gamma.grad[i] += sum_dy_xhat[i];
+            self.beta.grad[i] += sum_dy[i];
+        }
+        // dx = (γ·inv_std / m)·(m·dy − Σdy − x̂·Σ(dy·x̂))
+        let mut dx = dy.clone();
+        for (dpx, hpx) in dx
+            .as_mut_slice()
+            .chunks_exact_mut(c)
+            .zip(x_hat.as_slice().chunks_exact(c))
+        {
+            for i in 0..c {
+                let t = count * dpx[i] - sum_dy[i] - hpx[i] * sum_dy_xhat[i];
+                dpx[i] = self.gamma.value[i] * inv_std[i] * t / count;
+            }
+        }
+        dx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> String {
+        format!("BatchNorm2d({})", self.c)
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.x_hat.len() * 4)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flatten + Linear (classifier head)
+// ---------------------------------------------------------------------------
+
+/// `[N, H, W, C] → [N, 1, 1, H·W·C]`.
+pub struct Flatten {
+    in_dims: Option<[usize; 4]>,
+}
+
+impl Flatten {
+    pub fn new() -> Self {
+        Flatten { in_dims: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        let [n, h, w, c] = x.dims();
+        if train {
+            self.in_dims = Some(x.dims());
+        }
+        Tensor4::from_vec([n, 1, 1, h * w * c], x.as_slice().to_vec())
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let dims = self.in_dims.take().expect("backward without forward");
+        Tensor4::from_vec(dims, dy.as_slice().to_vec())
+    }
+
+    fn name(&self) -> String {
+        "Flatten".into()
+    }
+}
+
+/// Fully-connected layer on `[N, 1, 1, F]` activations.
+pub struct Linear {
+    pub fin: usize,
+    pub fout: usize,
+    weight: Param, // fout × fin, row-major
+    bias: Param,
+    cached_x: Option<Tensor4<f32>>,
+}
+
+impl Linear {
+    pub fn new(fin: usize, fout: usize, seed: u64) -> Self {
+        Linear {
+            fin,
+            fout,
+            weight: Param::new(kaiming_uniform(fout * fin, fin, seed)),
+            bias: Param::new(vec![0.0; fout]),
+            cached_x: None,
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
+        let [n, h, w, f] = x.dims();
+        assert_eq!(h * w * f, self.fin, "Linear input size mismatch");
+        let mut y = Tensor4::<f32>::zeros([n, 1, 1, self.fout]);
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        for b in 0..n {
+            let xr = &xs[b * self.fin..(b + 1) * self.fin];
+            let yr = &mut ys[b * self.fout..(b + 1) * self.fout];
+            for (o, slot) in yr.iter_mut().enumerate() {
+                let wrow = &self.weight.value[o * self.fin..(o + 1) * self.fin];
+                let mut acc = self.bias.value[o];
+                for (a, b2) in wrow.iter().zip(xr) {
+                    acc += a * b2;
+                }
+                *slot = acc;
+            }
+        }
+        if train {
+            self.cached_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
+        let x = self.cached_x.take().expect("backward without forward");
+        let [n, ..] = dy.dims();
+        let xs = x.as_slice();
+        let dys = dy.as_slice();
+        let mut dx = Tensor4::<f32>::zeros(x.dims());
+        let dxs = dx.as_mut_slice();
+        for b in 0..n {
+            let xr = &xs[b * self.fin..(b + 1) * self.fin];
+            let dyr = &dys[b * self.fout..(b + 1) * self.fout];
+            let dxr = &mut dxs[b * self.fin..(b + 1) * self.fin];
+            for (o, &g) in dyr.iter().enumerate() {
+                self.bias.grad[o] += g;
+                let wrow = &self.weight.value[o * self.fin..(o + 1) * self.fin];
+                let grow = &mut self.weight.grad[o * self.fin..(o + 1) * self.fin];
+                for i in 0..self.fin {
+                    grow[i] += g * xr[i];
+                    dxr[i] += g * wrow[i];
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!("Linear({}→{})", self.fin, self.fout)
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cached_x.as_ref().map_or(0, |t| t.len() * 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_relu_forward_backward() {
+        let mut l = LeakyReLU::new(0.1);
+        let x = Tensor4::from_vec([1, 1, 1, 4], vec![-2.0, -0.5, 0.5, 2.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.as_slice(), &[-0.2, -0.05, 0.5, 2.0]);
+        let dy = Tensor4::from_vec([1, 1, 1, 4], vec![1.0; 4]);
+        let dx = l.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.1, 0.1, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor4::from_vec([1, 2, 2, 1], vec![1.0, 5.0, 3.0, 2.0]);
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), [1, 1, 1, 1]);
+        assert_eq!(y.as_slice(), &[5.0]);
+        let dy = Tensor4::from_vec([1, 1, 1, 1], vec![7.0]);
+        let dx = p.backward(&dy);
+        assert_eq!(dx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn batchnorm_normalises_in_train_mode() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor4::<f32>::random([4, 3, 3, 2], 1, -3.0, 7.0);
+        let y = bn.forward(&x, true);
+        // Each channel of y should be ~zero mean, unit variance.
+        let c = 2;
+        for ch in 0..c {
+            let vals: Vec<f32> = y.as_slice().iter().skip(ch).step_by(c).copied().collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "ch{ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "ch{ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor4::<f32>::random([8, 4, 4, 1], 2, 4.0, 6.0);
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y = bn.forward(&x, false);
+        // Running stats converged to batch stats ⟹ eval output ≈ normalised.
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / y.len() as f32;
+        assert!(mean.abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn batchnorm_gradient_check_gamma() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor4::<f32>::random([2, 3, 3, 2], 3, -1.0, 1.0);
+        let y = bn.forward(&x, true);
+        let _ = bn.backward(&y); // L = Σy²/2
+        let analytic = bn.gamma.grad[0] as f64;
+        let eps = 1e-3f32;
+        bn.gamma.value[0] += eps;
+        let lp: f64 = bn.forward(&x, true).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        bn.cache = None;
+        bn.gamma.value[0] -= 2.0 * eps;
+        let lm: f64 = bn.forward(&x, true).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        bn.cache = None;
+        bn.gamma.value[0] += eps;
+        let fd = (lp - lm) / (2.0 * eps as f64);
+        assert!((fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0), "fd {fd} vs {analytic}");
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let mut l = Linear::new(2, 2, 9);
+        l.weight.value = vec![1.0, 2.0, 3.0, 4.0];
+        l.bias.value = vec![0.5, -0.5];
+        let x = Tensor4::from_vec([1, 1, 1, 2], vec![1.0, 1.0]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        let mut l = Linear::new(3, 2, 10);
+        let x = Tensor4::<f32>::random([2, 1, 1, 3], 11, -1.0, 1.0);
+        let y = l.forward(&x, true);
+        let dx = l.backward(&y);
+        assert_eq!(dx.dims(), x.dims());
+        let analytic = l.weight.grad[1] as f64;
+        let eps = 1e-3f32;
+        let orig = l.weight.value[1];
+        l.weight.value[1] = orig + eps;
+        let lp: f64 = l.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        l.weight.value[1] = orig - eps;
+        let lm: f64 = l.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        l.weight.value[1] = orig;
+        let fd = (lp - lm) / (2.0 * eps as f64);
+        assert!((fd - analytic).abs() < 1e-2 * analytic.abs().max(1.0), "fd {fd} vs {analytic}");
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor4::<f32>::random([2, 3, 4, 5], 12, -1.0, 1.0);
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), [2, 1, 1, 60]);
+        let dx = f.backward(&y);
+        assert_eq!(dx.dims(), x.dims());
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+}

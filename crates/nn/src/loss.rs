@@ -1,0 +1,117 @@
+//! Softmax cross-entropy with one-hot labels (§6.3.1: "SoftMax", "labels
+//! were encoded to one-hot formats").
+
+use iwino_tensor::Tensor4;
+
+/// Combined softmax + cross-entropy head. Numerically stabilised by max
+/// subtraction; the backward pass is the classic `softmax − onehot`.
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// `logits`: `[N, 1, 1, C]`; `labels`: class index per sample.
+    /// Returns `(mean loss, dlogits)`.
+    pub fn forward_backward(logits: &Tensor4<f32>, labels: &[usize]) -> (f32, Tensor4<f32>) {
+        let [n, h, w, c] = logits.dims();
+        assert_eq!(h * w, 1, "loss expects flattened logits");
+        assert_eq!(labels.len(), n);
+        let mut dlogits = logits.clone();
+        let mut total = 0.0f64;
+        for (b, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label out of range");
+            let row = &mut dlogits.as_mut_slice()[b * c..(b + 1) * c];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                denom += *v;
+            }
+            // row now holds softmax probabilities.
+            for v in row.iter_mut() {
+                *v /= denom;
+            }
+            total += -(row[label].max(1e-30) as f64).ln();
+            // d(mean CE)/dlogit = (p − onehot)/N.
+            row[label] -= 1.0;
+            for v in row.iter_mut() {
+                *v /= n as f32;
+            }
+        }
+        ((total / n as f64) as f32, dlogits)
+    }
+
+    /// Predicted class per sample (argmax over logits).
+    pub fn predict(logits: &Tensor4<f32>) -> Vec<usize> {
+        let [n, _, _, c] = logits.dims();
+        (0..n)
+            .map(|b| {
+                let row = &logits.as_slice()[b * c..(b + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor4::<f32>::zeros([2, 1, 1, 10]);
+        let (loss, dl) = SoftmaxCrossEntropy::forward_backward(&logits, &[3, 7]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        // Gradient: (0.1 − onehot)/2 per sample.
+        assert!((dl.at(0, 0, 0, 3) - (0.1 - 1.0) / 2.0).abs() < 1e-6);
+        assert!((dl.at(0, 0, 0, 0) - 0.1 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor4::<f32>::zeros([1, 1, 1, 4]);
+        *logits.at_mut(0, 0, 0, 2) = 20.0;
+        let (loss, _) = SoftmaxCrossEntropy::forward_backward(&logits, &[2]);
+        assert!(loss < 1e-3, "{loss}");
+        let (loss_wrong, _) = SoftmaxCrossEntropy::forward_backward(&logits, &[0]);
+        assert!(loss_wrong > 10.0, "{loss_wrong}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = Tensor4::<f32>::random([2, 1, 1, 5], 1, -1.0, 1.0);
+        let labels = [1usize, 4];
+        let (_, dl) = SoftmaxCrossEntropy::forward_backward(&logits, &labels);
+        let eps = 1e-3f32;
+        for probe in [(0usize, 1usize), (1, 0), (1, 4)] {
+            let (b, c) = probe;
+            let orig = logits.at(b, 0, 0, c);
+            *logits.at_mut(b, 0, 0, c) = orig + eps;
+            let (lp, _) = SoftmaxCrossEntropy::forward_backward(&logits, &labels);
+            *logits.at_mut(b, 0, 0, c) = orig - eps;
+            let (lm, _) = SoftmaxCrossEntropy::forward_backward(&logits, &labels);
+            *logits.at_mut(b, 0, 0, c) = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = dl.at(b, 0, 0, c);
+            assert!((fd - an).abs() < 1e-3, "{probe:?}: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn stability_with_huge_logits() {
+        let mut logits = Tensor4::<f32>::zeros([1, 1, 1, 3]);
+        *logits.at_mut(0, 0, 0, 0) = 1e4;
+        *logits.at_mut(0, 0, 0, 1) = -1e4;
+        let (loss, dl) = SoftmaxCrossEntropy::forward_backward(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(dl.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn predict_argmax() {
+        let logits = Tensor4::from_vec([2, 1, 1, 3], vec![0.1, 0.9, 0.0, 2.0, -1.0, 1.0]);
+        assert_eq!(SoftmaxCrossEntropy::predict(&logits), vec![1, 0]);
+    }
+}

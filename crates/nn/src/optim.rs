@@ -1,0 +1,159 @@
+//! Optimisers: SGD with momentum and Adam (§6.3.1: "SGDM and Adam were
+//! used to train CNNs, with SoftMax and 0.001 learning rate").
+
+use crate::layer::Param;
+
+/// A stateful optimiser over a flat list of parameters. State slot `i`
+/// always corresponds to the `i`-th parameter passed to `step`, so callers
+/// must keep the parameter order stable across steps.
+pub trait Optimizer {
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Zero every gradient (called after each step).
+    fn zero_grad(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// SGD with classical momentum: `v ← μ·v + g`, `w ← w − lr·v`.
+pub struct Sgdm {
+    pub lr: f32,
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgdm {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgdm { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgdm {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter set changed");
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            for ((w, &g), vel) in p.value.iter_mut().zip(&p.grad).zip(v.iter_mut()) {
+                *vel = self.momentum * *vel + g;
+                *w -= self.lr * *vel;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter set changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for (((w, &g), mi), vi) in p.value.iter_mut().zip(&p.grad).zip(m.iter_mut()).zip(v.iter_mut()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mh = *mi / bc1;
+                let vh = *vi / bc2;
+                *w -= self.lr * mh / (vh.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // Minimise f(w) = w²/2 from w = 1; grad = w.
+        let mut p = Param::new(vec![1.0]);
+        for _ in 0..steps {
+            p.grad[0] = p.value[0];
+            let mut refs = [&mut p];
+            opt.step(&mut refs);
+            opt.zero_grad(&mut refs);
+        }
+        p.value[0]
+    }
+
+    #[test]
+    fn sgdm_descends_quadratic() {
+        let w = quadratic_descent(&mut Sgdm::new(0.1, 0.9), 200);
+        assert!(w.abs() < 1e-3, "{w}");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let w = quadratic_descent(&mut Adam::new(0.05), 400);
+        assert!(w.abs() < 1e-2, "{w}");
+    }
+
+    #[test]
+    fn sgdm_without_momentum_is_plain_sgd() {
+        let mut opt = Sgdm::new(0.5, 0.0);
+        let mut p = Param::new(vec![2.0]);
+        p.grad[0] = 2.0;
+        let mut refs = [&mut p];
+        opt.step(&mut refs);
+        assert_eq!(p.value[0], 1.0);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgdm::new(1.0, 0.5);
+        let mut p = Param::new(vec![0.0]);
+        for expected in [-1.0f32, -2.5, -4.25] {
+            p.grad[0] = 1.0;
+            let mut refs = [&mut p];
+            opt.step(&mut refs);
+            assert!((p.value[0] - expected).abs() < 1e-6, "{} vs {expected}", p.value[0]);
+        }
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, |Δw| of step 1 ≈ lr for any gradient scale.
+        for g in [1e-3f32, 1.0, 1e3] {
+            let mut opt = Adam::new(0.001);
+            let mut p = Param::new(vec![0.0]);
+            p.grad[0] = g;
+            let mut refs = [&mut p];
+            opt.step(&mut refs);
+            assert!((p.value[0].abs() - 0.001).abs() < 1e-5, "g={g}: {}", p.value[0]);
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut opt = Adam::new(0.001);
+        let mut p = Param::new(vec![0.0]);
+        p.grad[0] = 5.0;
+        let mut refs = [&mut p];
+        opt.zero_grad(&mut refs);
+        assert_eq!(p.grad[0], 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Weight-file serialisation — the "Weight file" column of Tables 4/5.
+//!
+//! A deliberately simple little-endian binary format:
+//!
+//! ```text
+//! magic  "IWNN"            4 bytes
+//! version u32              (= 1)
+//! count   u32              number of parameter tensors
+//! per parameter: len u32, then len f32 values
+//! ```
+//!
+//! Only parameter *values* are stored (no gradients, no optimiser state),
+//! matching what a framework writes to disk after training.
+
+use crate::layer::Layer;
+use crate::model::Sequential;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"IWNN";
+const VERSION: u32 = 1;
+
+/// Serialise every parameter of `model` into `w`.
+pub fn save_weights<W: Write>(model: &mut Sequential, w: &mut W) -> io::Result<()> {
+    let params = model.params();
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        w.write_all(&(p.value.len() as u32).to_le_bytes())?;
+        for v in &p.value {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Load weights saved by [`save_weights`] into a *structurally identical*
+/// model. Fails on magic/version/shape mismatch.
+pub fn load_weights<R: Read>(model: &mut Sequential, r: &mut R) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("unsupported version {version}")));
+    }
+    let count = read_u32(r)? as usize;
+    let mut params = model.params();
+    if count != params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("parameter count mismatch: file has {count}, model has {}", params.len()),
+        ));
+    }
+    for p in params.iter_mut() {
+        let len = read_u32(r)? as usize;
+        if len != p.value.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter length mismatch: file {len}, model {}", p.value.len()),
+            ));
+        }
+        let mut buf = [0u8; 4];
+        for v in p.value.iter_mut() {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// On-disk size of the model's weight file in bytes, without writing it.
+pub fn weight_file_bytes(model: &mut Sequential) -> usize {
+    let params = model.params();
+    4 + 4 + 4 + params.iter().map(|p| 4 + 4 * p.value.len()).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Backend;
+    use crate::model::vgg16;
+    use iwino_tensor::Tensor4;
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let mut a = vgg16(32, 3, 10, 4, Backend::Gemm);
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        assert_eq!(buf.len(), weight_file_bytes(&mut a));
+
+        // A differently-seeded model of the same architecture…
+        let mut b = vgg16(32, 3, 10, 4, Backend::Gemm);
+        for p in b.params() {
+            for v in &mut p.value {
+                *v += 0.123;
+            }
+        }
+        let x = Tensor4::<f32>::random([1, 32, 32, 3], 1, -1.0, 1.0);
+        let ya = a.forward(&x, false);
+        let yb_before = b.forward(&x, false);
+        assert_ne!(ya.as_slice(), yb_before.as_slice());
+
+        // …takes on a's behaviour after loading a's weights.
+        load_weights(&mut b, &mut buf.as_slice()).unwrap();
+        let yb_after = b.forward(&x, false);
+        assert_eq!(ya.as_slice(), yb_after.as_slice());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut m = vgg16(32, 3, 10, 4, Backend::Gemm);
+        let junk = b"NOPE____".to_vec();
+        assert!(load_weights(&mut m, &mut junk.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = vgg16(32, 3, 10, 4, Backend::Gemm);
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        let mut wider = vgg16(32, 3, 10, 8, Backend::Gemm);
+        assert!(load_weights(&mut wider, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let mut a = vgg16(32, 3, 10, 4, Backend::Gemm);
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_weights(&mut a, &mut buf.as_slice()).is_err());
+    }
+}

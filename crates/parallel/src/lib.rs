@@ -1,0 +1,391 @@
+//! A small persistent thread pool with a scoped `parallel_for`.
+//!
+//! The Im2col-Winograd kernels parallelise over independent output rows
+//! (`N × OH` of them — the same work decomposition the paper assigns to
+//! thread blocks). rayon is not part of this project's allowed offline
+//! crate set, so this crate provides the minimal machinery: a pool of
+//! workers that claim dynamically-sized index chunks from a shared atomic
+//! counter, with the *caller participating* so small jobs don't pay a
+//! wake-up round trip.
+//!
+//! Safety model: [`ThreadPool::run`] erases the closure's lifetime to hand
+//! it to the workers, and does not return until every worker has finished
+//! the current job (a completion count protected by a mutex + condvar), so
+//! the borrow can never dangle. Closures must be `Sync` and take disjoint
+//! work via the index argument; mutable output access goes through
+//! [`SliceParts`] (a checked disjoint-chunk splitter) or per-index slices.
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+
+mod slice_parts;
+pub use slice_parts::SliceParts;
+
+thread_local! {
+    /// Set while executing inside a pool worker; nested `run` calls from a
+    /// worker fall back to serial execution instead of deadlocking.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Type-erased pointer to the scoped task. The referent is a
+/// `&(dyn Fn(usize) + Sync)` that outlives the job (guaranteed by the
+/// completion barrier in [`ThreadPool::run`]).
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the referent is Sync and the pool enforces that it outlives all
+// uses (run() blocks until the job completes).
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct Job {
+    task: TaskPtr,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// One past the last index.
+    end: usize,
+    /// Indices claimed per `fetch_add`.
+    chunk: usize,
+}
+
+impl Job {
+    /// Claim and execute chunks until the job is drained.
+    fn work(&self) {
+        // SAFETY: see TaskPtr.
+        let task = unsafe { &*self.task.0 };
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.end {
+                break;
+            }
+            let stop = (start + self.chunk).min(self.end);
+            for i in start..stop {
+                task(i);
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shared {
+    state: Mutex<State>,
+    job_ready: Condvar,
+    job_done: Condvar,
+}
+
+#[derive(Default)]
+struct State {
+    /// Monotonically increasing job id; workers watch for changes.
+    epoch: u64,
+    job: Option<Arc<Job>>,
+    /// Workers still running the current job.
+    running: usize,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    submit_lock: Mutex<()>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` total execution lanes (including the
+    /// caller, which participates in every job). `threads == 1` never
+    /// spawns and always runs serially.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared::default());
+        let workers = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("iwino-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers, submit_lock: Mutex::new(()), threads }
+    }
+
+    /// Pool sized from `IWINO_THREADS` or the machine's available
+    /// parallelism.
+    pub fn with_default_size() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// Number of execution lanes (caller included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `task(i)` for every `i in 0..n`, distributing dynamically-sized
+    /// chunks over the pool. Blocks until all indices are done. Reentrant
+    /// calls from inside a worker run serially.
+    pub fn run(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        if self.workers.is_empty() || n == 1 || IN_WORKER.with(|f| f.get()) {
+            for i in 0..n {
+                task(i);
+            }
+            return;
+        }
+        let _guard = self.submit_lock.lock();
+        // ~4 chunks per lane keeps the tail balanced without excessive
+        // counter traffic.
+        let chunk = (n / (self.threads * 4)).max(1);
+        // SAFETY: we erase the lifetime; the completion wait below
+        // guarantees no worker touches the task after `run` returns.
+        let task_static: TaskPtr = TaskPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                task as *const _,
+            )
+        });
+        let job = Arc::new(Job { task: task_static, next: AtomicUsize::new(0), end: n, chunk });
+        {
+            let mut st = self.shared.state.lock();
+            st.epoch += 1;
+            st.job = Some(Arc::clone(&job));
+            st.running = self.workers.len();
+            self.shared.job_ready.notify_all();
+        }
+        // The caller works too. Mark it as a worker for the duration so a
+        // nested `run` from inside the task runs serially instead of
+        // re-locking `submit_lock` on this thread.
+        let was_worker = IN_WORKER.with(|f| f.replace(true));
+        job.work();
+        IN_WORKER.with(|f| f.set(was_worker));
+        // Wait for the workers to drain the job.
+        let mut st = self.shared.state.lock();
+        while st.running > 0 {
+            self.shared.job_done.wait(&mut st);
+        }
+        st.job = None;
+    }
+
+    /// Run `task` over `0..n` in contiguous ranges of at least `min_chunk`
+    /// indices — for kernels that amortise setup per range.
+    pub fn run_chunked(&self, n: usize, min_chunk: usize, task: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let min_chunk = min_chunk.max(1);
+        let pieces = n.div_ceil(min_chunk);
+        self.run(pieces, &|p| {
+            let start = p * min_chunk;
+            let end = (start + min_chunk).min(n);
+            task(start..end);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_WORKER.with(|f| f.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.as_ref().map(Arc::clone);
+                }
+                shared.job_ready.wait(&mut st);
+            }
+        };
+        if let Some(job) = job {
+            job.work();
+            let mut st = shared.state.lock();
+            st.running -= 1;
+            if st.running == 0 {
+                shared.job_done.notify_all();
+            }
+        }
+    }
+}
+
+/// Default lane count: `IWINO_THREADS` env var, else available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("IWINO_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide pool used by the convolution kernels.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(ThreadPool::with_default_size)
+}
+
+/// Convenience: `global().run(n, task)`.
+pub fn parallel_for(n: usize, task: &(dyn Fn(usize) + Sync)) {
+    global().run(n, task);
+}
+
+/// Convenience: `global().run_chunked(n, min_chunk, task)`.
+pub fn parallel_for_chunked(n: usize, min_chunk: usize, task: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+    global().run_chunked(n, min_chunk, task);
+}
+
+/// Marker used by tests to verify reentrancy handling is serial, not deadlock.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// A lightweight atomic flag handy for one-shot signalling in tests.
+pub struct Flag(AtomicBool);
+
+impl Default for Flag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Flag {
+    pub fn new() -> Self {
+        Flag(AtomicBool::new(false))
+    }
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+    pub fn get(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(n, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let pool = ThreadPool::new(8);
+        let total = AtomicU64::new(0);
+        pool.run(1000, &|i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn zero_and_one_items() {
+        let pool = ThreadPool::new(4);
+        pool.run(0, &|_| panic!("must not run"));
+        let hit = AtomicUsize::new(0);
+        pool.run(1, &|i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn single_thread_pool_is_serial() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.run(16, &|i| order.lock().push(i));
+        assert_eq!(*order.lock(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reentrant_run_is_serial_not_deadlock() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let count = AtomicUsize::new(0);
+        let inner_pool = Arc::clone(&pool);
+        pool.run(4, &|_| {
+            assert!(in_worker() || !in_worker()); // just exercise the TLS
+            inner_pool.run(8, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn chunked_covers_range_without_overlap() {
+        let pool = ThreadPool::new(4);
+        let n = 1003;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_chunked(n, 64, &|range| {
+            assert!(range.len() <= 64);
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_workers() {
+        let pool = ThreadPool::new(4);
+        for round in 0..50 {
+            let total = AtomicUsize::new(0);
+            pool.run(100, &|i| {
+                total.fetch_add(i + round, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), (0..100).sum::<usize>() + 100 * round);
+        }
+    }
+
+    #[test]
+    fn global_pool_works() {
+        let total = AtomicUsize::new(0);
+        parallel_for(256, &|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..256).sum());
+    }
+
+    #[test]
+    fn borrows_stack_data_mutably_via_disjoint_chunks() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u64; 4096];
+        let parts = SliceParts::new(&mut data, 256);
+        pool.run(parts.len(), &|i| {
+            let chunk = parts.take(i);
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 256 + k) as u64;
+            }
+        });
+        drop(parts);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+}

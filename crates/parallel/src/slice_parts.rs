@@ -1,0 +1,99 @@
+//! Checked disjoint mutable access to chunks of a slice from parallel tasks.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Splits a mutable slice into fixed-size chunks that parallel tasks can
+/// claim **at most once each** by index. This provides safe `&mut` access to
+/// per-task output regions without `unsafe` in kernel code.
+///
+/// Each chunk has a claim flag; [`SliceParts::take`] panics on double-claim,
+/// which turns an indexing bug in a kernel into a loud failure instead of a
+/// data race.
+pub struct SliceParts<'a, T> {
+    base: *mut T,
+    len: usize,
+    chunk: usize,
+    claimed: Vec<AtomicU8>,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: chunks are disjoint and each is handed out at most once, so
+// concurrent `take` calls never alias.
+unsafe impl<T: Send> Send for SliceParts<'_, T> {}
+unsafe impl<T: Send> Sync for SliceParts<'_, T> {}
+
+impl<'a, T> SliceParts<'a, T> {
+    /// Split `data` into `ceil(len / chunk)` chunks of `chunk` elements
+    /// (the last chunk may be shorter).
+    pub fn new(data: &'a mut [T], chunk: usize) -> Self {
+        assert!(chunk > 0);
+        let len = data.len();
+        let pieces = len.div_ceil(chunk);
+        SliceParts {
+            base: data.as_mut_ptr(),
+            len,
+            chunk,
+            claimed: (0..pieces).map(|_| AtomicU8::new(0)).collect(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.claimed.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.claimed.is_empty()
+    }
+
+    /// Claim chunk `i`, returning its mutable slice. Panics if `i` is out of
+    /// range or the chunk was already claimed.
+    pub fn take(&self, i: usize) -> &mut [T] {
+        let was = self.claimed[i].swap(1, Ordering::AcqRel);
+        assert_eq!(was, 0, "chunk {i} claimed twice");
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.len);
+        // SAFETY: bounds checked above; disjointness enforced by the claim
+        // flag; lifetime tied to the borrow in `new`.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(start), end - start) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_tile_the_slice() {
+        let mut v = vec![0i32; 10];
+        let parts = SliceParts::new(&mut v, 4);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.take(0).len(), 4);
+        assert_eq!(parts.take(2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn double_take_panics() {
+        let mut v = vec![0i32; 8];
+        let parts = SliceParts::new(&mut v, 4);
+        let _a = parts.take(1);
+        let _b = parts.take(1);
+    }
+
+    #[test]
+    fn writes_land_in_the_right_place() {
+        let mut v = vec![0i32; 9];
+        {
+            let parts = SliceParts::new(&mut v, 3);
+            for i in (0..3).rev() {
+                for (k, slot) in parts.take(i).iter_mut().enumerate() {
+                    *slot = (i * 3 + k) as i32;
+                }
+            }
+        }
+        assert_eq!(v, (0..9).collect::<Vec<_>>());
+    }
+}

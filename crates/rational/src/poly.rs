@@ -1,0 +1,262 @@
+//! Dense univariate polynomials over [`Rational`].
+//!
+//! Coefficients are stored lowest-degree first (`coeffs[k]` multiplies `x^k`).
+//! The representation is kept trimmed: the highest stored coefficient of a
+//! nonzero polynomial is nonzero, and the zero polynomial stores a single
+//! zero coefficient.
+
+use crate::Rational;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// Dense polynomial over the rationals, lowest degree first.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<Rational>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: vec![Rational::ZERO] }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly { coeffs: vec![Rational::ONE] }
+    }
+
+    /// Build from coefficients (lowest degree first); trailing zeros trimmed.
+    pub fn from_coeffs(coeffs: Vec<Rational>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The monic linear polynomial `x - root`.
+    pub fn linear_from_root(root: Rational) -> Self {
+        Poly { coeffs: vec![-root, Rational::ONE] }
+    }
+
+    /// `Π (x - r)` over the given roots.
+    pub fn from_roots(roots: &[Rational]) -> Self {
+        roots
+            .iter()
+            .fold(Poly::one(), |acc, &r| &acc * &Poly::linear_from_root(r))
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.len() > 1 && self.coeffs.last().is_some_and(Rational::is_zero) {
+            self.coeffs.pop();
+        }
+        if self.coeffs.is_empty() {
+            self.coeffs.push(Rational::ZERO);
+        }
+    }
+
+    /// Degree of the polynomial; the zero polynomial reports degree 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.len() == 1 && self.coeffs[0].is_zero()
+    }
+
+    /// Coefficient of `x^k` (zero beyond the stored degree).
+    pub fn coeff(&self, k: usize) -> Rational {
+        self.coeffs.get(k).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// All stored coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[Rational] {
+        &self.coeffs
+    }
+
+    /// Evaluate at `x` by Horner's rule.
+    pub fn eval(&self, x: Rational) -> Rational {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Rational::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// Multiply every coefficient by a scalar.
+    pub fn scale(&self, s: Rational) -> Self {
+        Poly::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Exact division by `(x - root)`. Panics if `root` is not a root.
+    pub fn divide_by_linear_root(&self, root: Rational) -> Self {
+        assert!(self.eval(root).is_zero(), "not a root: {root}");
+        // Synthetic division, highest degree first.
+        let n = self.coeffs.len();
+        let mut out = vec![Rational::ZERO; n - 1];
+        let mut carry = Rational::ZERO;
+        for k in (0..n).rev() {
+            let v = self.coeffs[k] + carry;
+            if k == 0 {
+                debug_assert!(v.is_zero());
+            } else {
+                out[k - 1] = v;
+                carry = v * root;
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|k| self.coeff(k) + rhs.coeff(k)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let coeffs = (0..n).map(|k| self.coeff(k) - rhs.coeff(k)).collect();
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut coeffs = vec![Rational::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            match k {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "({c})x")?,
+                _ => write!(f, "({c})x^{k}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn ri(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn from_roots_expands_correctly() {
+        // (x-1)(x+1) = x^2 - 1
+        let p = Poly::from_roots(&[ri(1), ri(-1)]);
+        assert_eq!(p.coeffs(), &[ri(-1), ri(0), ri(1)]);
+        // (x-1)(x+1)(x-2)(x+2)(x-1/2)(x+1/2) = x^6 - 21/4 x^4 + 21/4 x^2 - 1
+        let p = Poly::from_roots(&[ri(1), ri(-1), ri(2), ri(-2), r(1, 2), r(-1, 2)]);
+        assert_eq!(
+            p.coeffs(),
+            &[ri(-1), ri(0), r(21, 4), ri(0), r(-21, 4), ri(0), ri(1)]
+        );
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = Poly::from_coeffs(vec![ri(1), ri(-3), ri(2)]); // 2x^2 - 3x + 1
+        assert_eq!(p.eval(ri(0)), ri(1));
+        assert_eq!(p.eval(ri(1)), ri(0));
+        assert_eq!(p.eval(r(1, 2)), ri(0));
+        assert_eq!(p.eval(ri(2)), ri(3));
+    }
+
+    #[test]
+    fn trim_behaviour() {
+        let p = Poly::from_coeffs(vec![ri(1), ri(0), ri(0)]);
+        assert_eq!(p.degree(), 0);
+        let z = Poly::from_coeffs(vec![ri(0), ri(0)]);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), 0);
+    }
+
+    #[test]
+    fn divide_by_linear_root_inverts_multiplication() {
+        let roots = [ri(0), ri(1), ri(-1), ri(2), r(1, 2)];
+        let p = Poly::from_roots(&roots);
+        let q = p.divide_by_linear_root(ri(2));
+        assert_eq!(q, Poly::from_roots(&[ri(0), ri(1), ri(-1), r(1, 2)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn divide_by_non_root_panics() {
+        let p = Poly::from_roots(&[ri(1)]);
+        let _ = p.divide_by_linear_root(ri(3));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Poly::from_coeffs(vec![ri(1), ri(2)]); // 1 + 2x
+        let b = Poly::from_coeffs(vec![ri(3), ri(4)]); // 3 + 4x
+        assert_eq!((&a + &b).coeffs(), &[ri(4), ri(6)]);
+        assert_eq!((&a - &b).coeffs(), &[ri(-2), ri(-2)]);
+        assert_eq!((&a * &b).coeffs(), &[ri(3), ri(10), ri(8)]);
+        assert_eq!(a.scale(r(1, 2)).coeffs(), &[r(1, 2), ri(1)]);
+    }
+
+    fn small_poly() -> impl Strategy<Value = Poly> {
+        proptest::collection::vec((-20i128..20, 1i128..8), 1..6)
+            .prop_map(|v| Poly::from_coeffs(v.into_iter().map(|(n, d)| Rational::new(n, d)).collect()))
+    }
+
+    proptest! {
+        #[test]
+        fn mul_eval_homomorphism(a in small_poly(), b in small_poly(), x in -6i128..6) {
+            let x = Rational::from_int(x);
+            prop_assert_eq!((&a * &b).eval(x), a.eval(x) * b.eval(x));
+            prop_assert_eq!((&a + &b).eval(x), a.eval(x) + b.eval(x));
+        }
+
+        #[test]
+        fn roots_are_roots(roots in proptest::collection::vec(-5i128..5, 1..6)) {
+            let roots: Vec<Rational> = roots.into_iter().map(Rational::from_int).collect();
+            let p = Poly::from_roots(&roots);
+            for &r in &roots {
+                prop_assert!(p.eval(r).is_zero());
+            }
+            prop_assert_eq!(p.degree(), roots.len());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Convolution shape bookkeeping (Table 1 notation).
+
+/// The shape of one 2-D convolution: `Y[N, OH, OW, OC] = X[N, IH, IW, IC] ∗
+/// W[OC, FH, FW, IC]` with padding `(ph, pw)` and stride `(sh, sw)`.
+///
+/// Im2col-Winograd itself handles the unit-stride case; non-unit strides are
+/// carried so the GEMM fallback (and the `nn` crate's down-sampling layers)
+/// share this type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvShape {
+    pub n: usize,
+    pub ih: usize,
+    pub iw: usize,
+    pub ic: usize,
+    pub oc: usize,
+    pub fh: usize,
+    pub fw: usize,
+    pub ph: usize,
+    pub pw: usize,
+    pub sh: usize,
+    pub sw: usize,
+}
+
+impl ConvShape {
+    /// Unit-stride shape (the case Im2col-Winograd accelerates).
+    pub fn unit(n: usize, ih: usize, iw: usize, ic: usize, oc: usize, fh: usize, fw: usize, ph: usize, pw: usize) -> Self {
+        ConvShape { n, ih, iw, ic, oc, fh, fw, ph, pw, sh: 1, sw: 1 }
+    }
+
+    /// Square unit-stride shape with `r×r` filter and the "same-ish" padding
+    /// `⌊r/2⌋` the paper's experiments use (§6).
+    pub fn square(n: usize, hw: usize, ic: usize, oc: usize, r: usize) -> Self {
+        Self::unit(n, hw, hw, ic, oc, r, r, r / 2, r / 2)
+    }
+
+    pub fn oh(&self) -> usize {
+        assert!(self.ih + 2 * self.ph >= self.fh, "filter taller than padded input");
+        (self.ih + 2 * self.ph - self.fh) / self.sh + 1
+    }
+
+    pub fn ow(&self) -> usize {
+        assert!(self.iw + 2 * self.pw >= self.fw, "filter wider than padded input");
+        (self.iw + 2 * self.pw - self.fw) / self.sw + 1
+    }
+
+    pub fn is_unit_stride(&self) -> bool {
+        self.sh == 1 && self.sw == 1
+    }
+
+    /// Input dims `[N, IH, IW, IC]`.
+    pub fn x_dims(&self) -> [usize; 4] {
+        [self.n, self.ih, self.iw, self.ic]
+    }
+
+    /// Filter dims in the native `OC×FH×FW×IC` layout.
+    pub fn w_dims(&self) -> [usize; 4] {
+        [self.oc, self.fh, self.fw, self.ic]
+    }
+
+    /// Output dims `[N, OH, OW, OC]`.
+    pub fn y_dims(&self) -> [usize; 4] {
+        [self.n, self.oh(), self.ow(), self.oc]
+    }
+
+    /// FLOPs of the standard algorithm: `2·N·OC·OH·OW·FH·FW·IC` (§6.1.1).
+    /// Gflop/s figures in the paper divide this count by wall time for every
+    /// algorithm, Winograd included.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.n as f64
+            * self.oc as f64
+            * self.oh() as f64
+            * self.ow() as f64
+            * self.fh as f64
+            * self.fw as f64
+            * self.ic as f64
+    }
+
+    /// A shape quoted by its ofms, the format Figures 8/9 use
+    /// (`N×OH×OW×OC`), for square feature maps: recover the input dims from
+    /// the output dims for a unit-stride `r×r`/`⌊r/2⌋`-padding convolution.
+    pub fn from_ofms(n: usize, oh: usize, ow: usize, oc: usize, ic: usize, r: usize) -> Self {
+        let p = r / 2;
+        // oh = ih + 2p − r + 1  ⟹  ih = oh + r − 1 − 2p
+        let ih = oh + r - 1 - 2 * p;
+        let iw = ow + r - 1 - 2 * p;
+        ConvShape { n, ih, iw, ic, oc, fh: r, fw: r, ph: p, pw: p, sh: 1, sw: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_padding_keeps_size_for_odd_filters() {
+        for r in [3usize, 5, 7, 9] {
+            let s = ConvShape::square(2, 32, 16, 16, r);
+            assert_eq!(s.oh(), 32, "r = {r}");
+            assert_eq!(s.ow(), 32);
+        }
+    }
+
+    #[test]
+    fn even_filters_shrink_by_one_with_floor_padding() {
+        for r in [2usize, 4, 6, 8] {
+            let s = ConvShape::square(1, 32, 8, 8, r);
+            assert_eq!(s.oh(), 32 + 2 * (r / 2) - r + 1);
+        }
+    }
+
+    #[test]
+    fn from_ofms_roundtrip() {
+        for r in 2..=9usize {
+            let s = ConvShape::from_ofms(32, 64, 64, 128, 64, r);
+            assert_eq!(s.oh(), 64, "r = {r}");
+            assert_eq!(s.ow(), 64);
+            assert_eq!(s.y_dims(), [32, 64, 64, 128]);
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        let s = ConvShape::unit(1, 4, 4, 2, 3, 3, 3, 1, 1);
+        assert_eq!(s.flops(), 2.0 * 3.0 * 4.0 * 4.0 * 3.0 * 3.0 * 2.0);
+    }
+
+    #[test]
+    fn strided_output_dims() {
+        let s = ConvShape { sh: 2, sw: 2, ..ConvShape::square(1, 32, 8, 8, 3) };
+        assert_eq!(s.oh(), 16);
+        assert_eq!(s.ow(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_filter_panics() {
+        let s = ConvShape::unit(1, 2, 2, 1, 1, 5, 5, 0, 0);
+        let _ = s.oh();
+    }
+}

@@ -1,0 +1,196 @@
+//! 5-D tensors in NDHWC layout, for the ND extension of Im2col-Winograd
+//! (§4.2: "Im2col-Winograd can be applied to ND convolution, by expanding
+//! Stage1 Im2col to ND, while remaining Stage2 unchanged").
+
+use crate::Scalar;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A dense 5-D tensor (`N×D×H×W×C` for volumetric feature maps,
+/// `OC×FD×FH×FW×IC` for 3-D filters).
+#[derive(Clone, PartialEq)]
+pub struct Tensor5<T: Scalar = f32> {
+    dims: [usize; 5],
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor5<T> {
+    pub fn zeros(dims: [usize; 5]) -> Self {
+        let len = dims.iter().product();
+        Tensor5 { dims, data: vec![T::ZERO; len] }
+    }
+
+    pub fn from_vec(dims: [usize; 5], data: Vec<T>) -> Self {
+        assert_eq!(data.len(), dims.iter().product::<usize>(), "shape/volume mismatch");
+        Tensor5 { dims, data }
+    }
+
+    pub fn random(dims: [usize; 5], seed: u64, lo: f64, hi: f64) -> Self {
+        let mut t = Self::zeros(dims);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(lo, hi);
+        for v in &mut t.data {
+            *v = T::from_f64(dist.sample(&mut rng));
+        }
+        t
+    }
+
+    pub fn dims(&self) -> [usize; 5] {
+        self.dims
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn offset(&self, i: usize, j: usize, k: usize, l: usize, m: usize) -> usize {
+        debug_assert!(
+            i < self.dims[0] && j < self.dims[1] && k < self.dims[2] && l < self.dims[3] && m < self.dims[4]
+        );
+        (((i * self.dims[1] + j) * self.dims[2] + k) * self.dims[3] + l) * self.dims[4] + m
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize, l: usize, m: usize) -> T {
+        self.data[self.offset(i, j, k, l, m)]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize, k: usize, l: usize, m: usize) -> &mut T {
+        let o = self.offset(i, j, k, l, m);
+        &mut self.data[o]
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    pub fn cast<U: Scalar>(&self) -> Tensor5<U> {
+        Tensor5 {
+            dims: self.dims,
+            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Tensor5<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor5{:?} ({} elems)", self.dims, self.data.len())
+    }
+}
+
+/// Shape of a unit-stride 3-D convolution,
+/// `Y[N, OD, OH, OW, OC] = X[N, ID, IH, IW, IC] ∗ W[OC, FD, FH, FW, IC]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv3dShape {
+    pub n: usize,
+    pub id: usize,
+    pub ih: usize,
+    pub iw: usize,
+    pub ic: usize,
+    pub oc: usize,
+    pub fd: usize,
+    pub fh: usize,
+    pub fw: usize,
+    pub pd: usize,
+    pub ph: usize,
+    pub pw: usize,
+}
+
+impl Conv3dShape {
+    /// Cubic unit-stride shape with an `r×r×r` filter and `⌊r/2⌋` padding.
+    pub fn cube(n: usize, dhw: usize, ic: usize, oc: usize, r: usize) -> Self {
+        Conv3dShape {
+            n,
+            id: dhw,
+            ih: dhw,
+            iw: dhw,
+            ic,
+            oc,
+            fd: r,
+            fh: r,
+            fw: r,
+            pd: r / 2,
+            ph: r / 2,
+            pw: r / 2,
+        }
+    }
+
+    pub fn od(&self) -> usize {
+        self.id + 2 * self.pd + 1 - self.fd
+    }
+
+    pub fn oh(&self) -> usize {
+        self.ih + 2 * self.ph + 1 - self.fh
+    }
+
+    pub fn ow(&self) -> usize {
+        self.iw + 2 * self.pw + 1 - self.fw
+    }
+
+    pub fn x_dims(&self) -> [usize; 5] {
+        [self.n, self.id, self.ih, self.iw, self.ic]
+    }
+
+    pub fn w_dims(&self) -> [usize; 5] {
+        [self.oc, self.fd, self.fh, self.fw, self.ic]
+    }
+
+    pub fn y_dims(&self) -> [usize; 5] {
+        [self.n, self.od(), self.oh(), self.ow(), self.oc]
+    }
+
+    /// Standard-algorithm FLOPs: `2·N·OC·OD·OH·OW·FD·FH·FW·IC`.
+    pub fn flops(&self) -> f64 {
+        2.0 * (self.n * self.oc * self.od() * self.oh() * self.ow()) as f64
+            * (self.fd * self.fh * self.fw * self.ic) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing() {
+        let mut t = Tensor5::<f32>::zeros([2, 3, 4, 5, 6]);
+        *t.at_mut(1, 2, 3, 4, 5) = 9.0;
+        assert_eq!(t.at(1, 2, 3, 4, 5), 9.0);
+        assert_eq!(t.offset(0, 0, 0, 0, 1), 1);
+        assert_eq!(t.offset(0, 0, 0, 1, 0), 6);
+        assert_eq!(t.offset(0, 0, 1, 0, 0), 30);
+        assert_eq!(t.offset(0, 1, 0, 0, 0), 120);
+        assert_eq!(t.offset(1, 0, 0, 0, 0), 360);
+    }
+
+    #[test]
+    fn cube_shape_same_padding() {
+        for r in [3usize, 5, 7] {
+            let s = Conv3dShape::cube(1, 10, 4, 4, r);
+            assert_eq!((s.od(), s.oh(), s.ow()), (10, 10, 10));
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        let s = Conv3dShape::cube(2, 4, 3, 5, 3);
+        assert_eq!(s.flops(), 2.0 * (2 * 5 * 4 * 4 * 4) as f64 * (27 * 3) as f64);
+    }
+
+    #[test]
+    fn random_deterministic() {
+        let a = Tensor5::<f32>::random([1, 2, 2, 2, 2], 9, -1.0, 1.0);
+        let b = Tensor5::<f32>::random([1, 2, 2, 2, 2], 9, -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! A small dense rational matrix with f32/f64 export.
+
+use iwino_rational::Rational;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense matrix over [`Rational`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![Rational::ZERO; rows * cols] }
+    }
+
+    /// Build from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<Rational>]) -> Self {
+        assert!(!rows.is_empty());
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Parse from strings like `"1 0 -21/4 0"` (one string per row). Test aid.
+    pub fn parse(rows: &[&str]) -> Self {
+        let parsed: Vec<Vec<Rational>> = rows
+            .iter()
+            .map(|row| {
+                row.split_whitespace()
+                    .map(|tok| tok.parse().unwrap_or_else(|e| panic!("bad token {tok:?}: {e}")))
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&parsed)
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, i: usize) -> &[Rational] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Exact matrix–vector product.
+    pub fn mat_vec(&self, v: &[Rational]) -> Vec<Rational> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(Rational::ZERO, |acc, (&m, &x)| acc + m * x)
+            })
+            .collect()
+    }
+
+    /// Exact matrix–matrix product.
+    pub fn mat_mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] = out[(i, j)] + a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-major f32 export (what the conv kernels consume).
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.data.iter().map(Rational::to_f32).collect()
+    }
+
+    /// Row-major f64 export (what the f64 reference kernels consume).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.data.iter().map(Rational::to_f64).collect()
+    }
+
+    /// Number of multiplications a naive dense application performs per
+    /// input vector: count of nonzero, non-±1 entries (additions of ±1
+    /// entries are free of multiplies). Basis for the §5.3 ablation.
+    pub fn mul_count(&self) -> usize {
+        self.data
+            .iter()
+            .filter(|c| !c.is_zero() && c.abs() != Rational::ONE)
+            .count()
+    }
+
+    /// Count of nonzero entries (total FMA work of a dense application).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|c| !c.is_zero()).count()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    #[test]
+    fn parse_and_index() {
+        let m = Matrix::parse(&["1 0 -21/4", "0 1/2 1"]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 2)], Rational::new(-21, 4));
+        assert_eq!(m[(1, 1)], Rational::new(1, 2));
+    }
+
+    #[test]
+    fn mat_vec_and_mul() {
+        let m = Matrix::parse(&["1 2", "3 4"]);
+        assert_eq!(m.mat_vec(&[ri(1), ri(1)]), vec![ri(3), ri(7)]);
+        let p = m.mat_mul(&Matrix::parse(&["1 0", "0 1"]));
+        assert_eq!(p, m);
+        let sq = m.mat_mul(&m);
+        assert_eq!(sq, Matrix::parse(&["7 10", "15 22"]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::parse(&["1 2 3", "4 5 6"]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], ri(6));
+    }
+
+    #[test]
+    fn mul_count_ignores_unit_entries() {
+        let m = Matrix::parse(&["1 -1 0 1/2", "2 0 0 1"]);
+        assert_eq!(m.mul_count(), 2); // 1/2 and 2
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn float_export() {
+        let m = Matrix::parse(&["-21/4 1/2"]);
+        assert_eq!(m.to_f64(), vec![-5.25, 0.5]);
+        assert_eq!(m.to_f32(), vec![-5.25f32, 0.5]);
+    }
+}

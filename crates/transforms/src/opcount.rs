@@ -1,0 +1,126 @@
+//! Arithmetic cost accounting for the `Γα(n, r)` pipeline.
+//!
+//! Counts the multiplications each stage performs per output element, which
+//! is the quantity behind the paper's complexity statements: the elem-mul
+//! stage dominates at large channels ("the time complexity of Winograd
+//! primarily arises from the elem-mul stage", §2), while transforms are the
+//! fixed tax the §5.3 simplification halves.
+
+use crate::{PairedTransform, WinogradTransform};
+
+/// Multiplication counts per *output element* of a 2-D convolution run as
+/// `Γα(n, r)` over an `r×r` filter with `IC` input channels.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpCount {
+    /// Element-wise multiply stage: `α·r·IC / n` per output.
+    pub elem_mul: f64,
+    /// Input transform (per output, amortised over the tile; paired plan).
+    pub input_transform: f64,
+    /// Output transform (per output; paired plan).
+    pub output_transform: f64,
+    /// Filter transform per output at batch `n_batch` (amortised over the
+    /// whole ofms — vanishes for big batches).
+    pub filter_transform: f64,
+}
+
+impl OpCount {
+    pub fn total(&self) -> f64 {
+        self.elem_mul + self.input_transform + self.output_transform + self.filter_transform
+    }
+}
+
+/// Cost of `Γα(n, r)` per output element.
+///
+/// * `ic` — input channels (elem-mul and input transform scale with it);
+/// * `oc` — output channels *sharing* each transformed input tile (the
+///   outer-product width `BN`; transformed tiles are shared across the
+///   whole block, which is why transforms vanish at scale, §2);
+/// * `outputs_per_filter_use` — `N·OH·OW / (FH·…)` scale over which the
+///   filter transform amortises; pass `f64::INFINITY` to ignore it.
+pub fn gamma_op_count(t: &WinogradTransform, fh: usize, ic: usize, oc: usize, outputs_per_filter_use: f64) -> OpCount {
+    let alpha = t.alpha as f64;
+    let n = t.n as f64;
+    // Elem-mul: α states per tile, accumulated over FH·IC — α·FH·IC muls
+    // per tile of n outputs.
+    let elem_mul = alpha * fh as f64 * ic as f64 / n;
+    // Input transform: one Dᵀ application per (tile, fh, ic), shared by
+    // the oc outputs of the block.
+    let dt_muls = PairedTransform::from_matrix(&t.dt).mul_count() as f64;
+    let input_transform = dt_muls * fh as f64 * ic as f64 / n / oc as f64;
+    // Output transform: one Aᵀ application per (tile, oc): n·α-ish muls for
+    // n outputs — per output, divided by nothing else.
+    let at_muls = PairedTransform::from_matrix(&t.at).mul_count() as f64;
+    let output_transform = at_muls / n;
+    // Filter transform: α·r muls per (fh, ic, oc) element set, amortised.
+    let filter_transform = if outputs_per_filter_use.is_finite() {
+        alpha * t.r as f64 * fh as f64 * ic as f64 / outputs_per_filter_use
+    } else {
+        0.0
+    };
+    OpCount { elem_mul, input_transform, output_transform, filter_transform }
+}
+
+/// Multiplications per output of the standard (direct/GEMM) algorithm.
+pub fn standard_op_count(fh: usize, fw: usize, ic: usize) -> f64 {
+    (fh * fw * ic) as f64
+}
+
+/// Effective multiplication reduction including transform overhead — the
+/// realistic Φ the kernels can convert, as opposed to the ideal `n·r/α`.
+pub fn effective_phi(t: &WinogradTransform, fh: usize, fw: usize, ic: usize, oc: usize) -> f64 {
+    let ops = gamma_op_count(t, fh, ic, oc, f64::INFINITY);
+    standard_op_count(fh, fw, ic) / ops.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_mul_matches_phi_at_large_channels() {
+        // With IC → ∞ the transforms amortise away and the effective Φ
+        // approaches the ideal n·r/α — the §2 "ideal conditions" statement.
+        let t = WinogradTransform::generate(6, 3);
+        let ideal = t.theoretical_speedup();
+        let eff_small = effective_phi(&t, 3, 3, 4, 8);
+        let eff_big = effective_phi(&t, 3, 3, 4096, 64);
+        assert!(eff_big > eff_small);
+        assert!(ideal - eff_big < 0.15, "eff {eff_big} vs ideal {ideal}");
+        assert!(ideal - eff_small > 0.3, "transforms must hurt at IC = 4");
+    }
+
+    #[test]
+    fn gamma16_pays_more_transform_tax() {
+        // Γ16's bigger transforms eat more of its Φ at equal channels —
+        // the op-count view of the §6.1.2 magnitudes.
+        let g8 = WinogradTransform::generate(6, 3);
+        let g16 = WinogradTransform::generate(8, 9);
+        let tax = |t: &WinogradTransform, fh: usize, fw: usize| {
+            let eff = effective_phi(t, fh, fw, 64, 32);
+            eff / t.theoretical_speedup()
+        };
+        assert!(tax(&g8, 3, 3) > tax(&g16, 9, 9), "Γ8 should convert Φ better");
+    }
+
+    #[test]
+    fn op_count_components_are_positive_and_ordered() {
+        let t = WinogradTransform::generate(4, 5);
+        let ops = gamma_op_count(&t, 5, 128, 64, 1e6);
+        assert!(ops.elem_mul > 0.0);
+        assert!(ops.input_transform > 0.0);
+        assert!(ops.output_transform > 0.0);
+        assert!(ops.filter_transform > 0.0);
+        // At 128 channels the elem-mul stage dominates (§2).
+        assert!(ops.elem_mul > ops.output_transform);
+        assert!(ops.total() < standard_op_count(5, 5, 128));
+    }
+
+    #[test]
+    fn filter_transform_amortises() {
+        let t = WinogradTransform::generate(6, 3);
+        let few = gamma_op_count(&t, 3, 64, 64, 100.0);
+        let many = gamma_op_count(&t, 3, 64, 64, 1e9);
+        assert!(few.filter_transform > 1000.0 * many.filter_transform.max(1e-12));
+        assert_eq!(few.elem_mul, many.elem_mul);
+    }
+}

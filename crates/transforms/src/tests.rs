@@ -1,0 +1,297 @@
+//! Unit + property tests for transform generation.
+//!
+//! The pinning tests check generated matrices against the matrices printed
+//! in the paper's Figure 5 (same interpolation points, same normalisation,
+//! same sign convention), entry for entry.
+
+use super::*;
+use iwino_rational::Rational;
+use proptest::prelude::*;
+
+fn ri(v: i128) -> Rational {
+    Rational::from_int(v)
+}
+
+fn r(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+#[test]
+fn points_sequence_matches_paper() {
+    let p = interpolation_points(15);
+    let expect = [
+        ri(0),
+        ri(1),
+        ri(-1),
+        ri(2),
+        ri(-2),
+        r(1, 2),
+        r(-1, 2),
+        ri(3),
+        ri(-3),
+        r(1, 3),
+        r(-1, 3),
+        ri(4),
+        ri(-4),
+        r(1, 4),
+        r(-1, 4),
+    ];
+    assert_eq!(p, expect);
+}
+
+#[test]
+#[should_panic]
+fn too_many_points_panics() {
+    let _ = interpolation_points(16);
+}
+
+// --- Figure 5 pinning: α = 4 ---
+
+#[test]
+fn pin_a_4_3_transposed() {
+    // A(4,3)ᵀ is the output transform of F(3, 2).
+    let t = WinogradTransform::generate(3, 2);
+    let expect = Matrix::parse(&["1 1 1 0", "0 1 -1 0", "0 1 1 1"]);
+    assert_eq!(t.at, expect, "A(4,3)^T mismatch: {:?}", t.at);
+}
+
+#[test]
+fn pin_d_4_transposed() {
+    // D(4)ᵀ depends only on α = 4.
+    let expect = Matrix::parse(&["1 0 -1 0", "0 1 1 0", "0 -1 1 0", "0 -1 0 1"]);
+    for (n, rr) in [(2usize, 3usize), (3, 2)] {
+        let t = WinogradTransform::generate(n, rr);
+        assert_eq!(t.dt, expect, "D(4)^T mismatch for F({n},{rr}): {:?}", t.dt);
+    }
+}
+
+#[test]
+fn pin_g_4_3() {
+    // G(4,3) is the filter transform of F(2, 3).
+    let t = WinogradTransform::generate(2, 3);
+    let expect = Matrix::parse(&["1 0 0", "1/2 1/2 1/2", "1/2 -1/2 1/2", "0 0 1"]);
+    assert_eq!(t.g, expect, "G(4,3) mismatch: {:?}", t.g);
+}
+
+// --- Figure 5 pinning: α = 8 ---
+
+#[test]
+fn pin_a_8_7_transposed() {
+    let t = WinogradTransform::generate(7, 2);
+    let expect = Matrix::parse(&[
+        "1 1 1 1 1 1 1 0",
+        "0 1 -1 2 -2 1/2 -1/2 0",
+        "0 1 1 4 4 1/4 1/4 0",
+        "0 1 -1 8 -8 1/8 -1/8 0",
+        "0 1 1 16 16 1/16 1/16 0",
+        "0 1 -1 32 -32 1/32 -1/32 0",
+        "0 1 1 64 64 1/64 1/64 1",
+    ]);
+    assert_eq!(t.at, expect, "A(8,7)^T mismatch: {:?}", t.at);
+}
+
+#[test]
+fn pin_g_8_7() {
+    let t = WinogradTransform::generate(2, 7);
+    let expect = Matrix::parse(&[
+        "1 0 0 0 0 0 0",
+        "-2/9 -2/9 -2/9 -2/9 -2/9 -2/9 -2/9",
+        "-2/9 2/9 -2/9 2/9 -2/9 2/9 -2/9",
+        "1/90 2/90 4/90 8/90 16/90 32/90 64/90",
+        "1/90 -2/90 4/90 -8/90 16/90 -32/90 64/90",
+        "64/90 32/90 16/90 8/90 4/90 2/90 1/90",
+        "64/90 -32/90 16/90 -8/90 4/90 -2/90 1/90",
+        "0 0 0 0 0 0 1",
+    ]);
+    assert_eq!(t.g, expect, "G(8,7) mismatch: {:?}", t.g);
+}
+
+#[test]
+fn pin_d_8_transposed() {
+    let expect = Matrix::parse(&[
+        "1 0 -21/4 0 21/4 0 -1 0",
+        "0 1 1 -17/4 -17/4 1 1 0",
+        "0 -1 1 17/4 -17/4 -1 1 0",
+        "0 1/2 1/4 -5/2 -5/4 2 1 0",
+        "0 -1/2 1/4 5/2 -5/4 -2 1 0",
+        "0 2 4 -5/2 -5 1/2 1 0",
+        "0 -2 4 5/2 -5 -1/2 1 0",
+        "0 -1 0 21/4 0 -21/4 0 1",
+    ]);
+    for (n, rr) in [(2usize, 7usize), (6, 3), (4, 5), (7, 2)] {
+        let t = WinogradTransform::generate(n, rr);
+        assert_eq!(t.dt, expect, "D(8)^T mismatch for F({n},{rr}): {:?}", t.dt);
+    }
+}
+
+// --- Figure 5 pinning: α = 16 (spot checks on the giant matrices) ---
+
+#[test]
+fn pin_a_16_15_rows() {
+    let t = WinogradTransform::generate(15, 2);
+    assert_eq!(t.alpha, 16);
+    // Row 0: all ones over finite points, 0 at ∞.
+    for j in 0..15 {
+        assert_eq!(t.at[(0, j)], ri(1));
+    }
+    assert_eq!(t.at[(0, 15)], ri(0));
+    // Row 1 = the points themselves.
+    let pts = interpolation_points(15);
+    for (j, &p) in pts.iter().enumerate() {
+        assert_eq!(t.at[(1, j)], p);
+    }
+    // Row 14 (i = 14): p^14; paper shows 4^14 = 268435456 and 3^14 = 4782969.
+    assert_eq!(t.at[(14, 11)], ri(268_435_456));
+    assert_eq!(t.at[(14, 7)], ri(4_782_969));
+    assert_eq!(t.at[(14, 13)], r(1, 268_435_456));
+    assert_eq!(t.at[(14, 15)], ri(1));
+}
+
+#[test]
+fn pin_g_16_15_rows() {
+    let t = WinogradTransform::generate(2, 15);
+    assert_eq!(t.alpha, 16);
+    // Paper row for p = 1: all entries −1/450.
+    for j in 0..15 {
+        assert_eq!(t.g[(1, j)], r(-1, 450), "G(16,15) row1 col{j}");
+    }
+    // Paper row for p = 2: 2^(j+1) / 165375 (N₂ = 165375/2).
+    for j in 0..15 {
+        assert_eq!(t.g[(3, j)], r(2i128 << j, 165_375), "G(16,15) row3 col{j}");
+    }
+    // Paper row for p = 3: −3^j / 3503500.
+    assert_eq!(t.g[(7, 0)], r(-1, 3_503_500));
+    assert_eq!(t.g[(7, 14)], r(-4_782_969, 3_503_500));
+    // Paper row for p = 4: 4^j / 160810650.
+    assert_eq!(t.g[(11, 0)], r(1, 160_810_650));
+    assert_eq!(t.g[(11, 14)], r(268_435_456, 160_810_650));
+    // ∞ row.
+    assert_eq!(t.g[(15, 14)], ri(1));
+    assert_eq!(t.g[(15, 0)], ri(0));
+}
+
+#[test]
+fn pin_d_16_rows() {
+    let t = WinogradTransform::generate(8, 9);
+    assert_eq!(t.alpha, 16);
+    // Paper D(16)ᵀ row 0:
+    let row0 = [
+        "1", "0", "-4381/144", "0", "164597/576", "0", "-539803/576", "0", "539803/576", "0",
+        "-164597/576", "0", "4381/144", "0", "-1", "0",
+    ];
+    for (j, s) in row0.iter().enumerate() {
+        let want: Rational = s.parse().unwrap();
+        assert_eq!(t.dt[(0, j)], want, "D(16)^T row0 col{j}");
+    }
+    // Paper D(16)ᵀ row 1:
+    let row1 = [
+        "0", "1", "1", "-4237/144", "-4237/144", "147649/576", "147649/576", "-65359/96",
+        "-65359/96", "147649/576", "147649/576", "-4237/144", "-4237/144", "1", "1", "0",
+    ];
+    for (j, s) in row1.iter().enumerate() {
+        let want: Rational = s.parse().unwrap();
+        assert_eq!(t.dt[(1, j)], want, "D(16)^T row1 col{j}");
+    }
+    // ∞ row mirrors row 0 with flipped interior signs (paper's last row).
+    let row15 = [
+        "0", "-1", "0", "4381/144", "0", "-164597/576", "0", "539803/576", "0", "-539803/576",
+        "0", "164597/576", "0", "-4381/144", "0", "1",
+    ];
+    for (j, s) in row15.iter().enumerate() {
+        let want: Rational = s.parse().unwrap();
+        assert_eq!(t.dt[(15, j)], want, "D(16)^T row15 col{j}");
+    }
+}
+
+// --- Semantics: the generated algorithm computes correlation, exactly ---
+
+#[test]
+fn all_supported_shapes_are_exact() {
+    for alpha in [4usize, 8, 16] {
+        for rr in 2..alpha {
+            let n = alpha + 1 - rr;
+            let t = WinogradTransform::generate(n, rr);
+            assert_eq!(t.alpha, alpha);
+            // A deterministic but non-trivial rational input set.
+            let g: Vec<Rational> = (0..rr).map(|i| r(2 * i as i128 - 3, 1 + i as i128)).collect();
+            let d: Vec<Rational> = (0..alpha).map(|i| r(i as i128 + 1, 2 + (i as i128 % 3))).collect();
+            let got = t.apply_exact(&g, &d);
+            let want = direct_correlation(&g, &d);
+            assert_eq!(got, want, "F({n},{rr}) exactness");
+        }
+    }
+}
+
+#[test]
+fn theoretical_speedup_values() {
+    // §6.1.2: Φ = n·r/α; Γ8(4,5)/Γ8(5,4) maximise Φ for α = 8 (20/8 = 2.5);
+    // Γ8(6,3) = 18/8 = 2.25; Γ8(2,7)/Γ8(7,2) = 14/8 = 1.75.
+    assert_eq!(WinogradTransform::generate(4, 5).theoretical_speedup(), 2.5);
+    assert_eq!(WinogradTransform::generate(5, 4).theoretical_speedup(), 2.5);
+    assert_eq!(WinogradTransform::generate(6, 3).theoretical_speedup(), 2.25);
+    assert_eq!(WinogradTransform::generate(2, 7).theoretical_speedup(), 1.75);
+    // Γ16(8,9)/Γ16(9,8) maximise for α = 16 (72/16 = 4.5) > Γ16(10,7) (70/16).
+    assert_eq!(WinogradTransform::generate(8, 9).theoretical_speedup(), 4.5);
+    assert_eq!(WinogradTransform::generate(10, 7).theoretical_speedup(), 4.375);
+}
+
+#[test]
+fn gamma_checks_alpha() {
+    let t = gamma(8, 6, 3);
+    assert_eq!((t.n, t.r, t.alpha), (6, 3, 8));
+}
+
+#[test]
+#[should_panic]
+fn gamma_rejects_bad_alpha() {
+    let _ = gamma(8, 6, 4);
+}
+
+#[test]
+fn f32_export_matches_known_values() {
+    let t = WinogradTransform::generate(6, 3);
+    let dt = t.dt.to_f32();
+    // D(8)ᵀ[0][2] = −21/4 = −5.25 exactly in f32.
+    assert_eq!(dt[2], -5.25f32);
+    assert_eq!(dt[0 * 8 + 4], 5.25f32);
+}
+
+proptest! {
+    #[test]
+    fn winograd_equals_correlation(
+        alpha_sel in 0usize..3,
+        rr in 2usize..9,
+        seed in proptest::collection::vec(-50i128..50, 32)
+    ) {
+        let alpha = [4usize, 8, 16][alpha_sel];
+        prop_assume!(rr < alpha);
+        let n = alpha + 1 - rr;
+        let t = WinogradTransform::generate(n, rr);
+        let g: Vec<Rational> = seed[..rr].iter().map(|&v| Rational::new(v, 7)).collect();
+        let d: Vec<Rational> = seed[rr..rr + alpha].iter().map(|&v| Rational::new(v, 5)).collect();
+        prop_assert_eq!(t.apply_exact(&g, &d), direct_correlation(&g, &d));
+    }
+
+    #[test]
+    fn f64_matrices_accurate(rr in 2usize..9, vals in proptest::collection::vec(-2.0f64..2.0, 32)) {
+        // The float-exported pipeline must agree with direct correlation to
+        // near machine precision for α = 8 (Table 3 reports ~1e-7 in f32).
+        let alpha = 8usize;
+        prop_assume!(rr < alpha);
+        let n = alpha + 1 - rr;
+        let t = WinogradTransform::generate(n, rr);
+        let g = &vals[..rr];
+        let d = &vals[rr..rr + alpha];
+        let gm = t.g.to_f64();
+        let dm = t.dt.to_f64();
+        let am = t.at.to_f64();
+        let tg: Vec<f64> = (0..alpha).map(|i| (0..rr).map(|j| gm[i * rr + j] * g[j]).sum()).collect();
+        let td: Vec<f64> = (0..alpha).map(|i| (0..alpha).map(|j| dm[i * alpha + j] * d[j]).sum()).collect();
+        let prod: Vec<f64> = tg.iter().zip(&td).map(|(a, b)| a * b).collect();
+        for i in 0..n {
+            let y: f64 = (0..alpha).map(|j| am[i * alpha + j] * prod[j]).sum();
+            let want: f64 = (0..rr).map(|j| g[j] * d[i + j]).sum();
+            prop_assert!((y - want).abs() < 1e-10 * want.abs().max(1.0), "row {}: {} vs {}", i, y, want);
+        }
+    }
+}

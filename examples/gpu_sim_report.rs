@@ -1,0 +1,81 @@
+//! Inspect the GPU cost model: occupancy, arithmetic intensity, bank
+//! behaviour and predicted Gflop/s for every Γ kernel on both of the
+//! paper's GPUs — a compact view of what drives the Figure 8/9 shapes.
+//!
+//! ```sh
+//! cargo run --release --example gpu_sim_report
+//! ```
+
+use im2col_winograd::core::{GammaSpec, Variant};
+use im2col_winograd::gpu_sim::model::{arithmetic_intensity, gamma_bank_efficiency, Algorithm, Layout};
+use im2col_winograd::gpu_sim::{occupancy, BlockResources, DeviceSpec};
+use im2col_winograd::tensor::ConvShape;
+
+fn main() {
+    println!("bank efficiency with §5.2 fixes: {:.2}", gamma_bank_efficiency(true));
+    println!("bank efficiency without fixes:   {:.2}\n", gamma_bank_efficiency(false));
+
+    for dev in [DeviceSpec::rtx3060ti(), DeviceSpec::rtx4090()] {
+        println!(
+            "== {} — peak {:.1} Tflop/s, {:.0} GB/s DRAM ==",
+            dev.name,
+            dev.peak_flops() / 1e12,
+            dev.mem_bw / 1e9
+        );
+        println!(
+            "{:<20} {:>7} {:>9} {:>10} {:>12} {:>12}",
+            "kernel", "Φ", "op/byte", "occupancy", "smem/block", "sim Gflop/s"
+        );
+        for (alpha, n, r, variant) in [
+            (8usize, 6usize, 3usize, Variant::Standard),
+            (8, 4, 5, Variant::Ruse),
+            (8, 2, 7, Variant::Ruse),
+            (16, 10, 7, Variant::C64),
+            (16, 9, 8, Variant::Ruse),
+            (16, 8, 9, Variant::C64),
+        ] {
+            let spec = GammaSpec::new(alpha, n, r, variant);
+            let (bn, bm) = match (alpha, variant) {
+                (4, _) => (64, 64),
+                (8, _) => (64, 32),
+                (16, Variant::C64) => (64, 32),
+                _ => (32, 32),
+            };
+            let block = BlockResources::gamma(alpha, bn, bm, variant == Variant::Ruse);
+            let occ = occupancy(&dev, &block);
+            let shape = ConvShape::from_ofms(128, 8 * n, 8 * n, 128, 128, r);
+            let sim = im2col_winograd::gpu_sim::estimate(
+                &dev,
+                &shape,
+                &Algorithm::Gamma { spec, include_transpose: false },
+            );
+            println!(
+                "{:<20} {:>7.2} {:>9.2} {:>9.0}% {:>11}B {:>12.0}",
+                format!("{spec}"),
+                spec.phi(),
+                arithmetic_intensity(alpha, r, bn, bm, variant == Variant::Ruse),
+                100.0 * occ.warp_occupancy,
+                block.smem_bytes,
+                sim.gflops
+            );
+        }
+        // Baselines for scale.
+        let shape = ConvShape::from_ofms(128, 48, 48, 128, 128, 3);
+        for (label, algo) in [
+            ("GEMM (NHWC)", Algorithm::ImplicitGemm { layout: Layout::Nhwc }),
+            ("GEMM (NCHW)", Algorithm::ImplicitGemm { layout: Layout::Nchw }),
+            ("Fused 2D Winograd", Algorithm::FusedWinograd2d),
+        ] {
+            let sim = im2col_winograd::gpu_sim::estimate(&dev, &shape, &algo);
+            println!("{label:<20} {:>7} {:>9.2} {:>10} {:>12} {:>12.0}", "-", sim.intensity, "-", "-", sim.gflops);
+        }
+        println!();
+    }
+    println!("Γ16(8×8, 9×9) as a *2-D* Winograd would need α² = 256 states:");
+    let blk = BlockResources::winograd2d(16, 32, 32);
+    let occ = occupancy(&DeviceSpec::rtx4090(), &blk);
+    println!(
+        "  smem/block = {} B > 49152 B budget ⟹ blocks/SM = {} (cannot launch — §4.2's flexibility argument)",
+        blk.smem_bytes, occ.blocks_per_sm
+    );
+}

@@ -1,0 +1,52 @@
+//! The ND extension (§4.2): volumetric (3-D) Im2col-Winograd convolution.
+//!
+//! "Im2col-Winograd can be applied to ND convolution, by expanding Stage1
+//! Im2col to ND, while remaining Stage2 unchanged." This example runs a 3-D
+//! convolution over a synthetic volume, verifies it against a direct FP64
+//! reference, and shows why 2-D/3-D *Winograd nesting* could never get
+//! here: `F(n×n×n, r×r×r)` would need α³ states.
+//!
+//! ```sh
+//! cargo run --release --example volumetric_conv3d
+//! ```
+
+use im2col_winograd::core::nd::{conv3d, direct_conv3d_f64};
+use im2col_winograd::tensor::{Conv3dShape, Tensor5};
+use std::time::Instant;
+
+fn main() {
+    // A small video/volume block: 2 × 16³ voxels × 16 channels, 3×3×3 filter.
+    let shape = Conv3dShape::cube(2, 16, 16, 16, 3);
+    println!("conv3d: {shape:?}");
+    println!("standard FLOPs: {:.2} Gflop", shape.flops() / 1e9);
+
+    let x = Tensor5::<f32>::random(shape.x_dims(), 1, -1.0, 1.0);
+    let w = Tensor5::<f32>::random(shape.w_dims(), 2, -1.0, 1.0);
+
+    let t0 = Instant::now();
+    let y = conv3d(&x, &w, &shape);
+    println!("im2col-winograd conv3d: {:?} ({:.1} Gflop/s)", t0.elapsed(), shape.flops() / t0.elapsed().as_secs_f64() / 1e9);
+
+    let t0 = Instant::now();
+    let truth = direct_conv3d_f64(&x, &w, &shape);
+    println!("direct FP64 reference:  {:?}", t0.elapsed());
+
+    let max_err = y
+        .as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .map(|(&g, &t)| ((g as f64) - t).abs() / (t.abs() + 1.0))
+        .fold(0.0f64, f64::max);
+    println!("max mixed error vs FP64: {max_err:.2e}");
+    assert!(max_err < 1e-3);
+
+    // The state-count argument, in numbers (§4.2 / §3):
+    println!("\nstate count per output tile (what must fit in fast memory):");
+    for (dims, desc) in [(1u32, "Im2col-Winograd Γ8(6,3), any-D"), (2, "2-D Winograd F(6×6, 3×3)"), (3, "3-D Winograd F(6×6×6, 3×3×3)")] {
+        let states = 8u64.pow(dims);
+        println!("  {desc:<38} α^{dims} = {states:>4} states");
+    }
+    println!("\nThe 48 KiB SMEM budget caps α at 24 (§4.1): nesting dies at 2-D for");
+    println!("big filters; the 1-D decomposition keeps α = 8 for any dimensionality.");
+    println!("ok.");
+}

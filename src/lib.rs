@@ -1,0 +1,73 @@
+//! **im2col-winograd** — a Rust reproduction of *"Im2col-Winograd: An
+//! Efficient and Flexible Fused-Winograd Convolution for NHWC Format on
+//! GPUs"* (ICPP '24).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`] — the paper's algorithm: `Γα(n, r)` convolution,
+//!   deconvolution, filter gradients, the boundary planner, and the §4.2
+//!   ND extension;
+//! * [`baselines`] — direct / im2col-GEMM / fused 2-D Winograd comparators;
+//! * [`transforms`] — exact Cook–Toom transform generation;
+//! * [`tensor`] — NHWC tensors and shapes;
+//! * [`gpu_sim`] — the RTX 3060 Ti / RTX 4090 cost model;
+//! * [`nn`] — the CNN training framework of Experiment 3;
+//! * [`parallel`] / [`rational`] — infrastructure.
+//!
+//! # Convolution in five lines
+//!
+//! ```
+//! use im2col_winograd::prelude::*;
+//!
+//! let shape = ConvShape::square(1, 12, 8, 8, 3); // batch, h=w, ic, oc, r
+//! let x = Tensor4::<f32>::random(shape.x_dims(), 1, -1.0, 1.0);
+//! let w = Tensor4::<f32>::random(shape.w_dims(), 2, -1.0, 1.0);
+//! let y = conv2d(&x, &w, &shape);
+//! assert_eq!(y.dims(), shape.y_dims());
+//! ```
+//!
+//! # It really is Winograd
+//!
+//! The `F(2,3)` transforms match the classic minimal-filtering matrices:
+//!
+//! ```
+//! use im2col_winograd::transforms::WinogradTransform;
+//!
+//! let t = WinogradTransform::generate(2, 3);
+//! assert_eq!(t.alpha, 4);
+//! // Four multiplications for two outputs of a 3-tap filter: Φ = 6/4.
+//! assert_eq!(t.theoretical_speedup(), 1.5);
+//! ```
+//!
+//! # And it agrees with the direct reference
+//!
+//! ```
+//! use im2col_winograd::prelude::*;
+//! use im2col_winograd::baselines::direct_conv_f64_ref;
+//!
+//! let shape = ConvShape::square(1, 10, 4, 4, 5);
+//! let x = Tensor4::<f32>::random(shape.x_dims(), 3, 1.0, 2.0);
+//! let w = Tensor4::<f32>::random(shape.w_dims(), 4, 1.0, 2.0);
+//! let fast = conv2d(&x, &w, &shape);
+//! let exact = direct_conv_f64_ref(&x, &w, &shape);
+//! let err = ErrorStats::between(&fast, &exact);
+//! assert!(err.mean < 1e-5); // Table 3 territory
+//! ```
+
+pub use iwino_baselines as baselines;
+pub use iwino_core as core;
+pub use iwino_gpu_sim as gpu_sim;
+pub use iwino_nn as nn;
+pub use iwino_parallel as parallel;
+pub use iwino_rational as rational;
+pub use iwino_tensor as tensor;
+pub use iwino_transforms as transforms;
+
+/// The handful of names almost every user needs.
+pub mod prelude {
+    pub use iwino_core::{
+        auto_options, conv1d, conv2d, conv2d_opts, conv3d, deconv2d, filter_grad, ConvOptions,
+        GammaSpec, Variant,
+    };
+    pub use iwino_tensor::{Conv3dShape, ConvShape, ErrorStats, Tensor4, Tensor5};
+}

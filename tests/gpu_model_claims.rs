@@ -1,0 +1,98 @@
+//! Shape-level checks of the GPU cost model against the paper's §6.1.2
+//! narrative, across both simulated devices.
+
+use im2col_winograd::core::{GammaSpec, Variant};
+use im2col_winograd::gpu_sim::model::{Algorithm, Layout};
+use im2col_winograd::gpu_sim::{estimate, gamma8_block_trace, trace_totals, DeviceSpec};
+use im2col_winograd::tensor::ConvShape;
+
+fn gamma(dev: &DeviceSpec, spec: GammaSpec, ofms: (usize, usize, usize, usize)) -> f64 {
+    let (n, oh, ow, oc) = ofms;
+    let shape = ConvShape::from_ofms(n, oh, ow, oc, oc, spec.r);
+    estimate(dev, &shape, &Algorithm::Gamma { spec, include_transpose: false }).gflops
+}
+
+/// "Our blocking approach ensures consistent performance, under scenarios
+/// of both large feature maps with small channels and small feature maps
+/// with large channels" (§6.1.2): across the Figure-8 Γ8(6,3) panel — whose
+/// per-shape FLOP counts span more than an order of magnitude — the
+/// modelled Gflop/s varies by well under 1.5×. (The paper's instability
+/// observations about cuDNN's Fused_Winograd stem from cuDNN-internal
+/// heuristics the cost model does not attempt to replicate.)
+#[test]
+fn gamma_blocking_is_consistent_across_layer_extremes() {
+    let dev = DeviceSpec::rtx3060ti();
+    let spec = GammaSpec::new(8, 6, 3, Variant::Standard);
+    let shapes: [(usize, usize, usize, usize); 10] = [
+        (64, 128, 128, 64), (128, 96, 96, 64), (256, 64, 64, 64), (128, 48, 48, 128), (256, 32, 32, 128),
+        (128, 24, 24, 256), (256, 16, 16, 256), (128, 12, 12, 512), (256, 8, 8, 512), (128, 6, 6, 1024),
+    ];
+    let g: Vec<f64> = shapes.iter().map(|&o| gamma(&dev, spec, o)).collect();
+    let spread = g.iter().cloned().fold(f64::MIN, f64::max) / g.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.5, "Γ8(6,3) spread across the panel: {spread:.3}");
+    // And it beats the NHWC GEMM everywhere on this panel.
+    for &(n, oh, ow, oc) in &shapes {
+        let shape = ConvShape::from_ofms(n, oh, ow, oc, oc, 3);
+        let base = estimate(&dev, &shape, &Algorithm::ImplicitGemm { layout: Layout::Nhwc }).gflops;
+        let gg = gamma(&dev, spec, (n, oh, ow, oc));
+        assert!(gg > base, "{n}x{oh}x{ow}x{oc}: Γ {gg:.0} vs GEMM {base:.0}");
+    }
+}
+
+/// Every Figure-8 Γ kernel at its "clean" mid-panel shape should model
+/// faster on the 4090 than the 3060 Ti, by a factor below the raw
+/// peak-FLOPS ratio (≈ 5.1×) — memory legs bind somewhere.
+#[test]
+fn cross_device_scaling_is_sublinear_in_peak() {
+    let a = DeviceSpec::rtx3060ti();
+    let b = DeviceSpec::rtx4090();
+    let peak_ratio = b.peak_flops() / a.peak_flops();
+    for (alpha, n, r) in [(8usize, 6usize, 3usize), (8, 4, 5), (16, 8, 9)] {
+        let spec = GammaSpec::new(alpha, n, r, Variant::Standard);
+        let ofms = (128, 8 * n, 8 * n, 128);
+        let ga = gamma(&a, spec, ofms);
+        let gb = gamma(&b, spec, ofms);
+        let ratio = gb / ga;
+        assert!(ratio > 1.5, "Γ{alpha}({n},{r}): 4090 should win ({ratio:.2})");
+        assert!(
+            ratio < 1.05 * peak_ratio,
+            "Γ{alpha}({n},{r}): scaling {ratio:.2} vs peak ratio {peak_ratio:.2}"
+        );
+    }
+}
+
+/// The NHWC GEMM loses bandwidth on small channel counts (coalescing), so
+/// tiny-IC shapes favour the NCHW layout — and the gap closes at IC ≥ 32.
+#[test]
+fn nhwc_gemm_coalescing_effect() {
+    let dev = DeviceSpec::rtx3060ti();
+    let run = |ic: usize, layout: Layout| {
+        let shape = ConvShape::square(32, 64, ic, ic, 3);
+        estimate(&dev, &shape, &Algorithm::ImplicitGemm { layout }).gflops
+    };
+    let small_gap = run(4, Layout::Nchw) / run(4, Layout::Nhwc);
+    let big_gap = run(128, Layout::Nchw) / run(128, Layout::Nhwc);
+    assert!(small_gap > 1.2, "NCHW should win at IC = 4: {small_gap:.2}");
+    assert!(big_gap < 1.05, "layouts should tie at IC = 128: {big_gap:.2}");
+}
+
+/// The assembled block trace confirms the §5.2 fixes at the whole-iteration
+/// level, not just per access pattern.
+#[test]
+fn block_trace_totals() {
+    let (good, good_ideal) = trace_totals(&gamma8_block_trace(true));
+    let (bad, _) = trace_totals(&gamma8_block_trace(false));
+    assert_eq!(good, good_ideal);
+    assert!(bad > good);
+}
+
+/// Launch-overhead sanity: a microscopic convolution is overhead-dominated,
+/// so its modelled Gflop/s collapses relative to a full-size one.
+#[test]
+fn launch_overhead_dominates_tiny_shapes() {
+    let dev = DeviceSpec::rtx4090();
+    let spec = GammaSpec::new(8, 6, 3, Variant::Standard);
+    let tiny = gamma(&dev, spec, (1, 6, 6, 16));
+    let big = gamma(&dev, spec, (128, 96, 96, 128));
+    assert!(big > 20.0 * tiny, "tiny {tiny:.1} vs big {big:.1}");
+}

@@ -1,0 +1,60 @@
+//! End-to-end Experiment-3 pipeline at CI scale: both conv backends train
+//! the same nets on the same synthetic data and converge together.
+
+use im2col_winograd::nn::train::OptKind;
+use im2col_winograd::nn::{
+    evaluate, resnet18, train, vgg16, Backend, SyntheticDataset, TrainConfig,
+};
+
+#[test]
+fn vgg16_trains_with_both_backends_and_curves_match() {
+    let data = SyntheticDataset::cifar10_like(96, 48);
+    let cfg = TrainConfig { epochs: 2, batch: 12, lr: 1e-3, opt: OptKind::Adam, log_every: 1 };
+    let mut reports = Vec::new();
+    for backend in [Backend::ImcolWinograd, Backend::Gemm] {
+        let mut model = vgg16(32, 3, 10, 4, backend);
+        reports.push(train(&mut model, &data, &cfg));
+    }
+    let (a, g) = (&reports[0], &reports[1]);
+    assert_eq!(a.losses.len(), g.losses.len());
+    // Same nets + same data + different conv algorithm ⟹ nearly identical
+    // loss curves (Figures 11/12's claim).
+    for (&(step, la), &(_, lg)) in a.losses.iter().zip(&g.losses) {
+        assert!(
+            (la - lg).abs() < 0.25 * lg.abs().max(0.5),
+            "step {step}: winograd {la} vs gemm {lg}"
+        );
+    }
+    // Both arms actually learn.
+    assert!(a.final_loss() < a.losses[0].1, "winograd arm did not learn");
+    assert!(g.final_loss() < g.losses[0].1, "gemm arm did not learn");
+}
+
+#[test]
+fn resnet18_trains_and_eval_accuracy_beats_chance() {
+    let data = SyntheticDataset::cifar10_like(120, 40);
+    let cfg = TrainConfig { epochs: 3, batch: 12, lr: 2e-3, opt: OptKind::Adam, log_every: 2 };
+    let mut model = resnet18(3, 10, 8, Backend::ImcolWinograd);
+    let report = train(&mut model, &data, &cfg);
+    assert!(report.final_loss() < report.losses[0].1);
+    let acc = evaluate(&mut model, &data, 12, true);
+    assert!(acc > 0.2, "test accuracy {acc} vs 0.1 chance");
+    assert!(report.weight_bytes > 0);
+    assert_eq!(report.epoch_seconds.len(), 3);
+}
+
+#[test]
+fn sgdm_and_adam_both_work_end_to_end() {
+    let data = SyntheticDataset::cifar10_like(64, 32);
+    for opt in [OptKind::Adam, OptKind::Sgdm] {
+        let cfg = TrainConfig { epochs: 2, batch: 8, lr: 3e-3, opt, log_every: 1 };
+        let mut model = vgg16(32, 3, 10, 4, Backend::Gemm);
+        let report = train(&mut model, &data, &cfg);
+        assert!(
+            report.final_loss() < report.losses[0].1 * 1.05,
+            "{opt:?} failed to reduce loss: {:?} → {:?}",
+            report.losses[0].1,
+            report.final_loss()
+        );
+    }
+}
