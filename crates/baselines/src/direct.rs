@@ -6,6 +6,7 @@
 //! This is the semantic reference every other algorithm in the workspace is
 //! tested against.
 
+use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_tensor::{ConvShape, Scalar, Tensor4};
 
@@ -13,6 +14,8 @@ use iwino_tensor::{ConvShape, Scalar, Tensor4};
 /// is in the native `OC×FH×FW×IC` layout. Parallelises over `N×OH` rows.
 pub fn direct_conv<T: Scalar>(x: &Tensor4<T>, w: &Tensor4<T>, shape: &ConvShape) -> Tensor4<T> {
     check_shapes(x, w, shape);
+    let _b = obs::span(obs::Stage::Baseline);
+    obs::add(obs::Counter::Flops, shape.flops() as u64);
     let (oh, ow) = (shape.oh(), shape.ow());
     let mut y = Tensor4::<T>::zeros(shape.y_dims());
     let row_elems = ow * shape.oc;
@@ -98,7 +101,13 @@ mod tests {
         let x = Tensor4::from_vec(s.x_dims(), vec![1.0f32, 2.0, 3.0, 4.0]);
         let w = Tensor4::from_vec(s.w_dims(), vec![10.0, 20.0, 30.0]);
         let y = direct_conv(&x, &w, &s);
-        assert_eq!(y.as_slice(), &[1.0 * 10.0 + 2.0 * 20.0 + 3.0 * 30.0, 2.0 * 10.0 + 3.0 * 20.0 + 4.0 * 30.0]);
+        assert_eq!(
+            y.as_slice(),
+            &[
+                1.0 * 10.0 + 2.0 * 20.0 + 3.0 * 30.0,
+                2.0 * 10.0 + 3.0 * 20.0 + 4.0 * 30.0
+            ]
+        );
     }
 
     #[test]
@@ -113,7 +122,11 @@ mod tests {
 
     #[test]
     fn stride_two_subsamples() {
-        let s = ConvShape { sh: 1, sw: 2, ..ConvShape::unit(1, 1, 5, 1, 1, 1, 1, 0, 0) };
+        let s = ConvShape {
+            sh: 1,
+            sw: 2,
+            ..ConvShape::unit(1, 1, 5, 1, 1, 1, 1, 0, 0)
+        };
         let x = Tensor4::from_vec(s.x_dims(), vec![1.0f32, 2.0, 3.0, 4.0, 5.0]);
         let w = Tensor4::from_vec(s.w_dims(), vec![1.0]);
         let y = direct_conv(&x, &w, &s);

@@ -12,6 +12,7 @@
 //!
 //! (conjugation because convolution layers compute *correlation*).
 
+use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_tensor::{ConvShape, Tensor4};
 
@@ -30,19 +31,31 @@ impl Complex {
     }
 
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     fn mul(self, o: Complex) -> Self {
-        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
 
     fn add(self, o: Complex) -> Self {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     fn sub(self, o: Complex) -> Self {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -108,6 +121,8 @@ pub fn fft_conv(x: &Tensor4<f32>, w: &Tensor4<f32>, s: &ConvShape) -> Tensor4<f3
     assert!(s.is_unit_stride(), "FFT path implements unit stride");
     assert_eq!(x.dims(), s.x_dims());
     assert_eq!(w.dims(), s.w_dims());
+    let _b = obs::span(obs::Stage::Baseline);
+    obs::add(obs::Counter::Flops, s.flops() as u64);
     let (oh, ow) = (s.oh(), s.ow());
     // Plane size: big enough that circular correlation equals linear.
     let need = (s.ih + s.fh).max(s.iw + s.fw);
@@ -196,7 +211,9 @@ mod tests {
 
     #[test]
     fn parseval_energy() {
-        let mut buf: Vec<Complex> = (0..32).map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, 0.0)).collect();
+        let mut buf: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, 0.0))
+            .collect();
         let time_energy: f64 = buf.iter().map(|c| c.re * c.re + c.im * c.im).sum();
         fft(&mut buf, false);
         let freq_energy: f64 = buf.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / 32.0;

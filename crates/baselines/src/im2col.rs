@@ -9,6 +9,7 @@
 //! memory-efficient as the fused kernels it is compared against (§6.1.1).
 
 use crate::gemm::sgemm_acc;
+use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_tensor::{transpose_filter_to_hwio, ConvShape, Tensor4};
 
@@ -40,7 +41,11 @@ impl Im2colPlan {
                 col_map.push((ix >= 0 && ix < shape.iw as isize).then_some(ix as usize));
             }
         }
-        Im2colPlan { shape: *shape, row_map, col_map }
+        Im2colPlan {
+            shape: *shape,
+            row_map,
+            col_map,
+        }
     }
 
     pub fn shape(&self) -> &ConvShape {
@@ -54,6 +59,8 @@ pub fn im2col_conv_nhwc(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
     let s = plan.shape;
     assert_eq!(x.dims(), s.x_dims());
     assert_eq!(w.dims(), s.w_dims());
+    let _b = obs::span(obs::Stage::Baseline);
+    obs::add(obs::Counter::Flops, s.flops() as u64);
     let (oh, ow) = (s.oh(), s.ow());
     let k = s.fh * s.fw * s.ic;
 
@@ -76,9 +83,13 @@ pub fn im2col_conv_nhwc(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
         for ox in 0..ow {
             let dst_row = &mut patch[ox * k..(ox + 1) * k];
             for fh in 0..s.fh {
-                let Some(iy) = plan.row_map[oy * s.fh + fh] else { continue };
+                let Some(iy) = plan.row_map[oy * s.fh + fh] else {
+                    continue;
+                };
                 for fw in 0..s.fw {
-                    let Some(ix) = plan.col_map[ox * s.fw + fw] else { continue };
+                    let Some(ix) = plan.col_map[ox * s.fw + fw] else {
+                        continue;
+                    };
                     let src = &x_img[(iy * s.iw + ix) * s.ic..(iy * s.iw + ix + 1) * s.ic];
                     let d0 = (fh * s.fw + fw) * s.ic;
                     dst_row[d0..d0 + s.ic].copy_from_slice(src);
@@ -100,6 +111,8 @@ pub fn im2col_conv_nchw(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
     let s = plan.shape;
     assert_eq!(x.dims(), [s.n, s.ic, s.ih, s.iw], "x must be NCHW");
     assert_eq!(w.dims(), [s.oc, s.ic, s.fh, s.fw], "w must be OIHW");
+    let _b = obs::span(obs::Stage::Baseline);
+    obs::add(obs::Counter::Flops, s.flops() as u64);
     let (oh, ow) = (s.oh(), s.ow());
     let k = s.ic * s.fh * s.fw;
     let xs = x.as_slice();
@@ -122,7 +135,9 @@ pub fn im2col_conv_nchw(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
             for ic in 0..s.ic {
                 let x_ch = &x_img[ic * s.ih * s.iw..(ic + 1) * s.ih * s.iw];
                 for fh in 0..s.fh {
-                    let Some(iy) = plan.row_map[oy * s.fh + fh] else { continue };
+                    let Some(iy) = plan.row_map[oy * s.fh + fh] else {
+                        continue;
+                    };
                     let x_row = &x_ch[iy * s.iw..(iy + 1) * s.iw];
                     for fw in 0..s.fw {
                         let krow = (ic * s.fh + fh) * s.fw + fw;
@@ -207,7 +222,11 @@ mod tests {
 
     #[test]
     fn matches_direct_strided() {
-        let s = ConvShape { sh: 2, sw: 2, ..ConvShape::square(1, 11, 3, 4, 3) };
+        let s = ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 11, 3, 4, 3)
+        };
         check_both(&s, 16);
     }
 

@@ -12,6 +12,7 @@
 //! "requires additional registers to check coordinates and causes redundant
 //! computations" approach §5.5 contrasts with the segment planner.
 
+use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_tensor::{ConvShape, Tensor4};
 use iwino_transforms::WinogradTransform;
@@ -24,6 +25,8 @@ pub fn winograd2d_conv(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, m:
     assert_eq!(s.fh, s.fw, "2D Winograd requires square filters");
     assert_eq!(x.dims(), s.x_dims());
     assert_eq!(w.dims(), s.w_dims());
+    let _b = obs::span(obs::Stage::Baseline);
+    obs::add(obs::Counter::Flops, s.flops() as u64);
     let r = s.fw;
     let t = WinogradTransform::generate(m, r);
     let alpha = t.alpha;
@@ -98,11 +101,7 @@ pub fn winograd2d_conv(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, m:
                         let iy = (ty * m + dy) as isize - s.ph as isize;
                         for dx in 0..alpha {
                             let ix = (tx * m + dx) as isize - s.pw as isize;
-                            xt[dy * alpha + dx] = if iy >= 0
-                                && iy < s.ih as isize
-                                && ix >= 0
-                                && ix < s.iw as isize
-                            {
+                            xt[dy * alpha + dx] = if iy >= 0 && iy < s.ih as isize && ix >= 0 && ix < s.iw as isize {
                                 x_img[((iy as usize) * s.iw + ix as usize) * ic + i]
                             } else {
                                 0.0
@@ -227,7 +226,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_non_unit_stride() {
-        let s = ConvShape { sw: 2, ..ConvShape::square(1, 8, 2, 2, 3) };
+        let s = ConvShape {
+            sw: 2,
+            ..ConvShape::square(1, 8, 2, 2, 3)
+        };
         let x = Tensor4::<f32>::zeros(s.x_dims());
         let w = Tensor4::<f32>::zeros(s.w_dims());
         let _ = winograd2d_conv(&x, &w, &s, 2);

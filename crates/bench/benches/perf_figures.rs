@@ -26,10 +26,15 @@ fn panel_benches(c: &mut Criterion) {
 
         for &variant in panel.variants {
             let spec = panel.spec(variant);
-            let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
-            group.bench_with_input(BenchmarkId::new("im2col-winograd", format!("{spec}")), &shape, |b, s| {
-                b.iter(|| conv2d_opts(&x, &w, s, &opts))
-            });
+            let opts = ConvOptions {
+                force_kernels: Some(vec![spec]),
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new("im2col-winograd", format!("{spec}")),
+                &shape,
+                |b, s| b.iter(|| conv2d_opts(&x, &w, s, &opts)),
+            );
         }
         let plan = Im2colPlan::new(&shape);
         group.bench_with_input(BenchmarkId::new("im2col-gemm", "nhwc"), &shape, |b, _| {

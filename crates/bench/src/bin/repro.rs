@@ -4,14 +4,23 @@
 //! index. Results are printed as text tables and also written as JSON under
 //! `repro_results/`.
 
-use iwino_bench::{run_accuracy, run_histogram, run_panel, speedups, PanelResult, FIG8, FIG9, TABLE3};
+use iwino_bench::{
+    run_accuracy, run_histogram, run_panel, speedups, validate_stage_model, PanelResult, FIG8, FIG9, TABLE3,
+};
+use iwino_core::{GammaSpec, Variant};
 use iwino_gpu_sim::model::{Algorithm, Layout};
 use iwino_gpu_sim::smem::{ds_store_gamma8, gs_load_gamma8, transactions_and_ideal, ys_store_gamma8};
 use iwino_gpu_sim::DeviceSpec;
 use iwino_nn::train::OptKind;
-use iwino_nn::{resnet18, resnet34, train, vgg16, vgg16x5, vgg16x7, vgg19, Backend, Sequential, SyntheticDataset, TrainConfig, TrainReport};
+use iwino_nn::{
+    resnet18, resnet34, train, vgg16, vgg16x5, vgg16x7, vgg19, Backend, Sequential, SyntheticDataset, TrainConfig,
+    TrainReport,
+};
+use iwino_obs as obs;
+use iwino_obs::{Json, MetricsReport};
 use iwino_transforms::WinogradTransform;
 use std::fs;
+use std::time::Instant;
 
 struct Mode {
     /// Quick mode: scaled batches / tiny training runs.
@@ -22,11 +31,19 @@ struct Mode {
 
 impl Mode {
     fn target_gflop(&self) -> f64 {
-        if self.quick { 1.0 } else { f64::INFINITY }
+        if self.quick {
+            1.0
+        } else {
+            f64::INFINITY
+        }
     }
 
     fn reps(&self) -> usize {
-        if self.quick { 3 } else { 10 }
+        if self.quick {
+            3
+        } else {
+            10
+        }
     }
 }
 
@@ -37,6 +54,24 @@ fn main() {
         quick: !args.iter().any(|a| a == "--full"),
         measure: !args.iter().any(|a| a == "--sim-only"),
     };
+    // `--metrics <path.json>`: profile the run with iwino-obs and write a
+    // schema-versioned metrics document (stage times, roofline counters,
+    // thread-pool utilization) next to the usual results.
+    let metrics_flag = args.iter().position(|a| a == "--metrics");
+    let metrics_path = metrics_flag
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
+    if metrics_flag.is_some() && metrics_path.is_none() {
+        eprintln!("error: --metrics requires a path argument (e.g. --metrics out.json)");
+        std::process::exit(2);
+    }
+    if metrics_path.is_some() {
+        obs::set_enabled(true);
+        obs::reset();
+        iwino_parallel::reset_global_stats();
+    }
+    let t0 = Instant::now();
     fs::create_dir_all("repro_results").ok();
     match cmd {
         "fig8" => fig_perf("fig8", FIG8, DeviceSpec::rtx3060ti(), &mode),
@@ -44,6 +79,7 @@ fn main() {
         "table2" => table2(),
         "table3" => table3(&mode),
         "fig10" => fig10(&mode),
+        "validate-model" => validate_model(&mode),
         "train-cifar" => train_cifar(&mode),
         "train-imagenet" => train_imagenet(&mode),
         "ablation-banks" => ablation_banks(),
@@ -57,6 +93,7 @@ fn main() {
             table2();
             table3(&mode);
             fig10(&mode);
+            validate_model(&mode);
             ablation_banks();
             ablation_boundary();
             ablation_precision();
@@ -67,22 +104,33 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <fig8|fig9|table2|table3|fig10|train-cifar|train-imagenet|\
-                 ablation-banks|ablation-boundary|ablation-variants|ablation-transforms|all> [--full] [--sim-only]"
+                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|train-cifar|train-imagenet|\
+                 ablation-banks|ablation-boundary|ablation-variants|ablation-transforms|all> \
+                 [--full] [--sim-only] [--metrics <path.json>]"
             );
+            if cmd != "help" {
+                std::process::exit(2);
+            }
         }
+    }
+    if let Some(path) = metrics_path {
+        let report = MetricsReport::capture(cmd, t0.elapsed().as_nanos() as u64);
+        match report.write(&path) {
+            Ok(()) => println!(
+                "\n[metrics: {path} — {:.2} Gflop/s, intensity {:.2} op/B]",
+                report.gflops(),
+                report.arithmetic_intensity()
+            ),
+            Err(e) => eprintln!("\n[failed to write metrics to {path}: {e}]"),
+        }
+        obs::set_enabled(false);
     }
 }
 
-fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+fn save_json(name: &str, value: &Json) {
     let path = format!("repro_results/{name}.json");
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if fs::write(&path, s).is_ok() {
-                println!("  [saved {path}]");
-            }
-        }
-        Err(e) => eprintln!("  [failed to serialise {name}: {e}]"),
+    if fs::write(&path, value.pretty()).is_ok() {
+        println!("  [saved {path}]");
     }
 }
 
@@ -101,12 +149,22 @@ fn fig_perf(name: &str, panels: &[iwino_bench::Panel], dev: DeviceSpec, mode: &M
         println!("\n-- {} --", pr.panel);
         // Collect the union of series labels for the header.
         let series: Vec<String> = pr.rows[0].points.iter().map(|p| p.series.clone()).collect();
-        println!("{:<22} {:>6} {}", "ofms (NxOHxOWxOC)", "scale", series.iter().map(|s| format!("{s:>34}")).collect::<String>());
+        println!(
+            "{:<22} {:>6} {}",
+            "ofms (NxOHxOWxOC)",
+            "scale",
+            series.iter().map(|s| format!("{s:>34}")).collect::<String>()
+        );
         for row in &pr.rows {
             let cells: String = series
                 .iter()
                 .map(|s| {
-                    let v = row.points.iter().find(|p| &p.series == s).map(|p| p.gflops).unwrap_or(f64::NAN);
+                    let v = row
+                        .points
+                        .iter()
+                        .find(|p| &p.series == s)
+                        .map(|p| p.gflops)
+                        .unwrap_or(f64::NAN);
                     format!("{v:>34.0}")
                 })
                 .collect();
@@ -114,7 +172,7 @@ fn fig_perf(name: &str, panels: &[iwino_bench::Panel], dev: DeviceSpec, mode: &M
         }
         results.push(pr);
     }
-    save_json(name, &results);
+    save_json(name, &Json::Arr(results.iter().map(PanelResult::to_json).collect()));
 }
 
 fn table2() {
@@ -129,14 +187,20 @@ fn table2() {
             .map(|p| run_panel(p, &dev, false, f64::INFINITY, 1))
             .collect();
         let rows = speedups(&results);
-        println!("{:<34} {:>22} {:>22}", "Algorithm", "vs fastest baseline", "vs NHWC GEMM");
+        println!(
+            "{:<34} {:>22} {:>22}",
+            "Algorithm", "vs fastest baseline", "vs NHWC GEMM"
+        );
         for r in &rows {
             println!(
                 "{:<34} {:>10.3}-{:<10.3} {:>10.3}-{:<10.3}",
                 r.panel, r.vs_fastest.0, r.vs_fastest.1, r.vs_nhwc_gemm.0, r.vs_nhwc_gemm.1
             );
         }
-        save_json(&format!("table2_{name}"), &rows);
+        save_json(
+            &format!("table2_{name}"),
+            &Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        );
     }
 }
 
@@ -150,7 +214,14 @@ fn table3(mode: &Mode) {
     let mut all = Vec::new();
     for t in TABLE3 {
         println!("\n-- {} --", t.label());
-        println!("{:<22} {:>6} {:>12} {:>12} {:>12}", "ofms", "scale", t.label(), "CuGEMM", "CuWinograd");
+        println!(
+            "{:<22} {:>6} {:>12} {:>12} {:>12}",
+            "ofms",
+            "scale",
+            t.label(),
+            "CuGEMM",
+            "CuWinograd"
+        );
         let rows = run_accuracy(t, if mode.quick { 0.3 } else { f64::INFINITY });
         for r in &rows {
             let cw = r.cuwinograd.map_or("-".to_string(), |v| format!("{v:.2e}"));
@@ -161,7 +232,17 @@ fn table3(mode: &Mode) {
         }
         all.push((t.label(), rows));
     }
-    save_json("table3", &all);
+    let doc = Json::Arr(
+        all.iter()
+            .map(|(label, rows)| {
+                Json::obj(vec![
+                    ("kernel", Json::from(label.as_str())),
+                    ("rows", Json::Arr(rows.iter().map(|r| r.to_json()).collect())),
+                ])
+            })
+            .collect(),
+    );
+    save_json("table3", &doc);
 }
 
 fn fig10(mode: &Mode) {
@@ -179,7 +260,63 @@ fn fig10(mode: &Mode) {
         }
         out.push(h);
     }
-    save_json("fig10", &out);
+    save_json("fig10", &Json::Arr(out.iter().map(|h| h.to_json()).collect()));
+}
+
+// ---------------------------------------------------------------------------
+// Model validation: measured CPU stage shares vs gpu-sim predictions
+// ---------------------------------------------------------------------------
+
+fn validate_model(mode: &Mode) {
+    println!("\n==== validate-model: measured CPU stage shares vs gpu-sim op-count model ====");
+    println!("(measured = iwino-obs stage timers, normalised over the five pipeline stages;");
+    println!(" predicted = iwino_gpu_sim::model::predicted_stage_shares)");
+    let cases: &[(&str, GammaSpec, iwino_tensor::ConvShape)] = &[
+        (
+            "Γ8(6,3), exact cover",
+            GammaSpec::new(8, 6, 3, Variant::Standard),
+            iwino_tensor::ConvShape::from_ofms(2, 48, 48, 64, 64, 3),
+        ),
+        (
+            "Γ8(6,3), ragged OW=47",
+            GammaSpec::new(8, 6, 3, Variant::Standard),
+            iwino_tensor::ConvShape::from_ofms(2, 48, 47, 64, 64, 3),
+        ),
+        (
+            "Γ16(8,9), exact cover",
+            GammaSpec::new(16, 8, 9, Variant::Standard),
+            iwino_tensor::ConvShape::from_ofms(1, 32, 32, 32, 32, 9),
+        ),
+    ];
+    let reps = if mode.quick { 2 } else { 5 };
+    let mut doc = Vec::new();
+    for (label, spec, shape) in cases {
+        let rows = validate_stage_model(shape, *spec, reps);
+        println!("\n-- {label} --");
+        println!(
+            "{:<18} {:>10} {:>10} {:>11}",
+            "stage", "measured", "predicted", "divergence"
+        );
+        for r in &rows {
+            println!(
+                "{:<18} {:>9.1}% {:>9.1}% {:>10.1}pp",
+                r.stage,
+                100.0 * r.measured,
+                100.0 * r.predicted,
+                100.0 * r.divergence()
+            );
+        }
+        let max_div = rows.iter().map(|r| r.divergence()).fold(0.0, f64::max);
+        println!("max divergence: {:.1}pp", 100.0 * max_div);
+        doc.push(Json::obj(vec![
+            ("case", Json::from(*label)),
+            ("stages", Json::Arr(rows.iter().map(|r| r.to_json()).collect())),
+            ("max_divergence", Json::from(max_div)),
+        ]));
+    }
+    println!("\n(the CPU profile includes gather/memory time inside input_transform, which the");
+    println!(" pure op-count model does not charge — divergence there is expected, §5.4)");
+    save_json("validate_model", &Json::Arr(doc));
 }
 
 // ---------------------------------------------------------------------------
@@ -208,7 +345,13 @@ fn run_training(title: &str, json_name: &str, data: &SyntheticDataset, specs: &[
     let mut all_reports: Vec<(String, TrainReport, TrainReport)> = Vec::new();
     for spec in specs {
         let epochs = if mode.quick { 2 } else { spec.epochs_full };
-        let cfg = TrainConfig { epochs, batch, lr: 1e-3, opt: spec.opt, log_every: if mode.quick { 1 } else { 10 } };
+        let cfg = TrainConfig {
+            epochs,
+            batch,
+            lr: 1e-3,
+            opt: spec.opt,
+            log_every: if mode.quick { 1 } else { 10 },
+        };
         let mut alpha_model = (spec.build)(width, Backend::ImcolWinograd);
         let mut gemm_model = (spec.build)(width, Backend::Gemm);
         let ra = train(&mut alpha_model, data, &cfg);
@@ -245,30 +388,30 @@ fn run_training(title: &str, json_name: &str, data: &SyntheticDataset, specs: &[
         println!("    GEMM  {}", sparkline(&rg.losses));
         all_reports.push((format!("{} {:?}", spec.name, spec.opt), ra, rg));
     }
-    #[derive(serde::Serialize)]
-    struct Entry {
-        config: String,
-        alpha_losses: Vec<(usize, f32)>,
-        gemm_losses: Vec<(usize, f32)>,
-        alpha_epoch_s: f64,
-        gemm_epoch_s: f64,
-        alpha_test_acc: f64,
-        gemm_test_acc: f64,
-        weight_bytes: usize,
-    }
-    let entries: Vec<Entry> = all_reports
-        .into_iter()
-        .map(|(config, a, g)| Entry {
-            config,
-            alpha_epoch_s: a.mean_epoch_seconds(),
-            gemm_epoch_s: g.mean_epoch_seconds(),
-            alpha_test_acc: a.test_accuracy,
-            gemm_test_acc: g.test_accuracy,
-            weight_bytes: a.weight_bytes,
-            alpha_losses: a.losses,
-            gemm_losses: g.losses,
-        })
-        .collect();
+    let losses = |l: &[(usize, f32)]| {
+        Json::Arr(
+            l.iter()
+                .map(|&(step, loss)| Json::Arr(vec![Json::from(step), Json::from(loss as f64)]))
+                .collect(),
+        )
+    };
+    let entries = Json::Arr(
+        all_reports
+            .into_iter()
+            .map(|(config, a, g)| {
+                Json::obj(vec![
+                    ("config", Json::from(config)),
+                    ("alpha_epoch_s", Json::from(a.mean_epoch_seconds())),
+                    ("gemm_epoch_s", Json::from(g.mean_epoch_seconds())),
+                    ("alpha_test_acc", Json::from(a.test_accuracy)),
+                    ("gemm_test_acc", Json::from(g.test_accuracy)),
+                    ("weight_bytes", Json::from(a.weight_bytes)),
+                    ("alpha_losses", losses(&a.losses)),
+                    ("gemm_losses", losses(&g.losses)),
+                ])
+            })
+            .collect(),
+    );
     save_json(json_name, &entries);
 }
 
@@ -276,35 +419,137 @@ fn train_cifar(mode: &Mode) {
     // Figure 12's ten configurations (epochs are the paper's; quick mode
     // shrinks them).
     let specs: Vec<TrainSpec> = vec![
-        TrainSpec { name: "ResNet18", opt: OptKind::Adam, epochs_full: 25, build: |w, b| resnet18(3, 10, w, b) },
-        TrainSpec { name: "ResNet18", opt: OptKind::Sgdm, epochs_full: 35, build: |w, b| resnet18(3, 10, w, b) },
-        TrainSpec { name: "ResNet34", opt: OptKind::Adam, epochs_full: 30, build: |w, b| resnet34(3, 10, w, b) },
-        TrainSpec { name: "ResNet34", opt: OptKind::Sgdm, epochs_full: 40, build: |w, b| resnet34(3, 10, w, b) },
-        TrainSpec { name: "VGG16", opt: OptKind::Adam, epochs_full: 35, build: |w, b| vgg16(32, 3, 10, w, b) },
-        TrainSpec { name: "VGG16", opt: OptKind::Sgdm, epochs_full: 35, build: |w, b| vgg16(32, 3, 10, w, b) },
-        TrainSpec { name: "VGG19", opt: OptKind::Adam, epochs_full: 40, build: |w, b| vgg19(32, 3, 10, w, b) },
-        TrainSpec { name: "VGG19", opt: OptKind::Sgdm, epochs_full: 40, build: |w, b| vgg19(32, 3, 10, w, b) },
-        TrainSpec { name: "VGG16x5", opt: OptKind::Adam, epochs_full: 40, build: |w, b| vgg16x5(32, 3, 10, w, b) },
-        TrainSpec { name: "VGG16x5", opt: OptKind::Sgdm, epochs_full: 40, build: |w, b| vgg16x5(32, 3, 10, w, b) },
+        TrainSpec {
+            name: "ResNet18",
+            opt: OptKind::Adam,
+            epochs_full: 25,
+            build: |w, b| resnet18(3, 10, w, b),
+        },
+        TrainSpec {
+            name: "ResNet18",
+            opt: OptKind::Sgdm,
+            epochs_full: 35,
+            build: |w, b| resnet18(3, 10, w, b),
+        },
+        TrainSpec {
+            name: "ResNet34",
+            opt: OptKind::Adam,
+            epochs_full: 30,
+            build: |w, b| resnet34(3, 10, w, b),
+        },
+        TrainSpec {
+            name: "ResNet34",
+            opt: OptKind::Sgdm,
+            epochs_full: 40,
+            build: |w, b| resnet34(3, 10, w, b),
+        },
+        TrainSpec {
+            name: "VGG16",
+            opt: OptKind::Adam,
+            epochs_full: 35,
+            build: |w, b| vgg16(32, 3, 10, w, b),
+        },
+        TrainSpec {
+            name: "VGG16",
+            opt: OptKind::Sgdm,
+            epochs_full: 35,
+            build: |w, b| vgg16(32, 3, 10, w, b),
+        },
+        TrainSpec {
+            name: "VGG19",
+            opt: OptKind::Adam,
+            epochs_full: 40,
+            build: |w, b| vgg19(32, 3, 10, w, b),
+        },
+        TrainSpec {
+            name: "VGG19",
+            opt: OptKind::Sgdm,
+            epochs_full: 40,
+            build: |w, b| vgg19(32, 3, 10, w, b),
+        },
+        TrainSpec {
+            name: "VGG16x5",
+            opt: OptKind::Adam,
+            epochs_full: 40,
+            build: |w, b| vgg16x5(32, 3, 10, w, b),
+        },
+        TrainSpec {
+            name: "VGG16x5",
+            opt: OptKind::Sgdm,
+            epochs_full: 40,
+            build: |w, b| vgg16x5(32, 3, 10, w, b),
+        },
     ];
-    let (train_len, test_len, batch) = if mode.quick { (160, 80, 16) } else { (50_000, 10_000, 512) };
+    let (train_len, test_len, batch) = if mode.quick {
+        (160, 80, 16)
+    } else {
+        (50_000, 10_000, 512)
+    };
     let data = SyntheticDataset::cifar10_like(train_len, test_len);
-    run_training("Figure 12 + Table 5: Cifar10-like training", "train_cifar", &data, &specs, mode, batch);
+    run_training(
+        "Figure 12 + Table 5: Cifar10-like training",
+        "train_cifar",
+        &data,
+        &specs,
+        mode,
+        batch,
+    );
 }
 
 fn train_imagenet(mode: &Mode) {
     // Figure 11's six configurations.
     let specs: Vec<TrainSpec> = vec![
-        TrainSpec { name: "ResNet18", opt: OptKind::Adam, epochs_full: 50, build: |w, b| resnet18(3, 100, w, b) },
-        TrainSpec { name: "ResNet34", opt: OptKind::Adam, epochs_full: 50, build: |w, b| resnet34(3, 100, w, b) },
-        TrainSpec { name: "VGG16", opt: OptKind::Adam, epochs_full: 30, build: |w, b| vgg16(64, 3, 100, w, b) },
-        TrainSpec { name: "VGG19", opt: OptKind::Adam, epochs_full: 40, build: |w, b| vgg19(64, 3, 100, w, b) },
-        TrainSpec { name: "VGG16x5", opt: OptKind::Adam, epochs_full: 40, build: |w, b| vgg16x5(64, 3, 100, w, b) },
-        TrainSpec { name: "VGG16x7", opt: OptKind::Sgdm, epochs_full: 30, build: |w, b| vgg16x7(64, 3, 100, w, b) },
+        TrainSpec {
+            name: "ResNet18",
+            opt: OptKind::Adam,
+            epochs_full: 50,
+            build: |w, b| resnet18(3, 100, w, b),
+        },
+        TrainSpec {
+            name: "ResNet34",
+            opt: OptKind::Adam,
+            epochs_full: 50,
+            build: |w, b| resnet34(3, 100, w, b),
+        },
+        TrainSpec {
+            name: "VGG16",
+            opt: OptKind::Adam,
+            epochs_full: 30,
+            build: |w, b| vgg16(64, 3, 100, w, b),
+        },
+        TrainSpec {
+            name: "VGG19",
+            opt: OptKind::Adam,
+            epochs_full: 40,
+            build: |w, b| vgg19(64, 3, 100, w, b),
+        },
+        TrainSpec {
+            name: "VGG16x5",
+            opt: OptKind::Adam,
+            epochs_full: 40,
+            build: |w, b| vgg16x5(64, 3, 100, w, b),
+        },
+        TrainSpec {
+            name: "VGG16x7",
+            opt: OptKind::Sgdm,
+            epochs_full: 30,
+            build: |w, b| vgg16x7(64, 3, 100, w, b),
+        },
     ];
-    let (train_len, test_len, batch) = if mode.quick { (120, 60, 12) } else { (100_000, 10_000, 256) };
+    let (train_len, test_len, batch) = if mode.quick {
+        (120, 60, 12)
+    } else {
+        (100_000, 10_000, 256)
+    };
     let data = SyntheticDataset::imagenet_like(train_len, test_len);
-    run_training("Figure 11 + Table 4: ILSVRC-like training", "train_imagenet", &data, &specs, mode, batch);
+    run_training(
+        "Figure 11 + Table 4: ILSVRC-like training",
+        "train_imagenet",
+        &data,
+        &specs,
+        mode,
+        batch,
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -328,7 +573,10 @@ fn sparkline(losses: &[(usize, f32)]) -> String {
 
 fn ablation_banks() {
     println!("\n==== Ablation A1 (§5.2): shared-memory bank conflicts ====");
-    println!("{:<34} {:>12} {:>12} {:>9}", "access pattern", "transactions", "ideal", "slowdown");
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}",
+        "access pattern", "transactions", "ideal", "slowdown"
+    );
     let rows: Vec<(&str, Vec<_>)> = vec![
         ("Ys store, unpadded", ys_store_gamma8(false)),
         ("Ys store, padded [8][33][20]", ys_store_gamma8(true)),
@@ -340,10 +588,17 @@ fn ablation_banks() {
     let mut json = Vec::new();
     for (label, patterns) in rows {
         let (actual, ideal) = transactions_and_ideal(&patterns);
-        println!("{label:<34} {actual:>12} {ideal:>12} {:>8.2}x", actual as f64 / ideal as f64);
-        json.push((label.to_string(), actual, ideal));
+        println!(
+            "{label:<34} {actual:>12} {ideal:>12} {:>8.2}x",
+            actual as f64 / ideal as f64
+        );
+        json.push(Json::obj(vec![
+            ("pattern", Json::from(label)),
+            ("transactions", Json::from(actual)),
+            ("ideal", Json::from(ideal)),
+        ]));
     }
-    save_json("ablation_banks", &json);
+    save_json("ablation_banks", &Json::Arr(json));
 }
 
 fn ablation_boundary() {
@@ -405,9 +660,19 @@ fn ablation_precision() {
     println!("\n==== Ablation (§6.2.2): error decomposition — algorithm vs datatype ====");
     println!("(mean relative error; 'algorithmic' = f64-Winograd vs f64-direct,");
     println!(" 'datatype' = f32-Winograd vs f64-Winograd, 'total' = Table 3's metric)");
-    println!("{:<14} {:>14} {:>14} {:>14}", "kernel", "algorithmic", "datatype", "total");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "kernel", "algorithmic", "datatype", "total"
+    );
     let mut json = Vec::new();
-    for (alpha, n, r) in [(4usize, 2usize, 3usize), (8, 6, 3), (8, 4, 5), (8, 2, 7), (16, 10, 7), (16, 8, 9)] {
+    for (alpha, n, r) in [
+        (4usize, 2usize, 3usize),
+        (8, 6, 3),
+        (8, 4, 5),
+        (8, 2, 7),
+        (16, 10, 7),
+        (16, 8, 9),
+    ] {
         let spec = GammaSpec::new(alpha, n, r, Variant::Standard);
         let shape = ConvShape::square(1, 2 * n.max(4), 16, 16, r);
         let d = error_decomposition(&shape, spec, 42);
@@ -418,11 +683,16 @@ fn ablation_precision() {
             d.datatype,
             d.total
         );
-        json.push((format!("Γ{alpha}({n},{r})"), d.algorithmic, d.datatype, d.total));
+        json.push(Json::obj(vec![
+            ("kernel", Json::from(format!("Γ{alpha}({n},{r})"))),
+            ("algorithmic", Json::from(d.algorithmic)),
+            ("datatype", Json::from(d.datatype)),
+            ("total", Json::from(d.total)),
+        ]));
     }
     println!("⟹ the algorithm is exact to f64 ulps; Table 3's error is datatype-induced,");
     println!("  growing with α exactly as §6.2.2 argues.");
-    save_json("ablation_precision", &json);
+    save_json("ablation_precision", &Json::Arr(json));
 }
 
 fn ablation_variants() {
@@ -436,7 +706,14 @@ fn ablation_variants() {
     );
     println!("(3060Ti; exact-cover OW; large channels spill L2 — where ruse/c64 pull ahead, §6.1.2)");
     let mut json = Vec::new();
-    for (alpha, n, r) in [(8usize, 4usize, 5usize), (8, 3, 6), (8, 2, 7), (16, 10, 7), (16, 9, 8), (16, 8, 9)] {
+    for (alpha, n, r) in [
+        (8usize, 4usize, 5usize),
+        (8, 3, 6),
+        (8, 2, 7),
+        (16, 10, 7),
+        (16, 9, 8),
+        (16, 8, 9),
+    ] {
         for variant in [Variant::Standard, Variant::Ruse, Variant::C64] {
             if variant == Variant::C64 && alpha != 16 {
                 continue;
@@ -453,18 +730,32 @@ fn ablation_variants() {
             let ow = n * 4;
             let small = iwino_tensor::ConvShape::from_ofms(128, 32, ow, 128, 128, r);
             let big = iwino_tensor::ConvShape::from_ofms(128, 32, ow, 512, 512, r);
-            let algo = Algorithm::Gamma { spec, include_transpose: false };
+            let algo = Algorithm::Gamma {
+                spec,
+                include_transpose: false,
+            };
             let gf_small = iwino_gpu_sim::estimate(&dev, &small, &algo).gflops;
             let gf_big = iwino_gpu_sim::estimate(&dev, &big, &algo).gflops;
-            println!("{:<24} {:>12.2} {:>16.0} {:>16.0}", format!("{spec}"), intensity, gf_small, gf_big);
-            json.push((format!("{spec}"), intensity, gf_small, gf_big));
+            println!(
+                "{:<24} {:>12.2} {:>16.0} {:>16.0}",
+                format!("{spec}"),
+                intensity,
+                gf_small,
+                gf_big
+            );
+            json.push(Json::obj(vec![
+                ("kernel", Json::from(format!("{spec}"))),
+                ("intensity", Json::from(intensity)),
+                ("gflops_c128", Json::from(gf_small)),
+                ("gflops_c512", Json::from(gf_big)),
+            ]));
         }
     }
     // GEMM reference point.
     let shape = iwino_tensor::ConvShape::from_ofms(128, 32, 32, 128, 128, 3);
     let g = iwino_gpu_sim::estimate(&dev, &shape, &Algorithm::ImplicitGemm { layout: Layout::Nhwc });
     println!("{:<24} {:>12.2} {:>16.0}", "Implicit-GEMM-NHWC", 16.0, g.gflops);
-    save_json("ablation_variants", &json);
+    save_json("ablation_variants", &Json::Arr(json));
 }
 
 fn ablation_transforms() {
@@ -474,13 +765,27 @@ fn ablation_transforms() {
         "F(n,r)", "dense muls", "paired muls", "saving"
     );
     let mut json = Vec::new();
-    for (n, r) in [(6usize, 3usize), (4, 5), (5, 4), (3, 6), (2, 7), (7, 2), (10, 7), (9, 8), (8, 9)] {
+    for (n, r) in [
+        (6usize, 3usize),
+        (4, 5),
+        (5, 4),
+        (3, 6),
+        (2, 7),
+        (7, 2),
+        (10, 7),
+        (9, 8),
+        (8, 9),
+    ] {
         let t = WinogradTransform::generate(n, r);
         let dense = t.dt.mul_count();
         let paired = t.dt_paired().mul_count();
         let saving = 1.0 - paired as f64 / dense as f64;
         println!("F({n},{r}){:<6} {dense:>14} {paired:>14} {:>9.1}%", "", 100.0 * saving);
-        json.push((format!("F({n},{r})"), dense, paired));
+        json.push(Json::obj(vec![
+            ("transform", Json::from(format!("F({n},{r})"))),
+            ("dense_muls", Json::from(dense)),
+            ("paired_muls", Json::from(paired)),
+        ]));
     }
-    save_json("ablation_transforms", &json);
+    save_json("ablation_transforms", &Json::Arr(json));
 }

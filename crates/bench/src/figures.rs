@@ -44,82 +44,352 @@ const STD_RUSE_C64: &[Variant] = &[Variant::Standard, Variant::Ruse, Variant::C6
 
 /// Figure 8 — RTX 3060 Ti, nine panels.
 pub const FIG8: &[Panel] = &[
-    Panel { alpha: 8, n: 4, r: 5, variants: STD_RUSE, fused_winograd: false, shapes: &[
-        (32, 128, 128, 64), (32, 66, 66, 128), (32, 64, 64, 128), (128, 48, 48, 128), (128, 34, 34, 128),
-        (128, 32, 32, 128), (128, 18, 18, 256), (128, 16, 16, 256), (128, 10, 10, 512), (128, 8, 8, 512),
-    ]},
-    Panel { alpha: 8, n: 5, r: 4, variants: STD, fused_winograd: false, shapes: &[
-        (32, 160, 160, 64), (32, 128, 128, 64), (128, 80, 80, 64), (128, 64, 64, 64), (128, 40, 40, 128),
-        (128, 32, 32, 128), (128, 20, 20, 256), (128, 16, 16, 256), (128, 10, 10, 512), (128, 8, 8, 512),
-    ]},
-    Panel { alpha: 8, n: 3, r: 6, variants: STD_RUSE, fused_winograd: false, shapes: &[
-        (32, 128, 128, 64), (32, 96, 96, 64), (128, 64, 64, 64), (128, 48, 48, 64), (128, 32, 32, 128),
-        (128, 24, 24, 128), (128, 16, 16, 256), (128, 12, 12, 256), (128, 8, 8, 512), (128, 6, 6, 512),
-    ]},
-    Panel { alpha: 8, n: 6, r: 3, variants: STD, fused_winograd: true, shapes: &[
-        (64, 128, 128, 64), (128, 96, 96, 64), (256, 64, 64, 64), (128, 48, 48, 128), (256, 32, 32, 128),
-        (128, 24, 24, 256), (256, 16, 16, 256), (128, 12, 12, 512), (256, 8, 8, 512), (128, 6, 6, 1024),
-    ]},
-    Panel { alpha: 8, n: 2, r: 7, variants: STD_RUSE, fused_winograd: false, shapes: &[
-        (16, 128, 128, 64), (64, 66, 66, 64), (64, 64, 64, 64), (64, 40, 40, 128), (64, 34, 34, 128),
-        (64, 32, 32, 128), (64, 18, 18, 256), (64, 16, 16, 256), (64, 10, 10, 512), (64, 8, 8, 512),
-    ]},
-    Panel { alpha: 8, n: 7, r: 2, variants: STD, fused_winograd: false, shapes: &[
-        (32, 128, 128, 128), (128, 112, 112, 64), (128, 64, 64, 128), (128, 56, 56, 128), (128, 32, 32, 256),
-        (128, 28, 28, 256), (128, 16, 16, 512), (128, 14, 14, 512), (128, 8, 8, 1024), (128, 7, 7, 1024),
-    ]},
-    Panel { alpha: 16, n: 10, r: 7, variants: STD_C64, fused_winograd: false, shapes: &[
-        (32, 128, 128, 64), (32, 120, 120, 64), (64, 112, 112, 64), (64, 80, 80, 64), (128, 64, 64, 64),
-        (64, 40, 40, 128), (128, 32, 32, 128), (64, 20, 20, 256), (128, 16, 16, 256), (64, 10, 10, 512),
-    ]},
-    Panel { alpha: 16, n: 9, r: 8, variants: STD_RUSE_C64, fused_winograd: false, shapes: &[
-        (32, 128, 128, 64), (32, 112, 112, 64), (64, 72, 72, 64), (128, 64, 64, 64), (128, 56, 56, 64),
-        (128, 36, 36, 64), (128, 32, 32, 128), (128, 28, 28, 128), (64, 18, 18, 256), (64, 9, 9, 512),
-    ]},
-    Panel { alpha: 16, n: 8, r: 9, variants: STD_RUSE_C64, fused_winograd: false, shapes: &[
-        (32, 128, 128, 64), (32, 124, 124, 64), (32, 96, 96, 64), (128, 64, 64, 64), (128, 60, 60, 64),
-        (128, 48, 48, 64), (128, 32, 32, 128), (128, 28, 28, 128), (128, 16, 16, 256), (128, 8, 8, 512),
-    ]},
+    Panel {
+        alpha: 8,
+        n: 4,
+        r: 5,
+        variants: STD_RUSE,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 64),
+            (32, 66, 66, 128),
+            (32, 64, 64, 128),
+            (128, 48, 48, 128),
+            (128, 34, 34, 128),
+            (128, 32, 32, 128),
+            (128, 18, 18, 256),
+            (128, 16, 16, 256),
+            (128, 10, 10, 512),
+            (128, 8, 8, 512),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 5,
+        r: 4,
+        variants: STD,
+        fused_winograd: false,
+        shapes: &[
+            (32, 160, 160, 64),
+            (32, 128, 128, 64),
+            (128, 80, 80, 64),
+            (128, 64, 64, 64),
+            (128, 40, 40, 128),
+            (128, 32, 32, 128),
+            (128, 20, 20, 256),
+            (128, 16, 16, 256),
+            (128, 10, 10, 512),
+            (128, 8, 8, 512),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 3,
+        r: 6,
+        variants: STD_RUSE,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 64),
+            (32, 96, 96, 64),
+            (128, 64, 64, 64),
+            (128, 48, 48, 64),
+            (128, 32, 32, 128),
+            (128, 24, 24, 128),
+            (128, 16, 16, 256),
+            (128, 12, 12, 256),
+            (128, 8, 8, 512),
+            (128, 6, 6, 512),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 6,
+        r: 3,
+        variants: STD,
+        fused_winograd: true,
+        shapes: &[
+            (64, 128, 128, 64),
+            (128, 96, 96, 64),
+            (256, 64, 64, 64),
+            (128, 48, 48, 128),
+            (256, 32, 32, 128),
+            (128, 24, 24, 256),
+            (256, 16, 16, 256),
+            (128, 12, 12, 512),
+            (256, 8, 8, 512),
+            (128, 6, 6, 1024),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 2,
+        r: 7,
+        variants: STD_RUSE,
+        fused_winograd: false,
+        shapes: &[
+            (16, 128, 128, 64),
+            (64, 66, 66, 64),
+            (64, 64, 64, 64),
+            (64, 40, 40, 128),
+            (64, 34, 34, 128),
+            (64, 32, 32, 128),
+            (64, 18, 18, 256),
+            (64, 16, 16, 256),
+            (64, 10, 10, 512),
+            (64, 8, 8, 512),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 7,
+        r: 2,
+        variants: STD,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 128),
+            (128, 112, 112, 64),
+            (128, 64, 64, 128),
+            (128, 56, 56, 128),
+            (128, 32, 32, 256),
+            (128, 28, 28, 256),
+            (128, 16, 16, 512),
+            (128, 14, 14, 512),
+            (128, 8, 8, 1024),
+            (128, 7, 7, 1024),
+        ],
+    },
+    Panel {
+        alpha: 16,
+        n: 10,
+        r: 7,
+        variants: STD_C64,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 64),
+            (32, 120, 120, 64),
+            (64, 112, 112, 64),
+            (64, 80, 80, 64),
+            (128, 64, 64, 64),
+            (64, 40, 40, 128),
+            (128, 32, 32, 128),
+            (64, 20, 20, 256),
+            (128, 16, 16, 256),
+            (64, 10, 10, 512),
+        ],
+    },
+    Panel {
+        alpha: 16,
+        n: 9,
+        r: 8,
+        variants: STD_RUSE_C64,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 64),
+            (32, 112, 112, 64),
+            (64, 72, 72, 64),
+            (128, 64, 64, 64),
+            (128, 56, 56, 64),
+            (128, 36, 36, 64),
+            (128, 32, 32, 128),
+            (128, 28, 28, 128),
+            (64, 18, 18, 256),
+            (64, 9, 9, 512),
+        ],
+    },
+    Panel {
+        alpha: 16,
+        n: 8,
+        r: 9,
+        variants: STD_RUSE_C64,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 64),
+            (32, 124, 124, 64),
+            (32, 96, 96, 64),
+            (128, 64, 64, 64),
+            (128, 60, 60, 64),
+            (128, 48, 48, 64),
+            (128, 32, 32, 128),
+            (128, 28, 28, 128),
+            (128, 16, 16, 256),
+            (128, 8, 8, 512),
+        ],
+    },
 ];
 
 /// Figure 9 — RTX 4090, nine panels.
 pub const FIG9: &[Panel] = &[
-    Panel { alpha: 8, n: 4, r: 5, variants: STD_RUSE, fused_winograd: false, shapes: &[
-        (128, 128, 128, 64), (128, 66, 66, 128), (128, 64, 64, 128), (128, 48, 48, 128), (128, 34, 34, 256),
-        (128, 32, 32, 256), (128, 18, 18, 512), (128, 16, 16, 512), (128, 10, 10, 1024), (128, 8, 8, 1024),
-    ]},
-    Panel { alpha: 8, n: 5, r: 4, variants: STD, fused_winograd: false, shapes: &[
-        (64, 160, 160, 64), (64, 128, 128, 64), (64, 80, 80, 128), (128, 64, 64, 128), (128, 40, 40, 256),
-        (128, 32, 32, 256), (128, 20, 20, 512), (128, 16, 16, 512), (128, 10, 10, 1024), (128, 8, 8, 1024),
-    ]},
-    Panel { alpha: 8, n: 3, r: 6, variants: STD_RUSE, fused_winograd: false, shapes: &[
-        (128, 128, 128, 64), (128, 96, 96, 64), (128, 64, 64, 128), (256, 48, 48, 128), (256, 32, 32, 128),
-        (256, 24, 24, 256), (256, 16, 16, 256), (256, 12, 12, 256), (256, 8, 8, 512), (256, 6, 6, 512),
-    ]},
-    Panel { alpha: 8, n: 6, r: 3, variants: STD, fused_winograd: true, shapes: &[
-        (128, 128, 128, 64), (128, 96, 96, 64), (128, 64, 64, 128), (128, 48, 48, 128), (128, 32, 32, 256),
-        (128, 24, 24, 256), (128, 16, 16, 512), (128, 12, 12, 512), (128, 8, 8, 1024), (128, 6, 6, 1024),
-    ]},
-    Panel { alpha: 8, n: 2, r: 7, variants: STD_RUSE, fused_winograd: false, shapes: &[
-        (64, 128, 128, 64), (64, 66, 66, 128), (64, 64, 64, 128), (128, 40, 40, 128), (128, 34, 34, 128),
-        (128, 32, 32, 128), (128, 18, 18, 256), (128, 16, 16, 256), (128, 10, 10, 512), (128, 8, 8, 512),
-    ]},
-    Panel { alpha: 8, n: 7, r: 2, variants: STD, fused_winograd: false, shapes: &[
-        (256, 128, 128, 64), (256, 112, 112, 64), (256, 64, 64, 128), (256, 56, 56, 128), (256, 32, 32, 256),
-        (256, 28, 28, 256), (256, 16, 16, 512), (256, 14, 14, 512), (256, 8, 8, 1024), (256, 7, 7, 1024),
-    ]},
-    Panel { alpha: 16, n: 10, r: 7, variants: STD_C64, fused_winograd: false, shapes: &[
-        (64, 128, 128, 64), (64, 120, 120, 64), (64, 112, 112, 64), (64, 80, 80, 128), (64, 64, 64, 128),
-        (128, 40, 40, 128), (128, 32, 32, 256), (128, 20, 20, 256), (128, 16, 16, 512), (128, 10, 10, 512),
-    ]},
-    Panel { alpha: 16, n: 9, r: 8, variants: STD_RUSE_C64, fused_winograd: false, shapes: &[
-        (64, 128, 128, 64), (64, 112, 112, 64), (64, 72, 72, 128), (64, 64, 64, 128), (64, 56, 56, 128),
-        (128, 36, 36, 128), (128, 32, 32, 128), (128, 28, 28, 256), (256, 18, 18, 256), (256, 9, 9, 512),
-    ]},
-    Panel { alpha: 16, n: 8, r: 9, variants: STD_RUSE_C64, fused_winograd: false, shapes: &[
-        (64, 128, 128, 64), (64, 124, 124, 64), (128, 96, 96, 64), (128, 64, 64, 128), (128, 60, 60, 128),
-        (128, 48, 48, 128), (128, 32, 32, 256), (128, 28, 28, 256), (128, 16, 16, 512), (256, 8, 8, 512),
-    ]},
+    Panel {
+        alpha: 8,
+        n: 4,
+        r: 5,
+        variants: STD_RUSE,
+        fused_winograd: false,
+        shapes: &[
+            (128, 128, 128, 64),
+            (128, 66, 66, 128),
+            (128, 64, 64, 128),
+            (128, 48, 48, 128),
+            (128, 34, 34, 256),
+            (128, 32, 32, 256),
+            (128, 18, 18, 512),
+            (128, 16, 16, 512),
+            (128, 10, 10, 1024),
+            (128, 8, 8, 1024),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 5,
+        r: 4,
+        variants: STD,
+        fused_winograd: false,
+        shapes: &[
+            (64, 160, 160, 64),
+            (64, 128, 128, 64),
+            (64, 80, 80, 128),
+            (128, 64, 64, 128),
+            (128, 40, 40, 256),
+            (128, 32, 32, 256),
+            (128, 20, 20, 512),
+            (128, 16, 16, 512),
+            (128, 10, 10, 1024),
+            (128, 8, 8, 1024),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 3,
+        r: 6,
+        variants: STD_RUSE,
+        fused_winograd: false,
+        shapes: &[
+            (128, 128, 128, 64),
+            (128, 96, 96, 64),
+            (128, 64, 64, 128),
+            (256, 48, 48, 128),
+            (256, 32, 32, 128),
+            (256, 24, 24, 256),
+            (256, 16, 16, 256),
+            (256, 12, 12, 256),
+            (256, 8, 8, 512),
+            (256, 6, 6, 512),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 6,
+        r: 3,
+        variants: STD,
+        fused_winograd: true,
+        shapes: &[
+            (128, 128, 128, 64),
+            (128, 96, 96, 64),
+            (128, 64, 64, 128),
+            (128, 48, 48, 128),
+            (128, 32, 32, 256),
+            (128, 24, 24, 256),
+            (128, 16, 16, 512),
+            (128, 12, 12, 512),
+            (128, 8, 8, 1024),
+            (128, 6, 6, 1024),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 2,
+        r: 7,
+        variants: STD_RUSE,
+        fused_winograd: false,
+        shapes: &[
+            (64, 128, 128, 64),
+            (64, 66, 66, 128),
+            (64, 64, 64, 128),
+            (128, 40, 40, 128),
+            (128, 34, 34, 128),
+            (128, 32, 32, 128),
+            (128, 18, 18, 256),
+            (128, 16, 16, 256),
+            (128, 10, 10, 512),
+            (128, 8, 8, 512),
+        ],
+    },
+    Panel {
+        alpha: 8,
+        n: 7,
+        r: 2,
+        variants: STD,
+        fused_winograd: false,
+        shapes: &[
+            (256, 128, 128, 64),
+            (256, 112, 112, 64),
+            (256, 64, 64, 128),
+            (256, 56, 56, 128),
+            (256, 32, 32, 256),
+            (256, 28, 28, 256),
+            (256, 16, 16, 512),
+            (256, 14, 14, 512),
+            (256, 8, 8, 1024),
+            (256, 7, 7, 1024),
+        ],
+    },
+    Panel {
+        alpha: 16,
+        n: 10,
+        r: 7,
+        variants: STD_C64,
+        fused_winograd: false,
+        shapes: &[
+            (64, 128, 128, 64),
+            (64, 120, 120, 64),
+            (64, 112, 112, 64),
+            (64, 80, 80, 128),
+            (64, 64, 64, 128),
+            (128, 40, 40, 128),
+            (128, 32, 32, 256),
+            (128, 20, 20, 256),
+            (128, 16, 16, 512),
+            (128, 10, 10, 512),
+        ],
+    },
+    Panel {
+        alpha: 16,
+        n: 9,
+        r: 8,
+        variants: STD_RUSE_C64,
+        fused_winograd: false,
+        shapes: &[
+            (64, 128, 128, 64),
+            (64, 112, 112, 64),
+            (64, 72, 72, 128),
+            (64, 64, 64, 128),
+            (64, 56, 56, 128),
+            (128, 36, 36, 128),
+            (128, 32, 32, 128),
+            (128, 28, 28, 256),
+            (256, 18, 18, 256),
+            (256, 9, 9, 512),
+        ],
+    },
+    Panel {
+        alpha: 16,
+        n: 8,
+        r: 9,
+        variants: STD_RUSE_C64,
+        fused_winograd: false,
+        shapes: &[
+            (64, 128, 128, 64),
+            (64, 124, 124, 64),
+            (128, 96, 96, 64),
+            (128, 64, 64, 128),
+            (128, 60, 60, 128),
+            (128, 48, 48, 128),
+            (128, 32, 32, 256),
+            (128, 28, 28, 256),
+            (128, 16, 16, 512),
+            (256, 8, 8, 512),
+        ],
+    },
 ];
 
 /// Table 3 — accuracy sub-tables: `(Γ kernel, four ofms shapes)`. OW is a
@@ -134,24 +404,114 @@ pub struct AccuracyTable {
 }
 
 pub const TABLE3: &[AccuracyTable] = &[
-    AccuracyTable { alpha: 8, n: 7, r: 2, fused_winograd: false, shapes: &[
-        (128, 112, 112, 64), (128, 56, 56, 128), (128, 28, 28, 256), (128, 14, 14, 512)] },
-    AccuracyTable { alpha: 8, n: 5, r: 4, fused_winograd: false, shapes: &[
-        (128, 80, 80, 64), (128, 40, 40, 128), (128, 20, 20, 256), (128, 10, 10, 512)] },
-    AccuracyTable { alpha: 8, n: 6, r: 3, fused_winograd: true, shapes: &[
-        (128, 96, 96, 64), (128, 48, 48, 128), (128, 24, 24, 256), (128, 12, 12, 512)] },
-    AccuracyTable { alpha: 8, n: 2, r: 7, fused_winograd: false, shapes: &[
-        (32, 128, 128, 64), (32, 64, 64, 128), (32, 32, 32, 256), (32, 16, 16, 512)] },
-    AccuracyTable { alpha: 8, n: 4, r: 5, fused_winograd: false, shapes: &[
-        (64, 128, 128, 64), (64, 64, 64, 128), (64, 32, 32, 256), (64, 16, 16, 512)] },
-    AccuracyTable { alpha: 8, n: 3, r: 6, fused_winograd: false, shapes: &[
-        (64, 96, 96, 64), (64, 48, 48, 128), (64, 24, 24, 256), (64, 12, 12, 512)] },
-    AccuracyTable { alpha: 16, n: 10, r: 7, fused_winograd: false, shapes: &[
-        (64, 80, 80, 64), (64, 40, 40, 128), (64, 20, 20, 256), (64, 10, 10, 512)] },
-    AccuracyTable { alpha: 16, n: 9, r: 8, fused_winograd: false, shapes: &[
-        (32, 144, 144, 64), (32, 72, 72, 128), (32, 36, 36, 256), (32, 18, 18, 512)] },
-    AccuracyTable { alpha: 16, n: 8, r: 9, fused_winograd: false, shapes: &[
-        (32, 128, 128, 64), (32, 64, 64, 128), (32, 32, 32, 256), (32, 16, 16, 512)] },
+    AccuracyTable {
+        alpha: 8,
+        n: 7,
+        r: 2,
+        fused_winograd: false,
+        shapes: &[
+            (128, 112, 112, 64),
+            (128, 56, 56, 128),
+            (128, 28, 28, 256),
+            (128, 14, 14, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 8,
+        n: 5,
+        r: 4,
+        fused_winograd: false,
+        shapes: &[
+            (128, 80, 80, 64),
+            (128, 40, 40, 128),
+            (128, 20, 20, 256),
+            (128, 10, 10, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 8,
+        n: 6,
+        r: 3,
+        fused_winograd: true,
+        shapes: &[
+            (128, 96, 96, 64),
+            (128, 48, 48, 128),
+            (128, 24, 24, 256),
+            (128, 12, 12, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 8,
+        n: 2,
+        r: 7,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 64),
+            (32, 64, 64, 128),
+            (32, 32, 32, 256),
+            (32, 16, 16, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 8,
+        n: 4,
+        r: 5,
+        fused_winograd: false,
+        shapes: &[
+            (64, 128, 128, 64),
+            (64, 64, 64, 128),
+            (64, 32, 32, 256),
+            (64, 16, 16, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 8,
+        n: 3,
+        r: 6,
+        fused_winograd: false,
+        shapes: &[
+            (64, 96, 96, 64),
+            (64, 48, 48, 128),
+            (64, 24, 24, 256),
+            (64, 12, 12, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 16,
+        n: 10,
+        r: 7,
+        fused_winograd: false,
+        shapes: &[
+            (64, 80, 80, 64),
+            (64, 40, 40, 128),
+            (64, 20, 20, 256),
+            (64, 10, 10, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 16,
+        n: 9,
+        r: 8,
+        fused_winograd: false,
+        shapes: &[
+            (32, 144, 144, 64),
+            (32, 72, 72, 128),
+            (32, 36, 36, 256),
+            (32, 18, 18, 512),
+        ],
+    },
+    AccuracyTable {
+        alpha: 16,
+        n: 8,
+        r: 9,
+        fused_winograd: false,
+        shapes: &[
+            (32, 128, 128, 64),
+            (32, 64, 64, 128),
+            (32, 32, 32, 256),
+            (32, 16, 16, 512),
+        ],
+    },
 ];
 
 impl AccuracyTable {
@@ -181,7 +541,9 @@ pub fn scale_batch(ofms: Ofms, r: usize, target_gflop: f64) -> (usize, f64) {
     // Floor at 4: below that, per-call costs that the paper's batch sizes
     // amortise (the filter-transform pass at large IC·OC) dominate the
     // measurement and misrepresent the kernels.
-    let scaled = (((n as f64) * target_gflop / gf).ceil().max(1.0) as usize).clamp(1, n).max(4.min(n));
+    let scaled = (((n as f64) * target_gflop / gf).ceil().max(1.0) as usize)
+        .clamp(1, n)
+        .max(4.min(n));
     (scaled, scaled as f64 / n as f64)
 }
 

@@ -6,19 +6,19 @@ use iwino_baselines::{direct_conv_f64_ref, im2col_conv_nchw, im2col_conv_nhwc, w
 use iwino_core::{conv2d_opts, ConvOptions, GammaSpec};
 use iwino_gpu_sim::model::{Algorithm, Layout};
 use iwino_gpu_sim::DeviceSpec;
+use iwino_obs::Json;
 use iwino_tensor::{nhwc_to_nchw, relative_error_histogram, ConvShape, ErrorStats, Tensor4};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One plotted point: series label → Gflop/s.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SeriesPoint {
     pub series: String,
     pub gflops: f64,
 }
 
 /// One x-axis position of a figure panel.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PanelRow {
     pub ofms: String,
     /// Batch scaling applied in quick mode (1.0 = paper size).
@@ -27,10 +27,46 @@ pub struct PanelRow {
 }
 
 /// A regenerated figure panel.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PanelResult {
     pub panel: String,
     pub rows: Vec<PanelRow>,
+}
+
+impl PanelResult {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("panel", Json::from(self.panel.as_str())),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Json::obj(vec![
+                                ("ofms", Json::from(row.ofms.as_str())),
+                                ("batch_scale", Json::from(row.batch_scale)),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        row.points
+                                            .iter()
+                                            .map(|p| {
+                                                Json::obj(vec![
+                                                    ("series", Json::from(p.series.as_str())),
+                                                    ("gflops", Json::from(p.gflops)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn time_reps(mut f: impl FnMut(), reps: usize) -> f64 {
@@ -46,7 +82,10 @@ fn time_reps(mut f: impl FnMut(), reps: usize) -> f64 {
 pub fn measure_gamma(shape: &ConvShape, spec: GammaSpec, reps: usize) -> f64 {
     let x = Tensor4::<f32>::random(shape.x_dims(), 11, -1.0, 1.0);
     let w = Tensor4::<f32>::random(shape.w_dims(), 12, -1.0, 1.0);
-    let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+    let opts = ConvOptions {
+        force_kernels: Some(vec![spec]),
+        ..Default::default()
+    };
     let dt = time_reps(|| drop(conv2d_opts(&x, &w, shape, &opts)), reps);
     shape.flops() / dt / 1e9
 }
@@ -91,19 +130,31 @@ pub fn run_panel(panel: &Panel, dev: &DeviceSpec, measure: bool, target_gflop: f
         for &variant in panel.variants {
             let spec = panel.spec(variant);
             for include_transpose in [true, false] {
-                let algo = Algorithm::Gamma { spec, include_transpose };
+                let algo = Algorithm::Gamma {
+                    spec,
+                    include_transpose,
+                };
                 let r = iwino_gpu_sim::estimate(dev, &full_shape, &algo);
-                points.push(SeriesPoint { series: format!("sim:{}", algo.label()), gflops: r.gflops });
+                points.push(SeriesPoint {
+                    series: format!("sim:{}", algo.label()),
+                    gflops: r.gflops,
+                });
             }
         }
         for layout in [Layout::Nchw, Layout::Nhwc] {
             let algo = Algorithm::ImplicitGemm { layout };
             let r = iwino_gpu_sim::estimate(dev, &full_shape, &algo);
-            points.push(SeriesPoint { series: format!("sim:{}", algo.label()), gflops: r.gflops });
+            points.push(SeriesPoint {
+                series: format!("sim:{}", algo.label()),
+                gflops: r.gflops,
+            });
         }
         if panel.fused_winograd {
             let r = iwino_gpu_sim::estimate(dev, &full_shape, &Algorithm::FusedWinograd2d);
-            points.push(SeriesPoint { series: "sim:cuDNN-Fused-Winograd".into(), gflops: r.gflops });
+            points.push(SeriesPoint {
+                series: "sim:cuDNN-Fused-Winograd".into(),
+                gflops: r.gflops,
+            });
         }
         // CPU-measured series on the (possibly batch-scaled) shape.
         let (scaled_n, batch_scale) = scale_batch(ofms, panel.r, target_gflop);
@@ -113,7 +164,10 @@ pub fn run_panel(panel: &Panel, dev: &DeviceSpec, measure: bool, target_gflop: f
             for &variant in panel.variants {
                 let spec = panel.spec(variant);
                 let gf = measure_gamma(&shape, spec, reps);
-                points.push(SeriesPoint { series: format!("cpu:Im2col-Winograd-{spec}"), gflops: gf });
+                points.push(SeriesPoint {
+                    series: format!("cpu:Im2col-Winograd-{spec}"),
+                    gflops: gf,
+                });
             }
             points.push(SeriesPoint {
                 series: "cpu:Im2col-GEMM-NHWC".into(),
@@ -131,18 +185,36 @@ pub fn run_panel(panel: &Panel, dev: &DeviceSpec, measure: bool, target_gflop: f
             }
         }
         let (n, oh, ow, oc) = ofms;
-        rows.push(PanelRow { ofms: format!("{n}x{oh}x{ow}x{oc}"), batch_scale, points });
+        rows.push(PanelRow {
+            ofms: format!("{n}x{oh}x{ow}x{oc}"),
+            batch_scale,
+            points,
+        });
     }
-    PanelResult { panel: format!("Im2col-Winograd-{}", panel.label()), rows }
+    PanelResult {
+        panel: format!("Im2col-Winograd-{}", panel.label()),
+        rows,
+    }
 }
 
 /// Table 2: per-panel speedup range of the best Γ series over (a) the
 /// fastest baseline and (b) the NHWC GEMM, computed from simulated series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SpeedupRow {
     pub panel: String,
     pub vs_fastest: (f64, f64),
     pub vs_nhwc_gemm: (f64, f64),
+}
+
+impl SpeedupRow {
+    pub fn to_json(&self) -> Json {
+        let pair = |(lo, hi): (f64, f64)| Json::Arr(vec![Json::from(lo), Json::from(hi)]);
+        Json::obj(vec![
+            ("panel", Json::from(self.panel.as_str())),
+            ("vs_fastest", pair(self.vs_fastest)),
+            ("vs_nhwc_gemm", pair(self.vs_nhwc_gemm)),
+        ])
+    }
 }
 
 pub fn speedups(results: &[PanelResult]) -> Vec<SpeedupRow> {
@@ -183,20 +255,36 @@ pub fn speedups(results: &[PanelResult]) -> Vec<SpeedupRow> {
                     v.iter().copied().fold(0.0, f64::max),
                 )
             };
-            SpeedupRow { panel: pr.panel.clone(), vs_fastest: range(&vs_fast), vs_nhwc_gemm: range(&vs_nhwc) }
+            SpeedupRow {
+                panel: pr.panel.clone(),
+                vs_fastest: range(&vs_fast),
+                vs_nhwc_gemm: range(&vs_nhwc),
+            }
         })
         .collect()
 }
 
 /// Table 3 row: mean relative error of each algorithm vs the FP64 CPU
 /// reference on uniform-[1,2) data.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AccuracyRow {
     pub ofms: String,
     pub batch_scale: f64,
     pub gamma: f64,
     pub cugemm: f64,
     pub cuwinograd: Option<f64>,
+}
+
+impl AccuracyRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ofms", Json::from(self.ofms.as_str())),
+            ("batch_scale", Json::from(self.batch_scale)),
+            ("gamma", Json::from(self.gamma)),
+            ("cugemm", Json::from(self.cugemm)),
+            ("cuwinograd", self.cuwinograd.map_or(Json::Null, Json::from)),
+        ])
+    }
 }
 
 pub fn run_accuracy(table: &AccuracyTable, target_gflop: f64) -> Vec<AccuracyRow> {
@@ -235,12 +323,24 @@ pub fn run_accuracy(table: &AccuracyTable, target_gflop: f64) -> Vec<AccuracyRow
 
 /// Figure 10: relative-error distribution (percent per bucket) for a Γ
 /// kernel vs the GEMM baseline on one shape.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     pub label: String,
     pub bucket_width: f64,
     pub gamma_pct: Vec<f64>,
     pub cugemm_pct: Vec<f64>,
+}
+
+impl Histogram {
+    pub fn to_json(&self) -> Json {
+        let pct = |v: &[f64]| Json::Arr(v.iter().map(|&p| Json::from(p)).collect());
+        Json::obj(vec![
+            ("label", Json::from(self.label.as_str())),
+            ("bucket_width", Json::from(self.bucket_width)),
+            ("gamma_pct", pct(&self.gamma_pct)),
+            ("cugemm_pct", pct(&self.cugemm_pct)),
+        ])
+    }
 }
 
 pub fn run_histogram(table: &AccuracyTable, bins: usize, hi: f64, target_gflop: f64) -> Histogram {
@@ -251,7 +351,10 @@ pub fn run_histogram(table: &AccuracyTable, bins: usize, hi: f64, target_gflop: 
     let x = Tensor4::<f32>::random(shape.x_dims(), 31, 1.0, 2.0);
     let w = Tensor4::<f32>::random(shape.w_dims(), 32, 1.0, 2.0);
     let truth = direct_conv_f64_ref(&x, &w, &shape);
-    let opts = ConvOptions { force_kernels: Some(vec![table.spec()]), ..Default::default() };
+    let opts = ConvOptions {
+        force_kernels: Some(vec![table.spec()]),
+        ..Default::default()
+    };
     let gamma = conv2d_opts(&x, &w, &shape, &opts);
     let plan = Im2colPlan::new(&shape);
     let gemm = im2col_conv_nhwc(&x, &w, &plan);
@@ -263,11 +366,84 @@ pub fn run_histogram(table: &AccuracyTable, bins: usize, hi: f64, target_gflop: 
     }
 }
 
+/// One row of `repro validate-model`: a pipeline stage with its measured
+/// (CPU, via `iwino-obs`) and predicted (gpu-sim op-count model) share.
+#[derive(Clone, Debug)]
+pub struct StageComparison {
+    pub stage: &'static str,
+    pub measured: f64,
+    pub predicted: f64,
+}
+
+impl StageComparison {
+    pub fn divergence(&self) -> f64 {
+        (self.measured - self.predicted).abs()
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("stage", Json::from(self.stage)),
+            ("measured", Json::from(self.measured)),
+            ("predicted", Json::from(self.predicted)),
+            ("divergence", Json::from(self.divergence())),
+        ])
+    }
+}
+
+/// Run `spec` over `shape` with profiling on and compare the measured
+/// per-stage time shares against [`predicted_stage_shares`]'s op-count
+/// prediction. Shares on both sides are normalised over the five pipeline
+/// stages the model covers, so they are directly comparable.
+///
+/// [`predicted_stage_shares`]: iwino_gpu_sim::model::predicted_stage_shares
+pub fn validate_stage_model(shape: &ConvShape, spec: GammaSpec, reps: usize) -> Vec<StageComparison> {
+    use iwino_gpu_sim::model::predicted_stage_shares;
+    use iwino_obs as obs;
+
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::reset();
+    iwino_parallel::reset_global_stats();
+    let x = Tensor4::<f32>::random(shape.x_dims(), 51, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 52, -1.0, 1.0);
+    let opts = ConvOptions {
+        force_kernels: Some(vec![spec]),
+        ..Default::default()
+    };
+    for _ in 0..reps.max(1) {
+        drop(conv2d_opts(&x, &w, shape, &opts));
+    }
+    let snap = obs::snapshot();
+    obs::set_enabled(was_enabled);
+
+    let predicted = predicted_stage_shares(shape, &spec);
+    let stages = [
+        (obs::Stage::FilterTransform, predicted.filter_transform),
+        (obs::Stage::InputTransform, predicted.input_transform),
+        (obs::Stage::OuterProduct, predicted.outer_product),
+        (obs::Stage::OutputTransform, predicted.output_transform),
+        (obs::Stage::GemmRemainder, predicted.gemm_remainder),
+    ];
+    let total_ns: u64 = stages.iter().map(|&(s, _)| snap.stage_ns(s)).sum();
+    stages
+        .iter()
+        .map(|&(s, predicted)| StageComparison {
+            stage: s.name(),
+            measured: if total_ns > 0 {
+                snap.stage_ns(s) as f64 / total_ns as f64
+            } else {
+                0.0
+            },
+            predicted,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::figures::FIG8;
     use crate::figures::AccuracyTable;
+    use crate::figures::FIG8;
 
     #[test]
     fn panel_simulation_produces_all_series() {
@@ -315,8 +491,32 @@ mod tests {
     }
 
     #[test]
+    fn validate_model_compares_normalised_shares() {
+        use iwino_core::Variant;
+        let shape = ConvShape::square(1, 24, 16, 16, 3);
+        let rows = validate_stage_model(&shape, GammaSpec::new(8, 6, 3, Variant::Standard), 2);
+        assert_eq!(rows.len(), 5);
+        let measured: f64 = rows.iter().map(|r| r.measured).sum();
+        let predicted: f64 = rows.iter().map(|r| r.predicted).sum();
+        assert!((measured - 1.0).abs() < 1e-9, "measured shares sum to {measured}");
+        assert!((predicted - 1.0).abs() < 1e-9, "predicted shares sum to {predicted}");
+        let op = rows.iter().find(|r| r.stage == "outer_product").unwrap();
+        assert!(op.measured > 0.0, "outer products must show up in the profile");
+        assert!(op.predicted > 0.0);
+        for r in &rows {
+            assert!(r.divergence() <= 1.0, "{r:?}");
+        }
+    }
+
+    #[test]
     fn histogram_percentages_sum_to_100() {
-        let tiny = AccuracyTable { alpha: 16, n: 8, r: 9, fused_winograd: false, shapes: &[(1, 16, 16, 32)] };
+        let tiny = AccuracyTable {
+            alpha: 16,
+            n: 8,
+            r: 9,
+            fused_winograd: false,
+            shapes: &[(1, 16, 16, 32)],
+        };
         let h = run_histogram(&tiny, 12, 1.5e-4, 0.02);
         let s: f64 = h.gamma_pct.iter().sum();
         assert!((s - 100.0).abs() < 1e-6);

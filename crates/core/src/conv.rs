@@ -9,11 +9,12 @@
 
 use crate::filter::{filter_hwio, TransformedFilter};
 use crate::kernel::{cached_kernel, direct_row_segment, GammaKernel, RowJob, Scratch, Variant};
-use std::sync::Arc;
 use crate::plan::{default_kernel_prefs, GammaSpec, KernelChoice, SegmentPlan};
+use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_tensor::{ConvShape, Tensor4};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Output epilogue fused into the convolution's row pass (bias add and/or
 /// activation applied while the freshly written row is still cache-hot —
@@ -91,7 +92,7 @@ impl ConvOptions {
             Some(k) => k.clone(),
             None => default_kernel_prefs(r, self.prefer_alpha16 || r >= 8),
         };
-        if self.allow_c64 && oc % 64 == 0 {
+        if self.allow_c64 && oc.is_multiple_of(64) {
             for p in &mut prefs {
                 if p.alpha == 16 && p.variant == Variant::Standard {
                     p.variant = Variant::C64;
@@ -110,7 +111,7 @@ pub fn auto_options(shape: &ConvShape) -> ConvOptions {
     ConvOptions {
         force_kernels: None,
         prefer_alpha16: shape.fw >= 7,
-        allow_c64: shape.oc % 64 == 0,
+        allow_c64: shape.oc.is_multiple_of(64),
     }
 }
 
@@ -122,7 +123,10 @@ pub fn conv2d(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape) -> Tensor4<
 
 /// Unit-stride 2-D convolution with explicit options.
 pub fn conv2d_opts(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Tensor4<f32> {
-    assert!(shape.is_unit_stride(), "Im2col-Winograd is a unit-stride algorithm (§4); use a GEMM/direct path for strided convolution");
+    assert!(
+        shape.is_unit_stride(),
+        "Im2col-Winograd is a unit-stride algorithm (§4); use a GEMM/direct path for strided convolution"
+    );
     assert_eq!(x.dims(), shape.x_dims(), "input dims mismatch");
     assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
     run(x, w, shape, opts, false, &Epilogue::None)
@@ -153,7 +157,10 @@ pub fn deconv2d(dy: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape) -> Tenso
 
 /// [`deconv2d`] with explicit options.
 pub fn deconv2d_opts(dy: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Tensor4<f32> {
-    assert!(shape.is_unit_stride(), "unit-stride only; strided deconvolution goes through the GEMM path");
+    assert!(
+        shape.is_unit_stride(),
+        "unit-stride only; strided deconvolution goes through the GEMM path"
+    );
     assert_eq!(dy.dims(), shape.y_dims(), "dy dims mismatch");
     assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
     // Backward-data of conv(pad p) is conv(dy, rot180(W), pad r−1−p):
@@ -189,20 +196,30 @@ fn run(
 ) -> Tensor4<f32> {
     let s = *shape;
     let (oh, ow) = (s.oh(), s.ow());
+    let _total = obs::span(obs::Stage::Total);
+    // The paper's GFLOP/s convention: count the FLOPs of the standard
+    // convolution producing the same output, whatever kernel runs.
+    obs::add(obs::Counter::Flops, s.flops() as u64);
     let plan = opts.plan_for(ow, s.fw, s.oc);
 
     // Each distinct Γ kernel (cached process-wide — transform generation is
     // exact rational arithmetic) plus its per-call transformed filter bank.
+    let ft_span = obs::span(obs::Stage::FilterTransform);
     let mut kernels: Vec<(GammaSpec, Arc<GammaKernel>, TransformedFilter)> = Vec::new();
     for spec in plan.gamma_specs() {
         let kernel = cached_kernel(spec.alpha, spec.n, spec.r, spec.variant);
         let t = kernel.transform();
-        let tw = if rotate { TransformedFilter::deconv(w, &t) } else { TransformedFilter::forward(w, &t) };
+        let tw = if rotate {
+            TransformedFilter::deconv(w, &t)
+        } else {
+            TransformedFilter::forward(w, &t)
+        };
         kernels.push((spec, kernel, tw));
     }
     // Untransformed HWIO filter for the GEMM remainder (built only if used).
     let needs_direct = plan.segments.iter().any(|g| g.kernel == KernelChoice::Gemm);
     let w_direct = needs_direct.then(|| filter_hwio(w, rotate));
+    drop(ft_span);
     // Segment → kernel index, resolved once instead of per row.
     let seg_kernels: Vec<Option<usize>> = plan
         .segments
@@ -265,10 +282,13 @@ fn run(
                     }
                     None => {
                         let wd = w_direct.as_ref().expect("direct filter was built");
+                        let _g = obs::span(obs::Stage::GemmRemainder);
+                        obs::add(obs::Counter::GemmRemainderCols, seg.len as u64);
                         direct_row_segment(&job, wd.as_slice(), s.fw, seg.start, seg.len, out_row);
                     }
                 }
             }
+            let _e = (!matches!(epilogue, Epilogue::None)).then(|| obs::span(obs::Stage::Epilogue));
             epilogue.apply(out_row, s.oc);
         });
     });
@@ -337,8 +357,15 @@ mod tests {
         let x = Tensor4::<f32>::random(s.x_dims(), 80, 1.0, 2.0);
         let w = Tensor4::<f32>::random(s.w_dims(), 81, 1.0, 2.0);
         let want = direct_conv_f64_ref(&x, &w, &s);
-        let std_opts = ConvOptions { prefer_alpha16: true, ..Default::default() };
-        let c64_opts = ConvOptions { prefer_alpha16: true, allow_c64: true, ..Default::default() };
+        let std_opts = ConvOptions {
+            prefer_alpha16: true,
+            ..Default::default()
+        };
+        let c64_opts = ConvOptions {
+            prefer_alpha16: true,
+            allow_c64: true,
+            ..Default::default()
+        };
         let y_std = conv2d_opts(&x, &w, &s, &std_opts);
         let y_c64 = conv2d_opts(&x, &w, &s, &c64_opts);
         let stats = iwino_tensor::ErrorStats::between(&y_c64, &want);
@@ -349,7 +376,10 @@ mod tests {
     #[test]
     fn alpha16_kernels() {
         for r in [7usize, 8, 9] {
-            let opts = ConvOptions { prefer_alpha16: true, ..Default::default() };
+            let opts = ConvOptions {
+                prefer_alpha16: true,
+                ..Default::default()
+            };
             let s = ConvShape::square(1, 20, 8, 8, r);
             check_conv(&s, &opts, 90 + r as u64, 1e-2);
         }
@@ -364,15 +394,35 @@ mod tests {
     #[test]
     fn zero_padding_variants() {
         // pw = 0 (valid convolution) and asymmetric-feeling sizes.
-        check_conv(&ConvShape::unit(1, 10, 17, 4, 4, 3, 3, 0, 0), &ConvOptions::default(), 101, 1e-4);
-        check_conv(&ConvShape::unit(1, 10, 17, 4, 4, 5, 5, 0, 2), &ConvOptions::default(), 102, 2e-4);
+        check_conv(
+            &ConvShape::unit(1, 10, 17, 4, 4, 3, 3, 0, 0),
+            &ConvOptions::default(),
+            101,
+            1e-4,
+        );
+        check_conv(
+            &ConvShape::unit(1, 10, 17, 4, 4, 5, 5, 0, 2),
+            &ConvOptions::default(),
+            102,
+            2e-4,
+        );
     }
 
     #[test]
     fn non_square_filters() {
         // FH ≠ FW: the 1-D decomposition only constrains FW (§4.2).
-        check_conv(&ConvShape::unit(1, 12, 12, 4, 4, 5, 3, 2, 1), &ConvOptions::default(), 103, 1e-4);
-        check_conv(&ConvShape::unit(1, 12, 12, 4, 4, 2, 7, 0, 3), &ConvOptions::default(), 104, 2e-4);
+        check_conv(
+            &ConvShape::unit(1, 12, 12, 4, 4, 5, 3, 2, 1),
+            &ConvOptions::default(),
+            103,
+            1e-4,
+        );
+        check_conv(
+            &ConvShape::unit(1, 12, 12, 4, 4, 2, 7, 0, 3),
+            &ConvOptions::default(),
+            104,
+            2e-4,
+        );
     }
 
     #[test]
@@ -422,15 +472,28 @@ mod tests {
         let yr = Tensor4::<f32>::random(s.y_dims(), 142, -1.0, 1.0);
         let cx = conv2d(&x, &w, &s);
         let dy = deconv2d(&yr, &w, &s);
-        let lhs: f64 = cx.as_slice().iter().zip(yr.as_slice()).map(|(&a, &b)| (a as f64) * b as f64).sum();
-        let rhs: f64 = x.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| (a as f64) * b as f64).sum();
+        let lhs: f64 = cx
+            .as_slice()
+            .iter()
+            .zip(yr.as_slice())
+            .map(|(&a, &b)| (a as f64) * b as f64)
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(&a, &b)| (a as f64) * b as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
     }
 
     #[test]
     #[should_panic]
     fn rejects_strided_shapes() {
-        let s = ConvShape { sw: 2, ..ConvShape::square(1, 8, 2, 2, 3) };
+        let s = ConvShape {
+            sw: 2,
+            ..ConvShape::square(1, 8, 2, 2, 3)
+        };
         let x = Tensor4::<f32>::zeros(s.x_dims());
         let w = Tensor4::<f32>::zeros(s.w_dims());
         let _ = conv2d(&x, &w, &s);
@@ -477,12 +540,21 @@ mod tests {
     #[test]
     fn gamma4_kernels_as_primary() {
         // The α = 4 family the paper's Figure 3 lists: Γ4(3,2) and Γ4(2,3).
-        for (n, r, variant) in [(3usize, 2usize, Variant::Standard), (2, 3, Variant::Standard), (2, 3, Variant::Ruse)] {
+        for (n, r, variant) in [
+            (3usize, 2usize, Variant::Standard),
+            (2, 3, Variant::Standard),
+            (2, 3, Variant::Ruse),
+        ] {
             let opts = ConvOptions {
                 force_kernels: Some(vec![GammaSpec::new(4, n, r, variant)]),
                 ..Default::default()
             };
-            check_conv(&ConvShape::square(1, 3 * n + 1, 8, 8, r), &opts, 300 + (n * 10 + r) as u64, 1e-4);
+            check_conv(
+                &ConvShape::square(1, 3 * n + 1, 8, 8, r),
+                &opts,
+                300 + (n * 10 + r) as u64,
+                1e-4,
+            );
         }
     }
 
@@ -545,7 +617,10 @@ mod accuracy {
         let x = Tensor4::<f32>::random(s.x_dims(), 300, 1.0, 2.0);
         let w = Tensor4::<f32>::random(s.w_dims(), 301, 1.0, 2.0);
         let want = direct_conv_f64_ref(&x, &w, &s);
-        let opts = ConvOptions { prefer_alpha16: true, ..Default::default() };
+        let opts = ConvOptions {
+            prefer_alpha16: true,
+            ..Default::default()
+        };
         let got = conv2d_opts(&x, &w, &s, &opts);
         let stats = iwino_tensor::ErrorStats::between(&got, &want);
         eprintln!("gamma16 stats: {stats:?}");

@@ -49,7 +49,15 @@ impl TransformedFilter {
         Self::build(w, t, true, oc, fh, fw, ic)
     }
 
-    fn build(w: &Tensor4<f32>, t: &WinogradTransform, rotate: bool, oc: usize, fh: usize, fw: usize, ic: usize) -> Self {
+    fn build(
+        w: &Tensor4<f32>,
+        t: &WinogradTransform,
+        rotate: bool,
+        oc: usize,
+        fh: usize,
+        fw: usize,
+        ic: usize,
+    ) -> Self {
         let alpha = t.alpha;
         let r = t.r;
         let g = t.g.to_f64();
@@ -93,7 +101,13 @@ impl TransformedFilter {
             }
         });
         drop(parts);
-        TransformedFilter { fh, alpha, ic: cc, oc: out_c, data }
+        TransformedFilter {
+            fh,
+            alpha,
+            ic: cc,
+            oc: out_c,
+            data,
+        }
     }
 
     /// 3-D forward transform of `w` (`OC×FD×FH×FW×IC`): one plane per
@@ -114,8 +128,8 @@ impl TransformedFilter {
                 let g_row = &g[s * r..(s + 1) * r];
                 let dst_plane = &mut data[(plane * alpha + s) * ic * oc..(plane * alpha + s + 1) * ic * oc];
                 for o in 0..oc {
-                    for x in 0..fw {
-                        let coeff = g_row[x] as f32;
+                    for (x, &gc) in g_row.iter().enumerate().take(fw) {
+                        let coeff = gc as f32;
                         if coeff == 0.0 {
                             continue;
                         }
@@ -128,7 +142,13 @@ impl TransformedFilter {
                 }
             }
         }
-        TransformedFilter { fh: planes, alpha, ic, oc, data }
+        TransformedFilter {
+            fh: planes,
+            alpha,
+            ic,
+            oc,
+            data,
+        }
     }
 
     /// The contiguous `oc` row for `(plane, state, contraction channel)`.
@@ -208,9 +228,9 @@ mod tests {
             for s in 0..4 {
                 for i in 0..4 {
                     let row = tw.row(h, s, i);
-                    for o in 0..3 {
+                    for (o, &got) in row.iter().enumerate().take(3) {
                         let want: f64 = (0..3).map(|x| g[s * 3 + x] * w.at(o, h, x, i) as f64).sum();
-                        assert!((row[o] as f64 - want).abs() < 1e-6, "h{h} s{s} i{i} o{o}");
+                        assert!((got as f64 - want).abs() < 1e-6, "h{h} s{s} i{i} o{o}");
                     }
                 }
             }

@@ -122,21 +122,45 @@ mod tests {
         let dy = Tensor4::<f32>::random(s.y_dims(), 212, -1.0, 1.0);
         let y = direct_conv(&x, &w, &s);
         let dw = filter_grad(&x, &dy, &s);
-        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
-        let rhs: f64 = w.as_slice().iter().zip(dw.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let lhs: f64 = y
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let rhs: f64 = w
+            .as_slice()
+            .iter()
+            .zip(dw.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
     }
 
     #[test]
     fn strided_filter_grad_adjointness() {
-        let s = ConvShape { sh: 2, sw: 2, ..ConvShape::square(1, 8, 2, 3, 3) };
+        let s = ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 8, 2, 3, 3)
+        };
         let x = Tensor4::<f32>::random(s.x_dims(), 220, -1.0, 1.0);
         let w = Tensor4::<f32>::random(s.w_dims(), 221, -1.0, 1.0);
         let dy = Tensor4::<f32>::random(s.y_dims(), 222, -1.0, 1.0);
         let y = direct_conv(&x, &w, &s);
         let dw = filter_grad(&x, &dy, &s);
-        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
-        let rhs: f64 = w.as_slice().iter().zip(dw.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let lhs: f64 = y
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let rhs: f64 = w
+            .as_slice()
+            .iter()
+            .zip(dw.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
     }
 

@@ -28,9 +28,11 @@
 //!   `512/(α+2r)`.
 
 use crate::filter::TransformedFilter;
+use iwino_obs as obs;
 use iwino_transforms::{PairedTransform, WinogradTransform};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Kernel flavour (§5.4, §5.6).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -106,8 +108,8 @@ pub struct Scratch {
 /// rational arithmetic (expensive for α = 16), and convolutions inside a
 /// training loop would otherwise pay it on every call.
 pub fn cached_kernel(alpha: usize, n: usize, r: usize, variant: Variant) -> Arc<GammaKernel> {
-    static CACHE: OnceLock<Mutex<HashMap<(usize, usize, usize, Variant), Arc<GammaKernel>>>> =
-        OnceLock::new();
+    type Cache = Mutex<HashMap<(usize, usize, usize, Variant), Arc<GammaKernel>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("kernel cache poisoned");
     Arc::clone(
@@ -126,16 +128,19 @@ impl GammaKernel {
         let (bn, bm) = match alpha {
             4 => (64, 64),
             8 => (64, 32),
-            16 => {
-                if variant == Variant::C64 {
-                    (64, 32)
-                } else {
-                    (32, 32)
-                }
-            }
+            16 if variant == Variant::C64 => (64, 32),
             _ => (32, 32),
         };
-        GammaKernel { n, r, alpha, variant, dt: t.dt_paired(), at: t.at_paired(), bn, bm }
+        GammaKernel {
+            n,
+            r,
+            alpha,
+            variant,
+            dt: t.dt_paired(),
+            at: t.at_paired(),
+            bn,
+            bm,
+        }
     }
 
     /// The `WinogradTransform` this kernel was generated from (for tests and
@@ -165,9 +170,17 @@ impl GammaKernel {
         let alpha = self.alpha;
         let n = self.n;
         let (bn, bm) = (self.bn, self.bm);
+        // Hoisted once per segment so the disabled path costs one relaxed
+        // load + predictable branches in the loops below.
+        let rec = obs::enabled();
 
         // Disjoint borrows of the scratch fields for the loops below.
-        let Scratch { gather, tx, acc: acc_buf, ytile } = scratch;
+        let Scratch {
+            gather,
+            tx,
+            acc: acc_buf,
+            ytile,
+        } = scratch;
         tx.resize(alpha * BK, 0.0);
         acc_buf.resize(bm * alpha * bn, 0.0);
         ytile.resize(n * bn, 0.0);
@@ -182,18 +195,22 @@ impl GammaKernel {
                     let x_row = &job.x[x_off..x_off + job.iw * job.ic];
                     for ic0 in (0..job.ic).step_by(BK) {
                         let icb = BK.min(job.ic - ic0);
-                        let s = GatherTx { gather: &mut *gather, tx: &mut *tx };
+                        let s = GatherTx {
+                            gather: &mut *gather,
+                            tx: &mut *tx,
+                        };
                         match self.variant {
                             Variant::Ruse => self.block_ruse(
-                                job, tw, x_row, seg_start, t0, tb, plane, ic0, icb, oc0, ocb, acc, s,
+                                job, tw, x_row, seg_start, t0, tb, plane, ic0, icb, oc0, ocb, acc, s, rec,
                             ),
                             _ => self.block_standard(
-                                job, tw, x_row, seg_start, t0, tb, plane, ic0, icb, oc0, ocb, acc, s,
+                                job, tw, x_row, seg_start, t0, tb, plane, ic0, icb, oc0, ocb, acc, s, rec,
                             ),
                         }
                     }
                 }
                 // Output transform: ytile(n×BN) = Aᵀ(n×α) · acc_t(α×BN).
+                let ot_start = rec.then(Instant::now);
                 for t in 0..tb {
                     let acc_t = &acc_buf[t * alpha * bn..(t + 1) * alpha * bn];
                     self.at.apply_f32_strided(acc_t, bn, ytile, bn, ocb);
@@ -202,6 +219,14 @@ impl GammaKernel {
                         let dst = &mut out_row[(ox0 + j) * job.oc + oc0..(ox0 + j) * job.oc + oc0 + ocb];
                         dst.copy_from_slice(&ytile[j * bn..j * bn + ocb]);
                     }
+                }
+                if let Some(t0i) = ot_start {
+                    obs::add_stage_ns(obs::Stage::OutputTransform, t0i.elapsed().as_nanos() as u64);
+                    obs::add(obs::Counter::Tiles, tb as u64);
+                    if self.variant == Variant::Ruse {
+                        obs::add(obs::Counter::RuseTiles, tb as u64);
+                    }
+                    obs::add(obs::Counter::BytesStored, (tb * n * ocb * 4) as u64);
                 }
             }
         }
@@ -233,16 +258,43 @@ impl GammaKernel {
         ocb: usize,
         acc: &mut [f32],
         s: GatherTx<'_>,
+        rec: bool,
     ) {
         let alpha = self.alpha;
         let bn = self.bn;
         s.gather.resize(alpha * BK, 0.0);
+        if !rec {
+            for t in 0..tb {
+                let px0 = (seg_start + (t0 + t) * self.n) as isize - job.pw as isize;
+                gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, alpha, s.gather);
+                self.dt.apply_f32_strided(s.gather, BK, s.tx, BK, icb);
+                fma_tile(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+            }
+            return;
+        }
+        // Recording path: attribute gather+Dᵀ to input_transform and the FMA
+        // stage to outer_product, flushing once per block to keep atomic
+        // traffic off the per-tile path.
+        let mut it_ns = 0u64;
+        let mut op_ns = 0u64;
         for t in 0..tb {
             let px0 = (seg_start + (t0 + t) * self.n) as isize - job.pw as isize;
+            let start = Instant::now();
             gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, alpha, s.gather);
             self.dt.apply_f32_strided(s.gather, BK, s.tx, BK, icb);
+            let mid = Instant::now();
             fma_tile(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+            it_ns += (mid - start).as_nanos() as u64;
+            op_ns += mid.elapsed().as_nanos() as u64;
         }
+        obs::add_stage_ns(obs::Stage::InputTransform, it_ns);
+        obs::add_stage_ns(obs::Stage::OuterProduct, op_ns);
+        // Gathered input items (tb tiles × α positions, no overlap sharing)
+        // plus the transformed-filter panel touched by this block.
+        obs::add(
+            obs::Counter::BytesLoaded,
+            ((tb * alpha * icb + alpha * icb * ocb) * 4) as u64,
+        );
     }
 
     /// Ruse block (§5.4): gather one strip covering all `tb` tiles once,
@@ -264,24 +316,53 @@ impl GammaKernel {
         ocb: usize,
         acc: &mut [f32],
         s: GatherTx<'_>,
+        rec: bool,
     ) {
         let alpha = self.alpha;
         let bn = self.bn;
         let strip_len = (tb - 1) * self.n + alpha;
         s.gather.resize(strip_len * BK, 0.0);
         let px0 = (seg_start + t0 * self.n) as isize - job.pw as isize;
+        if !rec {
+            gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, strip_len, s.gather);
+            for t in 0..tb {
+                let from = &s.gather[t * self.n * BK..];
+                self.dt.apply_f32_strided(from, BK, s.tx, BK, icb);
+                fma_tile(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+            }
+            return;
+        }
+        // Recording path: the shared strip gather counts toward
+        // input_transform, like the per-tile gathers of the standard block.
+        let mut it_ns = 0u64;
+        let mut op_ns = 0u64;
+        let start = Instant::now();
         gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, strip_len, s.gather);
+        it_ns += start.elapsed().as_nanos() as u64;
         for t in 0..tb {
             let from = &s.gather[t * self.n * BK..];
+            let start = Instant::now();
             self.dt.apply_f32_strided(from, BK, s.tx, BK, icb);
+            let mid = Instant::now();
             fma_tile(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+            it_ns += (mid - start).as_nanos() as u64;
+            op_ns += mid.elapsed().as_nanos() as u64;
         }
+        obs::add_stage_ns(obs::Stage::InputTransform, it_ns);
+        obs::add_stage_ns(obs::Stage::OuterProduct, op_ns);
+        // One shared strip instead of tb·α positions — the §5.4 reuse saving
+        // shows up directly in this counter.
+        obs::add(
+            obs::Counter::BytesLoaded,
+            ((strip_len * icb + alpha * icb * ocb) * 4) as u64,
+        );
     }
 }
 
 /// Gather `count` consecutive width positions starting at (possibly
 /// negative) `px0` for channels `[ic0, ic0 + icb)` into `dst[count × BK]`.
 /// Out-of-range positions contribute zeros (implicit padding, §5).
+#[allow(clippy::too_many_arguments)] // flat geometry args keep the hot path call-site cheap
 fn gather_positions(
     x_row: &[f32],
     iw: usize,
@@ -383,10 +464,34 @@ mod tests {
 
     #[test]
     fn kernel_block_geometry_follows_paper() {
-        assert_eq!({ let k = GammaKernel::new(4, 3, 2, Variant::Standard); (k.bn, k.bm) }, (64, 64));
-        assert_eq!({ let k = GammaKernel::new(8, 6, 3, Variant::Standard); (k.bn, k.bm) }, (64, 32));
-        assert_eq!({ let k = GammaKernel::new(16, 8, 9, Variant::Standard); (k.bn, k.bm) }, (32, 32));
-        assert_eq!({ let k = GammaKernel::new(16, 8, 9, Variant::C64); (k.bn, k.bm) }, (64, 32));
+        assert_eq!(
+            {
+                let k = GammaKernel::new(4, 3, 2, Variant::Standard);
+                (k.bn, k.bm)
+            },
+            (64, 64)
+        );
+        assert_eq!(
+            {
+                let k = GammaKernel::new(8, 6, 3, Variant::Standard);
+                (k.bn, k.bm)
+            },
+            (64, 32)
+        );
+        assert_eq!(
+            {
+                let k = GammaKernel::new(16, 8, 9, Variant::Standard);
+                (k.bn, k.bm)
+            },
+            (32, 32)
+        );
+        assert_eq!(
+            {
+                let k = GammaKernel::new(16, 8, 9, Variant::C64);
+                (k.bn, k.bm)
+            },
+            (64, 32)
+        );
     }
 
     #[test]

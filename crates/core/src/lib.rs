@@ -55,10 +55,10 @@ pub mod workspace;
 
 pub use conv::{auto_options, conv2d, conv2d_fused, conv2d_opts, deconv2d, deconv2d_opts, ConvOptions, Epilogue};
 pub use conv1d::{conv1d, conv1d_opts};
-pub use nd::{conv3d, conv3d_opts};
-pub use precision::{conv2d_f64, error_decomposition, ErrorDecomposition};
-pub use workspace::{workspace_bytes, workspace_ratio, AlgorithmClass};
 pub use filter::TransformedFilter;
 pub use grad::filter_grad;
 pub use kernel::{GammaKernel, Variant};
+pub use nd::{conv3d, conv3d_opts};
 pub use plan::{default_kernel_prefs, winograd2d_loads_per_output, GammaSpec, KernelChoice, Segment, SegmentPlan};
+pub use precision::{conv2d_f64, error_decomposition, ErrorDecomposition};
+pub use workspace::{workspace_bytes, workspace_ratio, AlgorithmClass};

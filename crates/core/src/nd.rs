@@ -13,12 +13,12 @@
 
 use crate::filter::{filter_hwio3d, TransformedFilter};
 use crate::kernel::{cached_kernel, direct_row_segment, GammaKernel, RowJob, Scratch};
-use std::sync::Arc;
 use crate::plan::{KernelChoice, SegmentPlan};
 use crate::ConvOptions;
 use iwino_parallel as par;
 use iwino_tensor::{Conv3dShape, Tensor5};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Unit-stride 3-D convolution: `x` is `N×ID×IH×IW×IC` NDHWC, `w` is
 /// `OC×FD×FH×FW×IC`; returns `N×OD×OH×OW×OC`.
@@ -112,7 +112,7 @@ fn plan_for_3d(opts: &ConvOptions, ow: usize, r: usize, oc: usize) -> SegmentPla
         Some(k) => k.clone(),
         None => crate::plan::default_kernel_prefs(r, opts.prefer_alpha16 || r >= 8),
     };
-    if opts.allow_c64 && oc % 64 == 0 {
+    if opts.allow_c64 && oc.is_multiple_of(64) {
         for p in &mut prefs {
             if p.alpha == 16 && p.variant == Variant::Standard {
                 p.variant = Variant::C64;
@@ -230,9 +230,15 @@ mod tests {
     #[test]
     fn conv3d_forced_kernel_with_boundary() {
         let spec = GammaSpec::new(8, 6, 3, Variant::Standard);
-        let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+        let opts = ConvOptions {
+            force_kernels: Some(vec![spec]),
+            ..Default::default()
+        };
         // OW = 13: Γ8(6,3) ×2 tiles + remainder.
-        let s = Conv3dShape { iw: 13, ..Conv3dShape::cube(1, 8, 2, 2, 3) };
+        let s = Conv3dShape {
+            iw: 13,
+            ..Conv3dShape::cube(1, 8, 2, 2, 3)
+        };
         let x = Tensor5::<f32>::random(s.x_dims(), 41, -1.0, 1.0);
         let w = Tensor5::<f32>::random(s.w_dims(), 42, -1.0, 1.0);
         let got = conv3d_opts(&x, &w, &s, &opts);
@@ -244,7 +250,10 @@ mod tests {
     #[test]
     fn conv3d_ruse_variant() {
         let spec = GammaSpec::new(8, 4, 5, Variant::Ruse);
-        let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+        let opts = ConvOptions {
+            force_kernels: Some(vec![spec]),
+            ..Default::default()
+        };
         let s = Conv3dShape::cube(1, 8, 3, 3, 5);
         let x = Tensor5::<f32>::random(s.x_dims(), 51, -1.0, 1.0);
         let w = Tensor5::<f32>::random(s.w_dims(), 52, -1.0, 1.0);

@@ -109,12 +109,27 @@ impl SegmentPlan {
             if cover == 0 {
                 continue;
             }
-            segments.push(Segment { start, len: cover, kernel: KernelChoice::Gamma(spec) });
+            segments.push(Segment {
+                start,
+                len: cover,
+                kernel: KernelChoice::Gamma(spec),
+            });
             start += cover;
             remaining -= cover;
         }
         if remaining > 0 {
-            segments.push(Segment { start, len: remaining, kernel: KernelChoice::Gemm });
+            segments.push(Segment {
+                start,
+                len: remaining,
+                kernel: KernelChoice::Gemm,
+            });
+        }
+        if iwino_obs::enabled() {
+            use iwino_obs::Counter;
+            let gemm = segments.iter().filter(|s| s.kernel == KernelChoice::Gemm).count();
+            iwino_obs::add(Counter::PlanCalls, 1);
+            iwino_obs::add(Counter::PlanGammaSegments, (segments.len() - gemm) as u64);
+            iwino_obs::add(Counter::PlanGemmSegments, gemm as u64);
         }
         SegmentPlan { ow, segments }
     }
@@ -171,7 +186,11 @@ pub fn default_kernel_prefs(r: usize, prefer_alpha16: bool) -> Vec<GammaSpec> {
         if r < alpha {
             let n = alpha + 1 - r;
             if n >= 2 {
-                let variant = if ruse_wins(alpha, r) { Variant::Ruse } else { Variant::Standard };
+                let variant = if ruse_wins(alpha, r) {
+                    Variant::Ruse
+                } else {
+                    Variant::Standard
+                };
                 prefs.push(GammaSpec::new(alpha, n, r, variant));
             }
         }
@@ -201,9 +220,21 @@ mod tests {
         assert_eq!(
             plan.segments,
             vec![
-                Segment { start: 0, len: 18, kernel: KernelChoice::Gamma(prefs[0]) },
-                Segment { start: 18, len: 4, kernel: KernelChoice::Gamma(prefs[1]) },
-                Segment { start: 22, len: 1, kernel: KernelChoice::Gemm },
+                Segment {
+                    start: 0,
+                    len: 18,
+                    kernel: KernelChoice::Gamma(prefs[0])
+                },
+                Segment {
+                    start: 18,
+                    len: 4,
+                    kernel: KernelChoice::Gamma(prefs[1])
+                },
+                Segment {
+                    start: 22,
+                    len: 1,
+                    kernel: KernelChoice::Gemm
+                },
             ]
         );
     }
@@ -224,7 +255,14 @@ mod tests {
         // (no Γ4 here to show the GEMM fallback).
         let plan = SegmentPlan::build(7, &[spec(8, 6, 3)]);
         assert_eq!(plan.segments.len(), 2);
-        assert_eq!(plan.segments[1], Segment { start: 6, len: 1, kernel: KernelChoice::Gemm });
+        assert_eq!(
+            plan.segments[1],
+            Segment {
+                start: 6,
+                len: 1,
+                kernel: KernelChoice::Gemm
+            }
+        );
         assert!((plan.winograd_coverage() - 6.0 / 7.0).abs() < 1e-12);
     }
 
@@ -237,7 +275,72 @@ mod tests {
     #[test]
     fn tiny_width_goes_straight_to_gemm() {
         let plan = SegmentPlan::build(1, &[spec(8, 6, 3), spec(4, 2, 3)]);
-        assert_eq!(plan.segments, vec![Segment { start: 0, len: 1, kernel: KernelChoice::Gemm }]);
+        assert_eq!(
+            plan.segments,
+            vec![Segment {
+                start: 0,
+                len: 1,
+                kernel: KernelChoice::Gemm
+            }]
+        );
+    }
+
+    #[test]
+    fn width_smaller_than_every_preferred_tile() {
+        // ow = 3 < n for both Γ8(6,3) (n = 6) and Γ16(9,8)-style prefs with
+        // n = 4: every kernel covers zero columns, GEMM takes the whole row.
+        let prefs = [spec(8, 6, 3), spec(8, 4, 5)];
+        let plan = SegmentPlan::build(3, &prefs);
+        assert_eq!(
+            plan.segments,
+            vec![Segment {
+                start: 0,
+                len: 3,
+                kernel: KernelChoice::Gemm
+            }]
+        );
+        assert_eq!(plan.winograd_coverage(), 0.0);
+        assert!(plan.gamma_specs().is_empty());
+    }
+
+    #[test]
+    fn zero_width_plan_is_empty_with_many_prefs() {
+        let prefs = [spec(16, 8, 9), spec(8, 6, 3), spec(4, 2, 3)];
+        let plan = SegmentPlan::build(0, &prefs);
+        assert!(plan.segments.is_empty());
+        assert_eq!(plan.ow, 0);
+        // Vacuously fully covered: nothing falls to GEMM.
+        assert_eq!(plan.winograd_coverage(), 1.0);
+    }
+
+    #[test]
+    fn ruse_filter_rejecting_all_variants_still_covers_the_row() {
+        // A caller that keeps only ruse-winning variants ends up with an
+        // empty prefs list for r = 2 (no (α, 2) pair satisfies §5.4's
+        // (r−1)/α ≥ 0.4375). The planner must still cover the row via GEMM.
+        let r = 2usize;
+        let candidates = [spec(16, 15, 2), spec(8, 7, 2), spec(4, 3, 2)];
+        let prefs: Vec<GammaSpec> = candidates
+            .into_iter()
+            .filter(|g| ruse_wins(g.alpha, r))
+            .map(|g| GammaSpec {
+                variant: Variant::Ruse,
+                ..g
+            })
+            .collect();
+        assert!(prefs.is_empty(), "no ruse winner exists for r = 2");
+        for ow in [1usize, 5, 64, 223] {
+            let plan = SegmentPlan::build(ow, &prefs);
+            assert_eq!(
+                plan.segments,
+                vec![Segment {
+                    start: 0,
+                    len: ow,
+                    kernel: KernelChoice::Gemm
+                }],
+                "ow = {ow}"
+            );
+        }
     }
 
     #[test]
@@ -248,7 +351,7 @@ mod tests {
         assert!(ruse_wins(8, 7)); // Γ8^ruse(2,7)
         assert!(ruse_wins(16, 8)); // Γ16^ruse(9,8)
         assert!(ruse_wins(16, 9)); // Γ16^ruse(8,9)
-        // And the non-winners:
+                                   // And the non-winners:
         assert!(!ruse_wins(8, 2));
         assert!(!ruse_wins(8, 3)); // Γ8(6,3) stays standard
         assert!(!ruse_wins(8, 4));

@@ -173,7 +173,10 @@ pub fn error_decomposition(shape: &ConvShape, spec: GammaSpec, seed: u64) -> Err
         y
     };
     let wino64 = conv2d_f64(&x64, &w64, shape, spec);
-    let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+    let opts = ConvOptions {
+        force_kernels: Some(vec![spec]),
+        ..Default::default()
+    };
     let wino32 = conv2d_opts(&x32, &w32, shape, &opts);
 
     ErrorDecomposition {
@@ -196,7 +199,11 @@ mod tests {
             let spec = GammaSpec::new(alpha, n, r, Variant::Standard);
             let shape = ConvShape::square(1, 2 * n, 8, 8, r);
             let d = error_decomposition(&shape, spec, 600 + alpha as u64);
-            assert!(d.algorithmic < 1e-11, "Γ{alpha}({n},{r}): algo err {:.2e}", d.algorithmic);
+            assert!(
+                d.algorithmic < 1e-11,
+                "Γ{alpha}({n},{r}): algo err {:.2e}",
+                d.algorithmic
+            );
             assert!(d.datatype > 100.0 * d.algorithmic, "{d:?}");
             assert!(
                 (d.total - d.datatype).abs() < 0.5 * d.total.max(1e-12),
@@ -236,12 +243,12 @@ mod tests {
         for fh in 0..3usize {
             let iy = oy + fh;
             let iy = iy as isize - 1;
-            if iy < 0 || iy >= 13 {
+            if !(0..13).contains(&iy) {
                 continue;
             }
             for fx in 0..3usize {
                 let px = ox as isize + fx as isize - 1;
-                if px < 0 || px >= 13 {
+                if !(0..13).contains(&px) {
                     continue;
                 }
                 for i in 0..4 {

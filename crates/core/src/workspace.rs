@@ -53,9 +53,7 @@ pub fn workspace_bytes(class: AlgorithmClass, s: &ConvShape) -> usize {
             let filters = alpha * alpha * s.ic * s.oc * f32s;
             tx + prod + filters
         }
-        AlgorithmClass::ExplicitIm2colGemm => {
-            s.n * s.oh() * s.ow() * s.ic * s.fh * s.fw * f32s
-        }
+        AlgorithmClass::ExplicitIm2colGemm => s.n * s.oh() * s.ow() * s.ic * s.fh * s.fw * f32s,
         AlgorithmClass::ImplicitPrecompGemm => {
             // Index maps: one i32 per (oy, fh) and (ox, fw) pair.
             (s.oh() * s.fh + s.ow() * s.fw) * 4
@@ -120,7 +118,7 @@ mod tests {
         let w3 = workspace_bytes(AlgorithmClass::ExplicitIm2colGemm, &s3);
         let w9 = workspace_bytes(AlgorithmClass::ExplicitIm2colGemm, &s9);
         assert_eq!(w9 / w3, 81 / 9); // FH·FW scaling
-        // Both dwarf the ifms.
+                                     // Both dwarf the ifms.
         assert!(workspace_ratio(AlgorithmClass::ExplicitIm2colGemm, &s3) > 8.0);
     }
 

@@ -48,7 +48,10 @@ pub enum Algorithm {
 impl Algorithm {
     pub fn label(&self) -> String {
         match self {
-            Algorithm::Gamma { spec, include_transpose } => {
+            Algorithm::Gamma {
+                spec,
+                include_transpose,
+            } => {
                 format!("Im2col-Winograd-{spec}{}", if *include_transpose { "" } else { "*" })
             }
             Algorithm::ImplicitGemm { layout: Layout::Nhwc } => "cuDNN-Implicit-Precomp-GEMM-NHWC".into(),
@@ -77,7 +80,11 @@ pub struct SimResult {
 /// with `L_in = α` for the standard kernel and `α − (r−1)/2` under overlap
 /// reuse. Reproduces the paper's 10.24 / 12.19 / 15.06 exactly (see tests).
 pub fn arithmetic_intensity(alpha: usize, r: usize, bn: usize, bm: usize, ruse: bool) -> f64 {
-    let l_in = if ruse { alpha as f64 - (r as f64 - 1.0) / 2.0 } else { alpha as f64 };
+    let l_in = if ruse {
+        alpha as f64 - (r as f64 - 1.0) / 2.0
+    } else {
+        alpha as f64
+    };
     (alpha * bn * bm) as f64 / (2.0 * (bm as f64 * l_in + (bn * r) as f64))
 }
 
@@ -132,7 +139,11 @@ const CUDNN_TUNING_BONUS: f64 = 1.25;
 /// with large channels", §6.1.2), which is where the higher-intensity ruse
 /// and c64 variants pull ahead.
 fn tile_stream_bw(dev: &DeviceSpec, bytes_per_wave: f64) -> f64 {
-    let hit = if bytes_per_wave <= 0.0 { 1.0 } else { (dev.l2_bytes as f64 / bytes_per_wave).min(1.0) };
+    let hit = if bytes_per_wave <= 0.0 {
+        1.0
+    } else {
+        (dev.l2_bytes as f64 / bytes_per_wave).min(1.0)
+    };
     dev.mem_bw + (dev.l2_bw - dev.mem_bw) * hit
 }
 
@@ -161,9 +172,10 @@ pub fn gamma_bank_efficiency(mitigated: bool) -> f64 {
 pub fn estimate(dev: &DeviceSpec, shape: &ConvShape, algo: &Algorithm) -> SimResult {
     let std_flops = shape.flops();
     match algo {
-        Algorithm::Gamma { spec, include_transpose } => {
-            estimate_gamma(dev, shape, spec, *include_transpose, std_flops)
-        }
+        Algorithm::Gamma {
+            spec,
+            include_transpose,
+        } => estimate_gamma(dev, shape, spec, *include_transpose, std_flops),
         Algorithm::ImplicitGemm { layout } => estimate_gemm(dev, shape, *layout, std_flops),
         Algorithm::FusedWinograd2d => estimate_fused2d(dev, shape, std_flops),
     }
@@ -261,6 +273,81 @@ fn estimate_gamma(
         warp_occupancy: primary_occ,
         intensity: primary_intensity,
     }
+}
+
+/// Predicted fraction of a Γ run's work landing in each pipeline stage,
+/// derived from scalar operation counts. Stage names match the labels the
+/// `iwino-obs` runtime profiler reports, so `repro validate-model` can put
+/// the two side by side.
+///
+/// The accounting mirrors the CPU kernels: the paired §5.3 transforms cost
+/// ≈ α²/2 multiplies per input tile and channel (`dt`) and ≈ α·n/2 per
+/// output tile and channel (`at`) — the same counts behind
+/// [`transform_penalty`] — the outer products cost α FMAs per (tile, ic,
+/// oc), the one-off filter transform α·r multiplies per (oc, ic), and the
+/// §5.5 GEMM remainder pays full direct-convolution MACs on its columns.
+#[derive(Clone, Debug, Default)]
+pub struct StageShares {
+    pub filter_transform: f64,
+    pub input_transform: f64,
+    pub outer_product: f64,
+    pub output_transform: f64,
+    pub gemm_remainder: f64,
+}
+
+impl StageShares {
+    /// `(stage name, share)` pairs in pipeline order. Names match
+    /// `iwino_obs::Stage::name()`.
+    pub fn as_pairs(&self) -> [(&'static str, f64); 5] {
+        [
+            ("filter_transform", self.filter_transform),
+            ("input_transform", self.input_transform),
+            ("outer_product", self.outer_product),
+            ("output_transform", self.output_transform),
+            ("gemm_remainder", self.gemm_remainder),
+        ]
+    }
+}
+
+/// Predict the stage shares of running `primary` (plus the default remainder
+/// kernels and the GEMM fallback, via the §5.5 plan) over `shape`.
+pub fn predicted_stage_shares(shape: &ConvShape, primary: &GammaSpec) -> StageShares {
+    let ow = shape.ow();
+    let mut prefs = vec![*primary];
+    for p in default_kernel_prefs(primary.r, primary.alpha == 16) {
+        if !prefs.iter().any(|q| q.alpha == p.alpha && q.n == p.n) {
+            prefs.push(p);
+        }
+    }
+    let plan = SegmentPlan::build(ow, &prefs);
+
+    let rows = (shape.n * shape.oh()) as f64;
+    let (ic, oc) = (shape.ic as f64, shape.oc as f64);
+    let mut s = StageShares::default();
+    for seg in &plan.segments {
+        match seg.kernel {
+            KernelChoice::Gamma(g) => {
+                let tiles = rows * (seg.len as f64 / g.n as f64);
+                let alpha = g.alpha as f64;
+                s.input_transform += tiles * ic * alpha * alpha / 2.0;
+                s.outer_product += tiles * ic * oc * alpha;
+                s.output_transform += tiles * oc * alpha * g.n as f64 / 2.0;
+            }
+            KernelChoice::Gemm => {
+                s.gemm_remainder += rows * seg.len as f64 * ic * oc * (shape.fh * shape.fw) as f64;
+            }
+        }
+    }
+    s.filter_transform = oc * ic * primary.alpha as f64 * primary.r as f64;
+    let total = s.filter_transform + s.input_transform + s.outer_product + s.output_transform + s.gemm_remainder;
+    if total > 0.0 {
+        s.filter_transform /= total;
+        s.input_transform /= total;
+        s.outer_product /= total;
+        s.output_transform /= total;
+        s.gemm_remainder /= total;
+    }
+    s
 }
 
 /// Unique DRAM traffic of one convolution: ifms + filters + ofms, f32.
@@ -400,7 +487,14 @@ mod tests {
         // the Figure 8 shapes.
         let dev = DeviceSpec::rtx3060ti();
         let s = ConvShape::from_ofms(128, 48, 48, 128, 128, 3);
-        let g = estimate(&dev, &s, &Algorithm::Gamma { spec: spec(8, 6, 3, Variant::Standard), include_transpose: false });
+        let g = estimate(
+            &dev,
+            &s,
+            &Algorithm::Gamma {
+                spec: spec(8, 6, 3, Variant::Standard),
+                include_transpose: false,
+            },
+        );
         let base = estimate(&dev, &s, &Algorithm::ImplicitGemm { layout: Layout::Nhwc });
         assert!(g.gflops > base.gflops, "Γ8(6,3) {} vs GEMM {}", g.gflops, base.gflops);
     }
@@ -410,9 +504,23 @@ mod tests {
         // §6.1.2: "Γ16(n,r) are generally faster than Γ8(n,r)" (higher Φ).
         let dev = DeviceSpec::rtx3060ti();
         let s9 = ConvShape::from_ofms(128, 64, 64, 64, 64, 9);
-        let g16 = estimate(&dev, &s9, &Algorithm::Gamma { spec: spec(16, 8, 9, Variant::Standard), include_transpose: false });
+        let g16 = estimate(
+            &dev,
+            &s9,
+            &Algorithm::Gamma {
+                spec: spec(16, 8, 9, Variant::Standard),
+                include_transpose: false,
+            },
+        );
         let s3 = ConvShape::from_ofms(128, 64, 64, 64, 64, 3);
-        let g8 = estimate(&dev, &s3, &Algorithm::Gamma { spec: spec(8, 6, 3, Variant::Standard), include_transpose: false });
+        let g8 = estimate(
+            &dev,
+            &s3,
+            &Algorithm::Gamma {
+                spec: spec(8, 6, 3, Variant::Standard),
+                include_transpose: false,
+            },
+        );
         assert!(g16.gflops > g8.gflops, "{} vs {}", g16.gflops, g8.gflops);
     }
 
@@ -423,7 +531,15 @@ mod tests {
         // One common ofms shape, OW = 84 divisible by n ∈ {4, 6, 7}.
         let gf = |n: usize, r: usize, v: Variant| {
             let s = ConvShape::from_ofms(64, 84, 84, 128, 128, r);
-            estimate(&dev, &s, &Algorithm::Gamma { spec: spec(8, n, r, v), include_transpose: false }).gflops
+            estimate(
+                &dev,
+                &s,
+                &Algorithm::Gamma {
+                    spec: spec(8, n, r, v),
+                    include_transpose: false,
+                },
+            )
+            .gflops
         };
         let fast = gf(4, 5, Variant::Ruse);
         let mid = gf(6, 3, Variant::Standard);
@@ -435,7 +551,10 @@ mod tests {
     fn boundary_fluctuation() {
         // OW % n ≠ 0 costs performance (§6.1.2).
         let dev = DeviceSpec::rtx3060ti();
-        let algo = Algorithm::Gamma { spec: spec(8, 6, 3, Variant::Standard), include_transpose: false };
+        let algo = Algorithm::Gamma {
+            spec: spec(8, 6, 3, Variant::Standard),
+            include_transpose: false,
+        };
         let clean = estimate(&dev, &ConvShape::from_ofms(128, 48, 48, 128, 128, 3), &algo);
         let ragged = estimate(&dev, &ConvShape::from_ofms(128, 48, 47, 128, 128, 3), &algo);
         assert!(clean.gflops > ragged.gflops, "{} vs {}", clean.gflops, ragged.gflops);
@@ -445,28 +564,104 @@ mod tests {
     fn transpose_charge_lowers_gflops() {
         let dev = DeviceSpec::rtx3060ti();
         let s = ConvShape::from_ofms(32, 64, 64, 128, 128, 5);
-        let with = estimate(&dev, &s, &Algorithm::Gamma { spec: spec(8, 4, 5, Variant::Standard), include_transpose: true });
-        let without = estimate(&dev, &s, &Algorithm::Gamma { spec: spec(8, 4, 5, Variant::Standard), include_transpose: false });
+        let with = estimate(
+            &dev,
+            &s,
+            &Algorithm::Gamma {
+                spec: spec(8, 4, 5, Variant::Standard),
+                include_transpose: true,
+            },
+        );
+        let without = estimate(
+            &dev,
+            &s,
+            &Algorithm::Gamma {
+                spec: spec(8, 4, 5, Variant::Standard),
+                include_transpose: false,
+            },
+        );
         assert!(without.gflops > with.gflops);
     }
 
     #[test]
     fn the_4090_is_faster_than_the_3060ti() {
         let s = ConvShape::from_ofms(128, 64, 64, 128, 128, 3);
-        let algo = Algorithm::Gamma { spec: spec(8, 6, 3, Variant::Standard), include_transpose: false };
+        let algo = Algorithm::Gamma {
+            spec: spec(8, 6, 3, Variant::Standard),
+            include_transpose: false,
+        };
         let a = estimate(&DeviceSpec::rtx3060ti(), &s, &algo);
         let b = estimate(&DeviceSpec::rtx4090(), &s, &algo);
         assert!(b.gflops > 2.0 * a.gflops);
     }
 
     #[test]
+    fn stage_shares_sum_to_one_and_outer_product_dominates() {
+        // Deep-channel shape: the α FMAs per (tile, ic, oc) swamp the
+        // per-channel transforms, as §5.3's amortisation argument requires.
+        let s = ConvShape::from_ofms(8, 48, 48, 128, 128, 3);
+        let sh = predicted_stage_shares(&s, &spec(8, 6, 3, Variant::Standard));
+        let total: f64 = sh.as_pairs().iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12, "{total}");
+        for (name, v) in sh.as_pairs() {
+            assert!(v >= 0.0, "{name}: {v}");
+            assert!(sh.outer_product >= v, "{name} {v} > outer_product {}", sh.outer_product);
+        }
+        assert_eq!(sh.gemm_remainder, 0.0, "OW = 48 divides n = 6: no GEMM boundary");
+    }
+
+    #[test]
+    fn ragged_width_shows_up_as_gemm_share() {
+        let clean = predicted_stage_shares(
+            &ConvShape::from_ofms(8, 48, 48, 64, 64, 3),
+            &spec(8, 6, 3, Variant::Standard),
+        );
+        let ragged = predicted_stage_shares(
+            &ConvShape::from_ofms(8, 48, 47, 64, 64, 3),
+            &spec(8, 6, 3, Variant::Standard),
+        );
+        assert_eq!(clean.gemm_remainder, 0.0);
+        // OW = 47 = 7·6 + 5: the plan covers the tail with remainder kernels
+        // and possibly GEMM; whatever lands in GEMM must cost more per
+        // column than the Γ columns (no Φ saving).
+        assert!(ragged.gemm_remainder >= 0.0);
+        let sum: f64 = ragged.as_pairs().iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shallow_channels_inflate_transform_shares() {
+        // ic = oc = 8 vs 128: transforms amortise over channels, so thin
+        // shapes spend relatively more time transforming.
+        let thin = predicted_stage_shares(
+            &ConvShape::from_ofms(8, 48, 48, 8, 8, 3),
+            &spec(8, 6, 3, Variant::Standard),
+        );
+        let deep = predicted_stage_shares(
+            &ConvShape::from_ofms(8, 48, 48, 128, 128, 3),
+            &spec(8, 6, 3, Variant::Standard),
+        );
+        assert!(thin.input_transform > deep.input_transform);
+        assert!(thin.output_transform > deep.output_transform);
+        assert!(thin.outer_product < deep.outer_product);
+    }
+
+    #[test]
     fn labels_match_figure_legends() {
         assert_eq!(
-            Algorithm::Gamma { spec: spec(8, 6, 3, Variant::Standard), include_transpose: true }.label(),
+            Algorithm::Gamma {
+                spec: spec(8, 6, 3, Variant::Standard),
+                include_transpose: true
+            }
+            .label(),
             "Im2col-Winograd-Γ8(6,3)"
         );
         assert_eq!(
-            Algorithm::Gamma { spec: spec(16, 8, 9, Variant::C64), include_transpose: false }.label(),
+            Algorithm::Gamma {
+                spec: spec(16, 8, 9, Variant::C64),
+                include_transpose: false
+            }
+            .label(),
             "Im2col-Winograd-Γ16^c64(8,9)*"
         );
         assert_eq!(Algorithm::FusedWinograd2d.label(), "cuDNN-Fused-Winograd");

@@ -33,7 +33,11 @@ impl BlockResources {
         } else {
             (16 * 16, 64 + alpha + 24)
         };
-        BlockResources { threads, regs_per_thread: regs, smem_bytes: smem }
+        BlockResources {
+            threads,
+            regs_per_thread: regs,
+            smem_bytes: smem,
+        }
     }
 
     /// A 2-D Winograd `F(m×m, r×r)` fused block: α² states must live in
@@ -41,12 +45,20 @@ impl BlockResources {
     pub fn winograd2d(alpha: usize, bn: usize, bm_tiles: usize) -> Self {
         let bk = 8;
         let smem = 4 * alpha * alpha * (bn + bm_tiles) * bk / 2;
-        BlockResources { threads: 256, regs_per_thread: 96, smem_bytes: smem }
+        BlockResources {
+            threads: 256,
+            regs_per_thread: 96,
+            smem_bytes: smem,
+        }
     }
 
     /// An implicit-GEMM block (64×64×8 tile, double-buffered).
     pub fn gemm() -> Self {
-        BlockResources { threads: 256, regs_per_thread: 96, smem_bytes: 2 * 4 * (64 + 64) * 8 }
+        BlockResources {
+            threads: 256,
+            regs_per_thread: 96,
+            smem_bytes: 2 * 4 * (64 + 64) * 8,
+        }
     }
 }
 
@@ -73,11 +85,15 @@ pub enum Limiter {
 /// Compute occupancy of `block` on `dev`.
 pub fn occupancy(dev: &DeviceSpec, block: &BlockResources) -> Occupancy {
     if block.smem_bytes > dev.smem_per_block {
-        return Occupancy { blocks_per_sm: 0, warp_occupancy: 0.0, limiter: Limiter::DoesNotFit };
+        return Occupancy {
+            blocks_per_sm: 0,
+            warp_occupancy: 0.0,
+            limiter: Limiter::DoesNotFit,
+        };
     }
-    let by_smem = if block.smem_bytes == 0 { usize::MAX } else { dev.smem_per_sm / block.smem_bytes };
+    let by_smem = dev.smem_per_sm.checked_div(block.smem_bytes).unwrap_or(usize::MAX);
     let regs_per_block = block.regs_per_thread * block.threads;
-    let by_regs = if regs_per_block == 0 { usize::MAX } else { dev.regs_per_sm / regs_per_block };
+    let by_regs = dev.regs_per_sm.checked_div(regs_per_block).unwrap_or(usize::MAX);
     let by_threads = dev.max_threads_per_sm / block.threads;
     let by_slots = dev.max_blocks_per_sm;
     let blocks = by_smem.min(by_regs).min(by_threads).min(by_slots);
@@ -104,6 +120,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constant inequalities ARE the §5.1 claim being pinned
     fn gamma_smem_sizes_match_section_5_1() {
         // §5.1: a block needs 4α(BN+BM)·BK bytes; "When α is 4 or 8, the
         // required SMEM ≤ 1/2 of the max SMEM (24576 bytes), so the

@@ -171,10 +171,7 @@ pub fn ys_store_gamma16(padded: bool) -> Vec<AccessPattern> {
     let lanes: Vec<(usize, usize)> = (0..WARP).map(|lane| (lane / 16, lane % 16)).collect();
     (0..4)
         .map(|k| {
-            let words = lanes
-                .iter()
-                .map(|&(ux, uy)| ((ux * d2) + uy) * d3 + 4 * k)
-                .collect();
+            let words = lanes.iter().map(|&(ux, uy)| ((ux * d2) + uy) * d3 + 4 * k).collect();
             AccessPattern::new(words, 4)
         })
         .collect()
@@ -250,5 +247,4 @@ mod tests {
         assert_eq!(good, ideal, "padded Γ16 Ys must be conflict-free");
         assert!(bad > ideal, "unpadded Γ16 Ys should conflict: {bad} vs {ideal}");
     }
-
 }

@@ -8,9 +8,7 @@
 //! transactions, which the `repro ablation-banks` experiment prints and the
 //! timing model consumes as an efficiency multiplier.
 
-use crate::smem::{
-    conflict_transactions, ds_store_gamma8, gs_load_gamma8, ys_store_gamma8, AccessPattern, WARP,
-};
+use crate::smem::{conflict_transactions, ds_store_gamma8, gs_load_gamma8, ys_store_gamma8, AccessPattern, WARP};
 
 /// One labelled instruction of the trace.
 pub struct TraceStep {
@@ -25,7 +23,7 @@ pub struct TraceStep {
 pub fn ds_load_gamma8(remapped: bool, ik: usize) -> Vec<AccessPattern> {
     const BM: usize = 32;
     let theta = BM / 8; // 4
-    // Warp 0: uy = lane.
+                        // Warp 0: uy = lane.
     let didx: Vec<usize> = (0..WARP).map(|uy| 8 * ((uy % theta) / 2)).collect();
     if remapped {
         // The %32 wrap can split the 4-word groups, so model as the 8
@@ -52,18 +50,30 @@ pub fn ds_load_gamma8(remapped: bool, ik: usize) -> Vec<AccessPattern> {
 pub fn gamma8_block_trace(mitigated: bool) -> Vec<TraceStep> {
     let mut steps = Vec::new();
     for p in ds_store_gamma8(mitigated) {
-        steps.push(TraceStep { label: "loadTiles: Ds store", pattern: p });
+        steps.push(TraceStep {
+            label: "loadTiles: Ds store",
+            pattern: p,
+        });
     }
     for ik in 0..8 {
         for p in gs_load_gamma8(mitigated) {
-            steps.push(TraceStep { label: "outerProduct: Gs load", pattern: p });
+            steps.push(TraceStep {
+                label: "outerProduct: Gs load",
+                pattern: p,
+            });
         }
         for p in ds_load_gamma8(mitigated, ik) {
-            steps.push(TraceStep { label: "outerProduct: Ds load", pattern: p });
+            steps.push(TraceStep {
+                label: "outerProduct: Ds load",
+                pattern: p,
+            });
         }
     }
     for p in ys_store_gamma8(mitigated) {
-        steps.push(TraceStep { label: "transformOutput: Ys store", pattern: p });
+        steps.push(TraceStep {
+            label: "transformOutput: Ys store",
+            pattern: p,
+        });
     }
     steps
 }

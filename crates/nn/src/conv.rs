@@ -45,7 +45,17 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Kaiming-uniform initialised convolution (§6.3.1).
-    pub fn new(ic: usize, oc: usize, f: usize, stride: usize, pad: usize, bias: bool, backend: Backend, seed: u64) -> Self {
+    #[allow(clippy::too_many_arguments)] // layer hyper-parameters, torch-style ordering
+    pub fn new(
+        ic: usize,
+        oc: usize,
+        f: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        backend: Backend,
+        seed: u64,
+    ) -> Self {
         let fan_in = ic * f * f;
         let weight = Param::new(kaiming_uniform(oc * f * f * ic, fan_in, seed));
         let bias = bias.then(|| Param::new(vec![0.0; oc]));
@@ -131,7 +141,11 @@ impl Layer for Conv2d {
         let w = self.weight_tensor();
         // dW (shared by both backends; §6.3.2's "computing filter gradients").
         let dw = iwino_core::filter_grad(&x, dy, &s);
-        self.weight.grad.iter_mut().zip(dw.as_slice()).for_each(|(g, &v)| *g += v);
+        self.weight
+            .grad
+            .iter_mut()
+            .zip(dw.as_slice())
+            .for_each(|(g, &v)| *g += v);
         if let Some(b) = &mut self.bias {
             let oc = self.oc;
             for px in dy.as_slice().chunks_exact(oc) {
@@ -186,7 +200,7 @@ pub fn backward_data_direct(dy: &Tensor4<f32>, w: &Tensor4<f32>, s: &ConvShape) 
         for fh in 0..s.fh {
             // iy = oy·sh + fh − ph  ⟹  oy = (iy + ph − fh) / sh.
             let num = iy as isize + s.ph as isize - fh as isize;
-            if num < 0 || (num as usize) % s.sh != 0 {
+            if num < 0 || !(num as usize).is_multiple_of(s.sh) {
                 continue;
             }
             let oy = num as usize / s.sh;
@@ -198,7 +212,7 @@ pub fn backward_data_direct(dy: &Tensor4<f32>, w: &Tensor4<f32>, s: &ConvShape) 
                 let dst = &mut out[ix * s.ic..(ix + 1) * s.ic];
                 for fw in 0..s.fw {
                     let num = ix as isize + s.pw as isize - fw as isize;
-                    if num < 0 || (num as usize) % s.sw != 0 {
+                    if num < 0 || !(num as usize).is_multiple_of(s.sw) {
                         continue;
                     }
                     let ox = num as usize / s.sw;
@@ -251,15 +265,32 @@ mod tests {
     #[test]
     fn backward_data_direct_is_adjoint() {
         for stride in [1usize, 2] {
-            let s = ConvShape { sh: stride, sw: stride, ..ConvShape::square(1, 8, 3, 4, 3) };
+            let s = ConvShape {
+                sh: stride,
+                sw: stride,
+                ..ConvShape::square(1, 8, 3, 4, 3)
+            };
             let x = Tensor4::<f32>::random(s.x_dims(), 20, -1.0, 1.0);
             let w = Tensor4::<f32>::random(s.w_dims(), 21, -1.0, 1.0);
             let dy = Tensor4::<f32>::random(s.y_dims(), 22, -1.0, 1.0);
             let y = iwino_baselines::direct_conv(&x, &w, &s);
             let dx = backward_data_direct(&dy, &w, &s);
-            let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
-            let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
-            assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "stride {stride}: {lhs} vs {rhs}");
+            let lhs: f64 = y
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum();
+            let rhs: f64 = x
+                .as_slice()
+                .iter()
+                .zip(dx.as_slice())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum();
+            assert!(
+                (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+                "stride {stride}: {lhs} vs {rhs}"
+            );
         }
     }
 
@@ -275,12 +306,25 @@ mod tests {
         let analytic = layer.weight.grad[idx] as f64;
         let orig = layer.weight.value[idx];
         layer.weight.value[idx] = orig + eps;
-        let lp: f64 = layer.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        let lp: f64 = layer
+            .forward(&x, false)
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64).powi(2) / 2.0)
+            .sum();
         layer.weight.value[idx] = orig - eps;
-        let lm: f64 = layer.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        let lm: f64 = layer
+            .forward(&x, false)
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64).powi(2) / 2.0)
+            .sum();
         layer.weight.value[idx] = orig;
         let fd = (lp - lm) / (2.0 * eps as f64);
-        assert!((fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0), "fd {fd} vs {analytic}");
+        assert!(
+            (fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+            "fd {fd} vs {analytic}"
+        );
     }
 
     #[test]

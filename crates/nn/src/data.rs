@@ -33,8 +33,19 @@ impl SyntheticDataset {
     pub fn new(hw: usize, channels: usize, classes: usize, train_len: usize, test_len: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = Uniform::new(-0.8f32, 0.8);
-        let prototypes = (0..classes * hw * hw * channels).map(|_| dist.sample(&mut rng)).collect();
-        SyntheticDataset { hw, channels, classes, train_len, test_len, seed, prototypes, noise: 0.4 }
+        let prototypes = (0..classes * hw * hw * channels)
+            .map(|_| dist.sample(&mut rng))
+            .collect();
+        SyntheticDataset {
+            hw,
+            channels,
+            classes,
+            train_len,
+            test_len,
+            seed,
+            prototypes,
+            noise: 0.4,
+        }
     }
 
     /// The Cifar10 stand-in: 32×32×3, 10 classes.

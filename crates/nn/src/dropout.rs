@@ -18,7 +18,11 @@ pub struct Dropout {
 impl Dropout {
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: None }
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
     }
 }
 

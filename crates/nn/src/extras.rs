@@ -182,8 +182,18 @@ mod tests {
         let y = p.forward(&x, true);
         let dy = Tensor4::<f32>::random(y.dims(), 2, -1.0, 1.0);
         let dx = p.backward(&dy);
-        let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
-        let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let lhs: f64 = y
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(dx.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-5);
     }
 
@@ -198,7 +208,10 @@ mod tests {
 
     #[test]
     fn cosine_anneal_endpoints() {
-        let s = CosineAnneal { total: 100, floor: 0.01 };
+        let s = CosineAnneal {
+            total: 100,
+            floor: 0.01,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         assert!((s.factor(100) - 0.01).abs() < 1e-6);
         assert!(s.factor(50) > 0.01 && s.factor(50) < 1.0);

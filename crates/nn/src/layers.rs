@@ -445,14 +445,27 @@ mod tests {
         let analytic = bn.gamma.grad[0] as f64;
         let eps = 1e-3f32;
         bn.gamma.value[0] += eps;
-        let lp: f64 = bn.forward(&x, true).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        let lp: f64 = bn
+            .forward(&x, true)
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64).powi(2) / 2.0)
+            .sum();
         bn.cache = None;
         bn.gamma.value[0] -= 2.0 * eps;
-        let lm: f64 = bn.forward(&x, true).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        let lm: f64 = bn
+            .forward(&x, true)
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64).powi(2) / 2.0)
+            .sum();
         bn.cache = None;
         bn.gamma.value[0] += eps;
         let fd = (lp - lm) / (2.0 * eps as f64);
-        assert!((fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0), "fd {fd} vs {analytic}");
+        assert!(
+            (fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+            "fd {fd} vs {analytic}"
+        );
     }
 
     #[test]
@@ -476,12 +489,25 @@ mod tests {
         let eps = 1e-3f32;
         let orig = l.weight.value[1];
         l.weight.value[1] = orig + eps;
-        let lp: f64 = l.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        let lp: f64 = l
+            .forward(&x, false)
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64).powi(2) / 2.0)
+            .sum();
         l.weight.value[1] = orig - eps;
-        let lm: f64 = l.forward(&x, false).as_slice().iter().map(|&v| (v as f64).powi(2) / 2.0).sum();
+        let lm: f64 = l
+            .forward(&x, false)
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64).powi(2) / 2.0)
+            .sum();
         l.weight.value[1] = orig;
         let fd = (lp - lm) / (2.0 * eps as f64);
-        assert!((fd - analytic).abs() < 1e-2 * analytic.abs().max(1.0), "fd {fd} vs {analytic}");
+        assert!(
+            (fd - analytic).abs() < 1e-2 * analytic.abs().max(1.0),
+            "fd {fd} vs {analytic}"
+        );
     }
 
     #[test]

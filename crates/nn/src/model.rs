@@ -18,7 +18,10 @@ pub struct Sequential {
 
 impl Sequential {
     pub fn new(label: impl Into<String>) -> Self {
-        Sequential { layers: Vec::new(), label: label.into() }
+        Sequential {
+            layers: Vec::new(),
+            label: label.into(),
+        }
     }
 
     pub fn push(&mut self, l: impl Layer + 'static) {
@@ -252,14 +255,7 @@ impl Layer for BasicBlock {
 /// convolution overall (the x5/x7 variants reshape some of them, §6.3.1).
 /// One BatchNorm per stage — "5 BatchNorm layers were added into VGG to
 /// expedite convergence".
-fn vgg(
-    label: &str,
-    cfg: &[usize],
-    filters: &[usize],
-    in_ch: usize,
-    width: usize,
-    backend: Backend,
-) -> Sequential {
+fn vgg(label: &str, cfg: &[usize], filters: &[usize], in_ch: usize, width: usize, backend: Backend) -> Sequential {
     let stage_ch = [width, 2 * width, 4 * width, 8 * width, 8 * width];
     let mut m = Sequential::new(label);
     let mut ic = in_ch;

@@ -26,7 +26,11 @@ pub struct Sgdm {
 
 impl Sgdm {
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgdm { lr, momentum, velocity: Vec::new() }
+        Sgdm {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -58,7 +62,15 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 

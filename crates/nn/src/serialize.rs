@@ -44,7 +44,10 @@ pub fn load_weights<R: Read>(model: &mut Sequential, r: &mut R) -> io::Result<()
     }
     let version = read_u32(r)?;
     if version != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("unsupported version {version}")));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
     }
     let count = read_u32(r)? as usize;
     let mut params = model.params();

@@ -30,7 +30,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 2, batch: 16, lr: 1e-3, opt: OptKind::Adam, log_every: 10 }
+        TrainConfig {
+            epochs: 2,
+            batch: 16,
+            lr: 1e-3,
+            opt: OptKind::Adam,
+            log_every: 10,
+        }
     }
 }
 
@@ -82,7 +88,7 @@ pub fn train(model: &mut Sequential, data: &SyntheticDataset, cfg: &TrainConfig)
             let logits = model.forward(&x, true);
             peak_cache = peak_cache.max(model.cached_bytes());
             let (loss, dlogits) = SoftmaxCrossEntropy::forward_backward(&logits, &labels);
-            if step % cfg.log_every == 0 {
+            if step.is_multiple_of(cfg.log_every) {
                 losses.push((step, loss));
             }
             let _ = model.backward(&dlogits);
@@ -117,11 +123,20 @@ pub fn train(model: &mut Sequential, data: &SyntheticDataset, cfg: &TrainConfig)
 
 /// Fraction of correctly classified samples over a split.
 pub fn evaluate(model: &mut Sequential, data: &SyntheticDataset, batch: usize, test: bool) -> f64 {
-    let batches = if test { data.test_batches(batch) } else { data.train_batches(batch) }.max(1);
+    let batches = if test {
+        data.test_batches(batch)
+    } else {
+        data.train_batches(batch)
+    }
+    .max(1);
     let mut correct = 0usize;
     let mut total = 0usize;
     for i in 0..batches {
-        let (x, labels) = if test { data.test_batch(i, batch) } else { data.train_batch(i, batch) };
+        let (x, labels) = if test {
+            data.test_batch(i, batch)
+        } else {
+            data.train_batch(i, batch)
+        };
         let logits = model.forward(&x, false);
         for (p, &l) in SoftmaxCrossEntropy::predict(&logits).iter().zip(&labels) {
             correct += usize::from(*p == l);
@@ -152,7 +167,13 @@ mod tests {
     fn loss_decreases_on_synthetic_data() {
         let data = SyntheticDataset::cifar10_like(160, 40);
         let mut model = tiny_model(Backend::Gemm);
-        let cfg = TrainConfig { epochs: 3, batch: 16, lr: 2e-3, opt: OptKind::Adam, log_every: 1 };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch: 16,
+            lr: 2e-3,
+            opt: OptKind::Adam,
+            log_every: 1,
+        };
         let report = train(&mut model, &data, &cfg);
         let first = report.losses.first().unwrap().1;
         let last = report.final_loss();
@@ -168,7 +189,13 @@ mod tests {
         // The Experiment 3 claim in miniature: identical nets and data,
         // only the conv algorithm differs ⟹ nearly identical loss curves.
         let data = SyntheticDataset::cifar10_like(96, 32);
-        let cfg = TrainConfig { epochs: 2, batch: 16, lr: 1e-3, opt: OptKind::Adam, log_every: 1 };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch: 16,
+            lr: 1e-3,
+            opt: OptKind::Adam,
+            log_every: 1,
+        };
         let mut wino = tiny_model(Backend::ImcolWinograd);
         let mut gemm = tiny_model(Backend::Gemm);
         let rw = train(&mut wino, &data, &cfg);
@@ -183,7 +210,13 @@ mod tests {
     fn sgdm_also_trains() {
         let data = SyntheticDataset::cifar10_like(96, 32);
         let mut model = tiny_model(Backend::Gemm);
-        let cfg = TrainConfig { epochs: 3, batch: 16, lr: 5e-3, opt: OptKind::Sgdm, log_every: 1 };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch: 16,
+            lr: 5e-3,
+            opt: OptKind::Sgdm,
+            log_every: 1,
+        };
         let report = train(&mut model, &data, &cfg);
         assert!(report.final_loss() < report.losses[0].1);
     }

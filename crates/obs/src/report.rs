@@ -1,0 +1,157 @@
+//! Structured metrics export: one JSON document per measured run.
+//!
+//! Schema (version 1):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "label": "<workload name>",
+//!   "wall_ns": <u64>,                    // end-to-end wall time
+//!   "stages": { "<stage>": {"ns", "hits", "share"} , ... },
+//!   "counters": { "<counter>": <u64>, ... },
+//!   "derived": { "gflops", "arithmetic_intensity", "bytes_total", ... },
+//!   "pool": { "threads", "jobs", "caller_share", "utilization",
+//!             "workers": [{"lane", "is_caller_lane", "chunks",
+//!                          "busy_ns", "idle_ns"}, ...] } | null
+//! }
+//! ```
+//!
+//! Stages with zero hits are omitted from `"stages"` so quick runs stay
+//! readable; `"share"` is the stage's fraction of attributed (non-total)
+//! time.
+
+use crate::{snapshot, Counter, Json, Snapshot, Stage};
+use std::io;
+use std::path::Path;
+
+/// Version of the JSON layout emitted by [`MetricsReport::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A captured, self-describing metrics document.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    pub label: String,
+    pub wall_ns: u64,
+    pub snapshot: Snapshot,
+}
+
+impl MetricsReport {
+    /// Snapshot the global registry, attributing it to `label` and an
+    /// externally measured wall time (nanoseconds).
+    pub fn capture(label: &str, wall_ns: u64) -> MetricsReport {
+        MetricsReport {
+            label: label.to_string(),
+            wall_ns,
+            snapshot: snapshot(),
+        }
+    }
+
+    /// Achieved GFLOP/s over the wall time. Uses the standard-convolution
+    /// FLOP convention of the `Flops` counter (see [`Counter`]).
+    pub fn gflops(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.snapshot.counter(Counter::Flops) as f64 / self.wall_ns as f64
+    }
+
+    /// FLOPs per byte moved (loads + stores recorded by the kernels).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.snapshot.counter(Counter::BytesLoaded) + self.snapshot.counter(Counter::BytesStored);
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.snapshot.counter(Counter::Flops) as f64 / bytes as f64
+    }
+
+    pub fn to_json(&self) -> Json {
+        let snap = &self.snapshot;
+        let stages = Stage::ALL
+            .iter()
+            .filter(|&&s| snap.stage_hits(s) > 0)
+            .map(|&s| {
+                (
+                    s.name().to_string(),
+                    Json::obj(vec![
+                        ("ns", Json::from(snap.stage_ns(s))),
+                        ("hits", Json::from(snap.stage_hits(s))),
+                        ("share", Json::from(snap.stage_share(s))),
+                    ]),
+                )
+            })
+            .collect();
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), Json::from(snap.counter(c))))
+            .collect();
+        let bytes_total = snap.counter(Counter::BytesLoaded) + snap.counter(Counter::BytesStored);
+        let derived = Json::obj(vec![
+            ("gflops", Json::from(self.gflops())),
+            ("arithmetic_intensity", Json::from(self.arithmetic_intensity())),
+            ("bytes_total", Json::from(bytes_total)),
+            ("attributed_ns", Json::from(snap.attributed_ns())),
+            (
+                "ruse_tile_fraction",
+                Json::from(if snap.counter(Counter::Tiles) > 0 {
+                    snap.counter(Counter::RuseTiles) as f64 / snap.counter(Counter::Tiles) as f64
+                } else {
+                    0.0
+                }),
+            ),
+        ]);
+        Json::obj(vec![
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("label", Json::from(self.label.as_str())),
+            ("wall_ns", Json::from(self.wall_ns)),
+            ("stages", Json::Obj(stages)),
+            ("counters", Json::Obj(counters)),
+            ("derived", derived),
+            ("pool", snap.pool.as_ref().map_or(Json::Null, |p| p.to_json())),
+        ])
+    }
+
+    /// Pretty-print the report to a file.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json().pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add, add_stage_ns, reset, set_enabled};
+
+    #[test]
+    fn report_derives_roofline_quantities() {
+        // Serialize against the shared global state used by lib.rs tests.
+        let snap = {
+            let _g = crate::test_guard();
+            set_enabled(true);
+            reset();
+            add(Counter::Flops, 2_000_000);
+            add(Counter::BytesLoaded, 800_000);
+            add(Counter::BytesStored, 200_000);
+            add(Counter::Tiles, 10);
+            add(Counter::RuseTiles, 4);
+            add_stage_ns(Stage::OuterProduct, 750);
+            add_stage_ns(Stage::InputTransform, 250);
+            let snap = crate::snapshot();
+            set_enabled(false);
+            snap
+        };
+        let report = MetricsReport {
+            label: "unit".to_string(),
+            wall_ns: 1_000_000,
+            snapshot: snap,
+        };
+        assert!((report.gflops() - 2.0).abs() < 1e-12);
+        assert!((report.arithmetic_intensity() - 2.0).abs() < 1e-12);
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"label\": \"unit\""));
+        assert!(json.contains("\"outer_product\""));
+        assert!(json.contains("\"ruse_tile_fraction\": 0.4"));
+        // Stages with zero hits are omitted.
+        assert!(!json.contains("\"baseline\""));
+    }
+}

@@ -1,0 +1,103 @@
+//! Satellite guard: with observability *disabled*, instrumented code must
+//! run within 5% of a build-time-uninstrumented baseline.
+//!
+//! Why a synthetic kernel instead of `iwino-core`'s real one: `iwino-obs`
+//! cannot dev-depend on `iwino-core` (the core crate depends on obs — that
+//! would be a cycle), and cargo's feature unification means a single
+//! workspace test run cannot build one copy of core with instrumentation
+//! compiled out and one with it in. So this test compiles the same
+//! conv-shaped loop twice in this file — once plain, once carrying
+//! `obs::span` / `obs::add` calls at the density `iwino-core` uses (a span
+//! per outer block, counter adds per block, a hoisted `enabled()` check per
+//! run) — and compares medians. The disabled fast path is a single Relaxed
+//! atomic load, so the two must time the same.
+
+use iwino_obs as obs;
+use std::hint::black_box;
+use std::time::Instant;
+
+const BLOCKS: usize = 64;
+const TILES_PER_BLOCK: usize = 32;
+const CHANNELS: usize = 48;
+
+/// Plain copy: the workload with no instrumentation compiled in.
+fn kernel_plain(input: &[f32], out: &mut [f32]) {
+    for b in 0..BLOCKS {
+        for t in 0..TILES_PER_BLOCK {
+            let base = (b * TILES_PER_BLOCK + t) * CHANNELS;
+            let mut acc = 0.0f32;
+            for c in 0..CHANNELS {
+                acc = input[base + c].mul_add(1.001, acc);
+            }
+            out[b * TILES_PER_BLOCK + t] = acc;
+        }
+    }
+}
+
+/// Instrumented copy: identical arithmetic, plus the obs calls `iwino-core`
+/// makes per segment run (hoisted enabled check, per-block stage timing and
+/// counter updates).
+fn kernel_instrumented(input: &[f32], out: &mut [f32]) {
+    let rec = obs::enabled();
+    for b in 0..BLOCKS {
+        let t0 = rec.then(Instant::now);
+        for t in 0..TILES_PER_BLOCK {
+            let base = (b * TILES_PER_BLOCK + t) * CHANNELS;
+            let mut acc = 0.0f32;
+            for c in 0..CHANNELS {
+                acc = input[base + c].mul_add(1.001, acc);
+            }
+            out[b * TILES_PER_BLOCK + t] = acc;
+        }
+        if let Some(t0) = t0 {
+            obs::add_stage_ns(obs::Stage::OuterProduct, t0.elapsed().as_nanos() as u64);
+            obs::add(obs::Counter::Tiles, TILES_PER_BLOCK as u64);
+            obs::add(obs::Counter::BytesLoaded, (TILES_PER_BLOCK * CHANNELS * 4) as u64);
+        }
+    }
+}
+
+/// Median wall time of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn disabled_instrumentation_costs_under_five_percent() {
+    obs::set_enabled(false);
+    let input: Vec<f32> = (0..BLOCKS * TILES_PER_BLOCK * CHANNELS)
+        .map(|i| (i % 251) as f32 * 0.004 - 0.5)
+        .collect();
+    let mut out = vec![0.0f32; BLOCKS * TILES_PER_BLOCK];
+
+    // Warm up both paths (page in code, settle the allocator and clocks).
+    for _ in 0..50 {
+        kernel_plain(black_box(&input), black_box(&mut out));
+        kernel_instrumented(black_box(&input), black_box(&mut out));
+    }
+
+    // Timing on shared CI hardware is noisy; the claim under test is about
+    // the code (one Relaxed load per run plus a dead branch per block), so
+    // take medians of many runs and allow retries before declaring the
+    // overhead real. A genuine >5% regression fails all attempts.
+    const REPS: usize = 31;
+    const ATTEMPTS: usize = 6;
+    let mut ratios = Vec::with_capacity(ATTEMPTS);
+    for _ in 0..ATTEMPTS {
+        let plain = median_ns(REPS, || kernel_plain(black_box(&input), black_box(&mut out)));
+        let inst = median_ns(REPS, || kernel_instrumented(black_box(&input), black_box(&mut out)));
+        let ratio = inst as f64 / plain.max(1) as f64;
+        if ratio <= 1.05 {
+            return;
+        }
+        ratios.push(ratio);
+    }
+    panic!("disabled-path overhead exceeded 5% in all {ATTEMPTS} attempts: ratios {ratios:?}");
+}

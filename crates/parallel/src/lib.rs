@@ -14,12 +14,20 @@
 //! the borrow can never dangle. Closures must be `Sync` and take disjoint
 //! work via the index argument; mutable output access goes through
 //! [`SliceParts`] (a checked disjoint-chunk splitter) or per-index slices.
+//!
+//! Observability: while `iwino_obs::enabled()` is set, every pooled job
+//! additionally records per-lane chunk counts and busy/idle nanoseconds
+//! (lane 0 is the submitting caller). The cumulative [`obs::PoolReport`]
+//! is pushed into the obs registry after each job and is also available
+//! directly via [`ThreadPool::report`]. When recording is off, jobs take
+//! exactly the pre-instrumentation path (one branch on an `Option`).
 
-use parking_lot::{Condvar, Mutex};
+use iwino_obs as obs;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
 
 mod slice_parts;
 pub use slice_parts::SliceParts;
@@ -40,6 +48,21 @@ struct TaskPtr(*const (dyn Fn(usize) + Sync));
 unsafe impl Send for TaskPtr {}
 unsafe impl Sync for TaskPtr {}
 
+/// Per-lane accounting for a single job; allocated only while recording.
+struct JobStats {
+    lane_chunks: Vec<AtomicU64>,
+    lane_busy_ns: Vec<AtomicU64>,
+}
+
+impl JobStats {
+    fn new(lanes: usize) -> JobStats {
+        JobStats {
+            lane_chunks: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            lane_busy_ns: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
 struct Job {
     task: TaskPtr,
     /// Next unclaimed index.
@@ -48,22 +71,40 @@ struct Job {
     end: usize,
     /// Indices claimed per `fetch_add`.
     chunk: usize,
+    /// Present only while observability recording is on.
+    stats: Option<JobStats>,
 }
 
 impl Job {
-    /// Claim and execute chunks until the job is drained.
-    fn work(&self) {
+    /// Claim and execute chunks until the job is drained. `lane` indexes
+    /// the stats row (0 = submitting caller).
+    fn work(&self, lane: usize) {
         // SAFETY: see TaskPtr.
         let task = unsafe { &*self.task.0 };
-        loop {
-            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
-            if start >= self.end {
-                break;
-            }
-            let stop = (start + self.chunk).min(self.end);
-            for i in start..stop {
-                task(i);
-            }
+        match &self.stats {
+            None => loop {
+                let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+                if start >= self.end {
+                    break;
+                }
+                let stop = (start + self.chunk).min(self.end);
+                for i in start..stop {
+                    task(i);
+                }
+            },
+            Some(stats) => loop {
+                let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+                if start >= self.end {
+                    break;
+                }
+                let stop = (start + self.chunk).min(self.end);
+                let t0 = Instant::now();
+                for i in start..stop {
+                    task(i);
+                }
+                stats.lane_busy_ns[lane].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                stats.lane_chunks[lane].fetch_add(1, Ordering::Relaxed);
+            },
         }
     }
 }
@@ -85,12 +126,21 @@ struct State {
     shutdown: bool,
 }
 
+/// Cumulative per-lane totals across jobs (see [`ThreadPool::report`]).
+struct LaneTotals {
+    chunks: AtomicU64,
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
 /// A fixed-size pool of worker threads.
 pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<thread::JoinHandle<()>>,
     submit_lock: Mutex<()>,
     threads: usize,
+    jobs: AtomicU64,
+    lane_totals: Vec<LaneTotals>,
 }
 
 impl ThreadPool {
@@ -105,11 +155,25 @@ impl ThreadPool {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("iwino-worker-{w}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, w))
                     .expect("spawn pool worker")
             })
             .collect();
-        ThreadPool { shared, workers, submit_lock: Mutex::new(()), threads }
+        let lane_totals = (0..threads)
+            .map(|_| LaneTotals {
+                chunks: AtomicU64::new(0),
+                busy_ns: AtomicU64::new(0),
+                idle_ns: AtomicU64::new(0),
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            submit_lock: Mutex::new(()),
+            threads,
+            jobs: AtomicU64::new(0),
+            lane_totals,
+        }
     }
 
     /// Pool sized from `IWINO_THREADS` or the machine's available
@@ -131,25 +195,45 @@ impl ThreadPool {
             return;
         }
         if self.workers.is_empty() || n == 1 || IN_WORKER.with(|f| f.get()) {
+            // Serial fallback. Reentrant calls leave the accounting to the
+            // outer job; top-level serial runs (single-lane pool, n == 1)
+            // still record caller-lane utilization so 1-CPU hosts get a
+            // pool section in their metrics reports.
+            let record_serial = obs::enabled() && !IN_WORKER.with(|f| f.get());
+            let t0 = record_serial.then(Instant::now);
             for i in 0..n {
                 task(i);
             }
+            if let Some(t0) = t0 {
+                let busy = t0.elapsed().as_nanos() as u64;
+                self.jobs.fetch_add(1, Ordering::Relaxed);
+                let caller = &self.lane_totals[0];
+                caller.chunks.fetch_add(1, Ordering::Relaxed);
+                caller.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                obs::set_pool_report(self.report());
+            }
             return;
         }
-        let _guard = self.submit_lock.lock();
+        let _guard = self.submit_lock.lock().unwrap();
         // ~4 chunks per lane keeps the tail balanced without excessive
         // counter traffic.
         let chunk = (n / (self.threads * 4)).max(1);
         // SAFETY: we erase the lifetime; the completion wait below
         // guarantees no worker touches the task after `run` returns.
         let task_static: TaskPtr = TaskPtr(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
-                task as *const _,
-            )
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task as *const _)
         });
-        let job = Arc::new(Job { task: task_static, next: AtomicUsize::new(0), end: n, chunk });
+        let recording = obs::enabled();
+        let job = Arc::new(Job {
+            task: task_static,
+            next: AtomicUsize::new(0),
+            end: n,
+            chunk,
+            stats: recording.then(|| JobStats::new(self.threads)),
+        });
+        let job_start = Instant::now();
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().unwrap();
             st.epoch += 1;
             st.job = Some(Arc::clone(&job));
             st.running = self.workers.len();
@@ -159,14 +243,20 @@ impl ThreadPool {
         // nested `run` from inside the task runs serially instead of
         // re-locking `submit_lock` on this thread.
         let was_worker = IN_WORKER.with(|f| f.replace(true));
-        job.work();
+        job.work(0);
         IN_WORKER.with(|f| f.set(was_worker));
         // Wait for the workers to drain the job.
-        let mut st = self.shared.state.lock();
-        while st.running > 0 {
-            self.shared.job_done.wait(&mut st);
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.running > 0 {
+                st = self.shared.job_done.wait(st).unwrap();
+            }
+            st.job = None;
         }
-        st.job = None;
+        if let Some(stats) = &job.stats {
+            self.absorb_job_stats(stats, job_start.elapsed().as_nanos() as u64);
+            obs::set_pool_report(self.report());
+        }
     }
 
     /// Run `task` over `0..n` in contiguous ranges of at least `min_chunk`
@@ -183,12 +273,62 @@ impl ThreadPool {
             task(start..end);
         });
     }
+
+    /// Fold one job's per-lane stats into the pool's cumulative totals.
+    /// A lane's idle time is the job's wall time it did not spend running
+    /// chunks — for workers that includes the wake-up latency, for the
+    /// caller the completion wait.
+    fn absorb_job_stats(&self, stats: &JobStats, wall_ns: u64) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        for lane in 0..self.threads {
+            let busy = stats.lane_busy_ns[lane].load(Ordering::Relaxed);
+            let chunks = stats.lane_chunks[lane].load(Ordering::Relaxed);
+            let totals = &self.lane_totals[lane];
+            totals.chunks.fetch_add(chunks, Ordering::Relaxed);
+            totals.busy_ns.fetch_add(busy, Ordering::Relaxed);
+            totals
+                .idle_ns
+                .fetch_add(wall_ns.saturating_sub(busy), Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative utilization report over every recorded job since
+    /// construction or [`ThreadPool::reset_stats`].
+    pub fn report(&self) -> obs::PoolReport {
+        obs::PoolReport {
+            threads: self.threads,
+            jobs: self.jobs.load(Ordering::Relaxed),
+            workers: self
+                .lane_totals
+                .iter()
+                .enumerate()
+                .map(|(lane, t)| obs::PoolWorkerStats {
+                    lane,
+                    is_caller_lane: lane == 0,
+                    chunks: t.chunks.load(Ordering::Relaxed),
+                    busy_ns: t.busy_ns.load(Ordering::Relaxed),
+                    idle_ns: t.idle_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Zero the cumulative stats (call alongside `obs::reset()` to scope a
+    /// report to one workload).
+    pub fn reset_stats(&self) {
+        self.jobs.store(0, Ordering::Relaxed);
+        for t in &self.lane_totals {
+            t.chunks.store(0, Ordering::Relaxed);
+            t.busy_ns.store(0, Ordering::Relaxed);
+            t.idle_ns.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().unwrap();
             st.shutdown = true;
             self.shared.job_ready.notify_all();
         }
@@ -198,12 +338,12 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, lane: usize) {
     IN_WORKER.with(|f| f.set(true));
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock();
+            let mut st = shared.state.lock().unwrap();
             loop {
                 if st.shutdown {
                     return;
@@ -212,12 +352,12 @@ fn worker_loop(shared: &Shared) {
                     seen_epoch = st.epoch;
                     break st.job.as_ref().map(Arc::clone);
                 }
-                shared.job_ready.wait(&mut st);
+                st = shared.job_ready.wait(st).unwrap();
             }
         };
         if let Some(job) = job {
-            job.work();
-            let mut st = shared.state.lock();
+            job.work(lane);
+            let mut st = shared.state.lock().unwrap();
             st.running -= 1;
             if st.running == 0 {
                 shared.job_done.notify_all();
@@ -252,6 +392,11 @@ pub fn parallel_for_chunked(n: usize, min_chunk: usize, task: &(dyn Fn(std::ops:
     global().run_chunked(n, min_chunk, task);
 }
 
+/// Zero the global pool's cumulative utilization stats.
+pub fn reset_global_stats() {
+    global().reset_stats();
+}
+
 /// Marker used by tests to verify reentrancy handling is serial, not deadlock.
 pub fn in_worker() -> bool {
     IN_WORKER.with(|f| f.get())
@@ -282,6 +427,13 @@ impl Flag {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    // Tests that flip the process-wide obs flag serialize behind this lock
+    // so they don't race each other (other tests never enable recording).
+    fn obs_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn runs_every_index_exactly_once() {
@@ -321,8 +473,8 @@ mod tests {
         let pool = ThreadPool::new(1);
         assert_eq!(pool.threads(), 1);
         let order = Mutex::new(Vec::new());
-        pool.run(16, &|i| order.lock().push(i));
-        assert_eq!(*order.lock(), (0..16).collect::<Vec<_>>());
+        pool.run(16, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
     }
 
     #[test]
@@ -387,5 +539,40 @@ mod tests {
         });
         drop(parts);
         assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn stats_not_recorded_while_disabled() {
+        let _g = obs_guard();
+        obs::set_enabled(false);
+        let pool = ThreadPool::new(4);
+        pool.run(512, &|_| {});
+        let report = pool.report();
+        assert_eq!(report.jobs, 0);
+        assert!(report.workers.iter().all(|w| w.chunks == 0));
+    }
+
+    #[test]
+    fn stats_recorded_and_reset_while_enabled() {
+        let _g = obs_guard();
+        obs::set_enabled(true);
+        let pool = ThreadPool::new(4);
+        pool.run(4096, &|i| {
+            std::hint::black_box(i * i);
+        });
+        obs::set_enabled(false);
+        let report = pool.report();
+        assert_eq!(report.jobs, 1);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.workers.len(), 4);
+        assert!(report.workers[0].is_caller_lane);
+        let total_chunks: u64 = report.workers.iter().map(|w| w.chunks).sum();
+        // 4096 indices at chunk size 4096/(4*4) = 256 → 16 claimed chunks.
+        assert_eq!(total_chunks, 16);
+        assert!(report.workers.iter().map(|w| w.busy_ns).sum::<u64>() > 0);
+        pool.reset_stats();
+        let cleared = pool.report();
+        assert_eq!(cleared.jobs, 0);
+        assert!(cleared.workers.iter().all(|w| w.chunks == 0 && w.busy_ns == 0));
     }
 }

@@ -50,6 +50,10 @@ impl<'a, T> SliceParts<'a, T> {
 
     /// Claim chunk `i`, returning its mutable slice. Panics if `i` is out of
     /// range or the chunk was already claimed.
+    // The `&self -> &mut` shape is the point of this type: the claim flags
+    // make the returned slices disjoint, so handing them out through a
+    // shared reference is sound.
+    #[allow(clippy::mut_from_ref)]
     pub fn take(&self, i: usize) -> &mut [T] {
         let was = self.claimed[i].swap(1, Ordering::AcqRel);
         assert_eq!(was, 0, "chunk {i} claimed twice");

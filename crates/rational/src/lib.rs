@@ -87,7 +87,10 @@ impl Rational {
     }
 
     pub fn abs(&self) -> Self {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse. Panics on zero.
@@ -185,6 +188,8 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    // Division by a rational IS multiplication by its reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -193,7 +198,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Self {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -18,12 +18,16 @@ pub struct Poly {
 impl Poly {
     /// The zero polynomial.
     pub fn zero() -> Self {
-        Poly { coeffs: vec![Rational::ZERO] }
+        Poly {
+            coeffs: vec![Rational::ZERO],
+        }
     }
 
     /// The constant polynomial `1`.
     pub fn one() -> Self {
-        Poly { coeffs: vec![Rational::ONE] }
+        Poly {
+            coeffs: vec![Rational::ONE],
+        }
     }
 
     /// Build from coefficients (lowest degree first); trailing zeros trimmed.
@@ -35,7 +39,9 @@ impl Poly {
 
     /// The monic linear polynomial `x - root`.
     pub fn linear_from_root(root: Rational) -> Self {
-        Poly { coeffs: vec![-root, Rational::ONE] }
+        Poly {
+            coeffs: vec![-root, Rational::ONE],
+        }
     }
 
     /// `Π (x - r)` over the given roots.
@@ -75,10 +81,7 @@ impl Poly {
 
     /// Evaluate at `x` by Horner's rule.
     pub fn eval(&self, x: Rational) -> Rational {
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(Rational::ZERO, |acc, &c| acc * x + c)
+        self.coeffs.iter().rev().fold(Rational::ZERO, |acc, &c| acc * x + c)
     }
 
     /// Multiply every coefficient by a scalar.
@@ -187,10 +190,7 @@ mod tests {
         assert_eq!(p.coeffs(), &[ri(-1), ri(0), ri(1)]);
         // (x-1)(x+1)(x-2)(x+2)(x-1/2)(x+1/2) = x^6 - 21/4 x^4 + 21/4 x^2 - 1
         let p = Poly::from_roots(&[ri(1), ri(-1), ri(2), ri(-2), r(1, 2), r(-1, 2)]);
-        assert_eq!(
-            p.coeffs(),
-            &[ri(-1), ri(0), r(21, 4), ri(0), r(-21, 4), ri(0), ri(1)]
-        );
+        assert_eq!(p.coeffs(), &[ri(-1), ri(0), r(21, 4), ri(0), r(-21, 4), ri(0), ri(1)]);
     }
 
     #[test]

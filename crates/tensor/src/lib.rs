@@ -74,7 +74,10 @@ impl<T: Scalar> Tensor4<T> {
     /// Zero-filled tensor of shape `dims`.
     pub fn zeros(dims: [usize; 4]) -> Self {
         let len = dims.iter().product();
-        Tensor4 { dims, data: vec![T::ZERO; len] }
+        Tensor4 {
+            dims,
+            data: vec![T::ZERO; len],
+        }
     }
 
     /// Build from an existing buffer; `data.len()` must equal the volume.
@@ -167,7 +170,10 @@ impl<T: Scalar> Tensor4<T> {
 
     /// Map every element.
     pub fn map(&self, f: impl Fn(T) -> T) -> Self {
-        Tensor4 { dims: self.dims, data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor4 {
+            dims: self.dims,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 }
 

@@ -23,8 +23,31 @@ pub struct ConvShape {
 
 impl ConvShape {
     /// Unit-stride shape (the case Im2col-Winograd accelerates).
-    pub fn unit(n: usize, ih: usize, iw: usize, ic: usize, oc: usize, fh: usize, fw: usize, ph: usize, pw: usize) -> Self {
-        ConvShape { n, ih, iw, ic, oc, fh, fw, ph, pw, sh: 1, sw: 1 }
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's (N, IH, IW, IC, OC, FH, FW, PH, PW) tuple
+    pub fn unit(
+        n: usize,
+        ih: usize,
+        iw: usize,
+        ic: usize,
+        oc: usize,
+        fh: usize,
+        fw: usize,
+        ph: usize,
+        pw: usize,
+    ) -> Self {
+        ConvShape {
+            n,
+            ih,
+            iw,
+            ic,
+            oc,
+            fh,
+            fw,
+            ph,
+            pw,
+            sh: 1,
+            sw: 1,
+        }
     }
 
     /// Square unit-stride shape with `r×r` filter and the "same-ish" padding
@@ -83,7 +106,19 @@ impl ConvShape {
         // oh = ih + 2p − r + 1  ⟹  ih = oh + r − 1 − 2p
         let ih = oh + r - 1 - 2 * p;
         let iw = ow + r - 1 - 2 * p;
-        ConvShape { n, ih, iw, ic, oc, fh: r, fw: r, ph: p, pw: p, sh: 1, sw: 1 }
+        ConvShape {
+            n,
+            ih,
+            iw,
+            ic,
+            oc,
+            fh: r,
+            fw: r,
+            ph: p,
+            pw: p,
+            sh: 1,
+            sw: 1,
+        }
     }
 }
 
@@ -126,7 +161,11 @@ mod tests {
 
     #[test]
     fn strided_output_dims() {
-        let s = ConvShape { sh: 2, sw: 2, ..ConvShape::square(1, 32, 8, 8, 3) };
+        let s = ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 32, 8, 8, 3)
+        };
         assert_eq!(s.oh(), 16);
         assert_eq!(s.ow(), 16);
     }

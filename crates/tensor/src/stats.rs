@@ -89,10 +89,7 @@ pub fn relative_error_histogram<T: Scalar, U: Scalar>(
         let b = ((rel / hi * bins as f64) as usize).min(bins - 1);
         counts[b] += 1;
     }
-    counts
-        .into_iter()
-        .map(|c| 100.0 * c as f64 / n.max(1) as f64)
-        .collect()
+    counts.into_iter().map(|c| 100.0 * c as f64 / n.max(1) as f64).collect()
 }
 
 #[cfg(test)]

@@ -18,7 +18,10 @@ pub struct Tensor5<T: Scalar = f32> {
 impl<T: Scalar> Tensor5<T> {
     pub fn zeros(dims: [usize; 5]) -> Self {
         let len = dims.iter().product();
-        Tensor5 { dims, data: vec![T::ZERO; len] }
+        Tensor5 {
+            dims,
+            data: vec![T::ZERO; len],
+        }
     }
 
     pub fn from_vec(dims: [usize; 5], data: Vec<T>) -> Self {
@@ -50,9 +53,7 @@ impl<T: Scalar> Tensor5<T> {
 
     #[inline]
     pub fn offset(&self, i: usize, j: usize, k: usize, l: usize, m: usize) -> usize {
-        debug_assert!(
-            i < self.dims[0] && j < self.dims[1] && k < self.dims[2] && l < self.dims[3] && m < self.dims[4]
-        );
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2] && l < self.dims[3] && m < self.dims[4]);
         (((i * self.dims[1] + j) * self.dims[2] + k) * self.dims[3] + l) * self.dims[4] + m
     }
 

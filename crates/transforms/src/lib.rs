@@ -154,7 +154,7 @@ impl WinogradTransform {
                 }
                 for j in 0..alpha {
                     let delta = w * ell_coeffs[k][j];
-                    dt[(top, j)] = dt[(top, j)] - delta;
+                    dt[(top, j)] -= delta;
                 }
             }
         }

@@ -14,7 +14,11 @@ pub struct Matrix {
 
 impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![Rational::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
     }
 
     /// Build from row slices; all rows must have equal length.
@@ -26,7 +30,11 @@ impl Matrix {
             assert_eq!(row.len(), cols, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Parse from strings like `"1 0 -21/4 0"` (one string per row). Test aid.
@@ -88,7 +96,7 @@ impl Matrix {
                     continue;
                 }
                 for j in 0..rhs.cols {
-                    out[(i, j)] = out[(i, j)] + a * rhs[(k, j)];
+                    out[(i, j)] += a * rhs[(k, j)];
                 }
             }
         }
@@ -124,14 +132,24 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = Rational;
     fn index(&self, (i, j): (usize, usize)) -> &Rational {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -57,7 +57,12 @@ pub fn gamma_op_count(t: &WinogradTransform, fh: usize, ic: usize, oc: usize, ou
     } else {
         0.0
     };
-    OpCount { elem_mul, input_transform, output_transform, filter_transform }
+    OpCount {
+        elem_mul,
+        input_transform,
+        output_transform,
+        filter_transform,
+    }
 }
 
 /// Multiplications per output of the standard (direct/GEMM) algorithm.

@@ -50,14 +50,23 @@ impl PairedTransform {
                 i += 1;
             }
         }
-        PairedTransform { rows, cols, data: m.to_f64(), plan }
+        PairedTransform {
+            rows,
+            cols,
+            data: m.to_f64(),
+            plan,
+        }
     }
 
     fn is_mirror_pair(m: &Matrix, i: usize) -> bool {
         (0..m.cols()).all(|j| {
             let a = m[(i, j)];
             let b = m[(i + 1, j)];
-            if j % 2 == 0 { a == b } else { a == -b }
+            if j % 2 == 0 {
+                a == b
+            } else {
+                a == -b
+            }
         })
     }
 
@@ -75,10 +84,7 @@ impl PairedTransform {
 
     /// Number of row pairs found.
     pub fn pair_count(&self) -> usize {
-        self.plan
-            .iter()
-            .filter(|s| matches!(s, PlanStep::Pair { .. }))
-            .count()
+        self.plan.iter().filter(|s| matches!(s, PlanStep::Pair { .. })).count()
     }
 
     #[inline]
@@ -93,12 +99,8 @@ impl PairedTransform {
         self.plan
             .iter()
             .map(|step| match *step {
-                PlanStep::Pair { row } => (0..self.cols)
-                    .filter(|&j| !is_trivial(self.coeff(row, j)))
-                    .count(),
-                PlanStep::Single { row } => (0..self.cols)
-                    .filter(|&j| !is_trivial(self.coeff(row, j)))
-                    .count(),
+                PlanStep::Pair { row } => (0..self.cols).filter(|&j| !is_trivial(self.coeff(row, j))).count(),
+                PlanStep::Single { row } => (0..self.cols).filter(|&j| !is_trivial(self.coeff(row, j))).count(),
             })
             .sum()
     }
@@ -112,8 +114,8 @@ impl PairedTransform {
                 PlanStep::Pair { row } => {
                     let mut even = 0.0f32;
                     let mut odd = 0.0f32;
-                    for j in 0..self.cols {
-                        let term = self.coeff(row, j) as f32 * x[j];
+                    for (j, &xj) in x.iter().enumerate() {
+                        let term = self.coeff(row, j) as f32 * xj;
                         if j % 2 == 0 {
                             even += term;
                         } else {
@@ -125,8 +127,8 @@ impl PairedTransform {
                 }
                 PlanStep::Single { row } => {
                     let mut acc = 0.0f32;
-                    for j in 0..self.cols {
-                        acc += self.coeff(row, j) as f32 * x[j];
+                    for (j, &xj) in x.iter().enumerate() {
+                        acc += self.coeff(row, j) as f32 * xj;
                     }
                     out[row] = acc;
                 }
@@ -140,14 +142,7 @@ impl PairedTransform {
     /// This is the NHWC-friendly layout: the lanes are contiguous channels,
     /// so the inner loops vectorise along the channel axis, exactly the
     /// access-continuity argument of §3/§4.2.
-    pub fn apply_f32_strided(
-        &self,
-        x: &[f32],
-        x_stride: usize,
-        out: &mut [f32],
-        out_stride: usize,
-        width: usize,
-    ) {
+    pub fn apply_f32_strided(&self, x: &[f32], x_stride: usize, out: &mut [f32], out_stride: usize, width: usize) {
         assert!(x_stride >= width && out_stride >= width);
         assert!(x.len() >= (self.cols - 1) * x_stride + width);
         assert!(out.len() >= (self.rows - 1) * out_stride + width);
@@ -206,8 +201,8 @@ impl PairedTransform {
                 PlanStep::Pair { row } => {
                     let mut even = 0.0f64;
                     let mut odd = 0.0f64;
-                    for j in 0..self.cols {
-                        let term = self.coeff(row, j) * x[j];
+                    for (j, &xj) in x.iter().enumerate() {
+                        let term = self.coeff(row, j) * xj;
                         if j % 2 == 0 {
                             even += term;
                         } else {
@@ -285,10 +280,7 @@ mod tests {
             let mut want = vec![0.0f32; alpha];
             dt.apply_f32(&lane, &mut want);
             for i in 0..alpha {
-                assert!(
-                    (out[i * stride + c] - want[i]).abs() <= 1e-5,
-                    "lane {c} row {i}"
-                );
+                assert!((out[i * stride + c] - want[i]).abs() <= 1e-5, "lane {c} row {i}");
             }
         }
     }

@@ -25,8 +25,18 @@ fn main() {
     // (1) adjointness: ⟨conv(x), dy⟩ == ⟨x, deconv(dy)⟩.
     let y = conv2d(&x, &w, &shape);
     let dx = deconv2d(&dy, &w, &shape);
-    let lhs: f64 = y.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
-    let rhs: f64 = x.as_slice().iter().zip(dx.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+    let lhs: f64 = y
+        .as_slice()
+        .iter()
+        .zip(dy.as_slice())
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum();
+    let rhs: f64 = x
+        .as_slice()
+        .iter()
+        .zip(dx.as_slice())
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum();
     println!("adjoint identity: <conv(x), dy> = {lhs:.4} vs <x, deconv(dy)> = {rhs:.4}");
     assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
 
@@ -59,7 +69,13 @@ fn main() {
     println!("\ndelta-gradient footprint (3x3 filter, delta at centre):");
     for iy in 0..9 {
         let row: String = (0..9)
-            .map(|ix| if spread.at(0, iy, ix, 0).abs() > 1e-9 { " *" } else { " ." })
+            .map(|ix| {
+                if spread.at(0, iy, ix, 0).abs() > 1e-9 {
+                    " *"
+                } else {
+                    " ."
+                }
+            })
             .collect();
         println!("  {row}");
     }

@@ -47,7 +47,10 @@ fn main() {
             let sim = im2col_winograd::gpu_sim::estimate(
                 &dev,
                 &shape,
-                &Algorithm::Gamma { spec, include_transpose: false },
+                &Algorithm::Gamma {
+                    spec,
+                    include_transpose: false,
+                },
             );
             println!(
                 "{:<20} {:>7.2} {:>9.2} {:>9.0}% {:>11}B {:>12.0}",
@@ -67,7 +70,10 @@ fn main() {
             ("Fused 2D Winograd", Algorithm::FusedWinograd2d),
         ] {
             let sim = im2col_winograd::gpu_sim::estimate(&dev, &shape, &algo);
-            println!("{label:<20} {:>7} {:>9.2} {:>10} {:>12} {:>12.0}", "-", sim.intensity, "-", "-", sim.gflops);
+            println!(
+                "{label:<20} {:>7} {:>9.2} {:>10} {:>12} {:>12.0}",
+                "-", sim.intensity, "-", "-", sim.gflops
+            );
         }
         println!();
     }

@@ -29,7 +29,10 @@ fn main() {
         let x = Tensor4::<f32>::random(shape.x_dims(), 100 + r as u64, -1.0, 1.0);
         let w = Tensor4::<f32>::random(shape.w_dims(), 200 + r as u64, -1.0, 1.0);
 
-        let opts = ConvOptions { prefer_alpha16: r >= 7, ..Default::default() };
+        let opts = ConvOptions {
+            prefer_alpha16: r >= 7,
+            ..Default::default()
+        };
         let prefs = default_kernel_prefs(r, r >= 7);
         let plan = SegmentPlan::build(shape.ow(), &prefs);
         let plan_str: Vec<String> = plan

@@ -11,11 +11,20 @@ use im2col_winograd::nn::{train, vgg16, Backend, SyntheticDataset, TrainConfig};
 
 fn main() {
     let data = SyntheticDataset::cifar10_like(320, 160);
-    let cfg = TrainConfig { epochs: 3, batch: 16, lr: 1e-3, opt: OptKind::Adam, log_every: 2 };
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch: 16,
+        lr: 1e-3,
+        opt: OptKind::Adam,
+        log_every: 2,
+    };
     println!("VGG16 (width 8) on synthetic Cifar10-like data, Adam lr 1e-3, 3 epochs\n");
 
     let mut results = Vec::new();
-    for (label, backend) in [("Alpha (Im2col-Winograd)", Backend::ImcolWinograd), ("GEMM control", Backend::Gemm)] {
+    for (label, backend) in [
+        ("Alpha (Im2col-Winograd)", Backend::ImcolWinograd),
+        ("GEMM control", Backend::Gemm),
+    ] {
         let mut model = vgg16(32, 3, 10, 8, backend);
         let report = train(&mut model, &data, &cfg);
         println!(

@@ -25,7 +25,11 @@ fn main() {
 
     let t0 = Instant::now();
     let y = conv3d(&x, &w, &shape);
-    println!("im2col-winograd conv3d: {:?} ({:.1} Gflop/s)", t0.elapsed(), shape.flops() / t0.elapsed().as_secs_f64() / 1e9);
+    println!(
+        "im2col-winograd conv3d: {:?} ({:.1} Gflop/s)",
+        t0.elapsed(),
+        shape.flops() / t0.elapsed().as_secs_f64() / 1e9
+    );
 
     let t0 = Instant::now();
     let truth = direct_conv3d_f64(&x, &w, &shape);
@@ -42,7 +46,11 @@ fn main() {
 
     // The state-count argument, in numbers (§4.2 / §3):
     println!("\nstate count per output tile (what must fit in fast memory):");
-    for (dims, desc) in [(1u32, "Im2col-Winograd Γ8(6,3), any-D"), (2, "2-D Winograd F(6×6, 3×3)"), (3, "3-D Winograd F(6×6×6, 3×3×3)")] {
+    for (dims, desc) in [
+        (1u32, "Im2col-Winograd Γ8(6,3), any-D"),
+        (2, "2-D Winograd F(6×6, 3×3)"),
+        (3, "3-D Winograd F(6×6×6, 3×3×3)"),
+    ] {
         let states = 8u64.pow(dims);
         println!("  {desc:<38} α^{dims} = {states:>4} states");
     }

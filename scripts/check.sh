@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI (and the next PR's author) expects to pass.
+# Run from the repo root. Builds are offline; the workspace vendors its
+# dev-dependency stand-ins under vendored/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --offline --release
+
+echo "== cargo test -q (workspace) =="
+cargo test --offline --workspace -q
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "All checks passed."

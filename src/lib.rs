@@ -66,8 +66,7 @@ pub use iwino_transforms as transforms;
 /// The handful of names almost every user needs.
 pub mod prelude {
     pub use iwino_core::{
-        auto_options, conv1d, conv2d, conv2d_opts, conv3d, deconv2d, filter_grad, ConvOptions,
-        GammaSpec, Variant,
+        auto_options, conv1d, conv2d, conv2d_opts, conv3d, deconv2d, filter_grad, ConvOptions, GammaSpec, Variant,
     };
     pub use iwino_tensor::{Conv3dShape, ConvShape, ErrorStats, Tensor4, Tensor5};
 }

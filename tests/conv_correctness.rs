@@ -1,9 +1,7 @@
 //! Cross-crate correctness: every convolution algorithm in the workspace
 //! must agree with the FP64 direct reference on the same inputs.
 
-use im2col_winograd::baselines::{
-    direct_conv_f64_ref, im2col_conv_nhwc, winograd2d_conv, Im2colPlan,
-};
+use im2col_winograd::baselines::{direct_conv_f64_ref, im2col_conv_nhwc, winograd2d_conv, Im2colPlan};
 use im2col_winograd::core::{conv2d_opts, ConvOptions, GammaSpec, Variant};
 use im2col_winograd::tensor::{max_mixed_error, ConvShape, Tensor4};
 use proptest::prelude::*;
@@ -39,7 +37,10 @@ fn every_figure8_kernel_runs_correctly_scaled_down() {
     ] {
         for variant in variants {
             let spec = GammaSpec::new(alpha, n, r, variant);
-            let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+            let opts = ConvOptions {
+                force_kernels: Some(vec![spec]),
+                ..Default::default()
+            };
             // OW = 2n + 1 forces Γ + fallback + GEMM boundary segments.
             let hw = 2 * n + 1;
             let shape = ConvShape::unit(2, hw, hw, 8, 8, r, r, r / 2, r / 2);

@@ -18,7 +18,10 @@ fn accuracy_orders_match_table3() {
         let x = Tensor4::<f32>::random(shape.x_dims(), 1, 1.0, 2.0);
         let w = Tensor4::<f32>::random(shape.w_dims(), 2, 1.0, 2.0);
         let truth = direct_conv_f64_ref(&x, &w, &shape);
-        let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+        let opts = ConvOptions {
+            force_kernels: Some(vec![spec]),
+            ..Default::default()
+        };
         let gamma_err = ErrorStats::between(&conv2d_opts(&x, &w, &shape, &opts), &truth).mean;
         let plan = Im2colPlan::new(&shape);
         let gemm_err = ErrorStats::between(&im2col_conv_nhwc(&x, &w, &plan), &truth).mean;
@@ -28,7 +31,10 @@ fn accuracy_orders_match_table3() {
         // "beats GEMM" relation only holds for the Γ8 kernels here (see
         // EXPERIMENTS.md, Experiment 2 divergence note).
         if alpha == 8 {
-            assert!(gamma_err < gemm_err, "Γ{alpha}({n},{r}): {gamma_err} !< gemm {gemm_err}");
+            assert!(
+                gamma_err < gemm_err,
+                "Γ{alpha}({n},{r}): {gamma_err} !< gemm {gemm_err}"
+            );
         }
         gamma_err
     };
@@ -51,7 +57,10 @@ fn simulated_speedups_match_table2_shape() {
         let g = im2col_winograd::gpu_sim::estimate(
             &dev,
             &shape,
-            &Algorithm::Gamma { spec, include_transpose: true },
+            &Algorithm::Gamma {
+                spec,
+                include_transpose: true,
+            },
         );
         let base = im2col_winograd::gpu_sim::estimate(&dev, &shape, &Algorithm::ImplicitGemm { layout: Layout::Nhwc });
         g.gflops / base.gflops
@@ -119,10 +128,7 @@ fn winograd_coverage_is_high_for_cnn_widths() {
         for ow in [7usize, 14, 28, 56, 112, 224] {
             let plan = SegmentPlan::build(ow, &prefs);
             let cov = plan.winograd_coverage();
-            assert!(
-                cov >= 0.5 || ow < 8,
-                "r={r} ow={ow}: coverage {cov}"
-            );
+            assert!(cov >= 0.5 || ow < 8, "r={r} ow={ow}: coverage {cov}");
         }
     }
 }

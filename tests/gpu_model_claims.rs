@@ -9,7 +9,15 @@ use im2col_winograd::tensor::ConvShape;
 fn gamma(dev: &DeviceSpec, spec: GammaSpec, ofms: (usize, usize, usize, usize)) -> f64 {
     let (n, oh, ow, oc) = ofms;
     let shape = ConvShape::from_ofms(n, oh, ow, oc, oc, spec.r);
-    estimate(dev, &shape, &Algorithm::Gamma { spec, include_transpose: false }).gflops
+    estimate(
+        dev,
+        &shape,
+        &Algorithm::Gamma {
+            spec,
+            include_transpose: false,
+        },
+    )
+    .gflops
 }
 
 /// "Our blocking approach ensures consistent performance, under scenarios
@@ -24,8 +32,16 @@ fn gamma_blocking_is_consistent_across_layer_extremes() {
     let dev = DeviceSpec::rtx3060ti();
     let spec = GammaSpec::new(8, 6, 3, Variant::Standard);
     let shapes: [(usize, usize, usize, usize); 10] = [
-        (64, 128, 128, 64), (128, 96, 96, 64), (256, 64, 64, 64), (128, 48, 48, 128), (256, 32, 32, 128),
-        (128, 24, 24, 256), (256, 16, 16, 256), (128, 12, 12, 512), (256, 8, 8, 512), (128, 6, 6, 1024),
+        (64, 128, 128, 64),
+        (128, 96, 96, 64),
+        (256, 64, 64, 64),
+        (128, 48, 48, 128),
+        (256, 32, 32, 128),
+        (128, 24, 24, 256),
+        (256, 16, 16, 256),
+        (128, 12, 12, 512),
+        (256, 8, 8, 512),
+        (128, 6, 6, 1024),
     ];
     let g: Vec<f64> = shapes.iter().map(|&o| gamma(&dev, spec, o)).collect();
     let spread = g.iter().cloned().fold(f64::MIN, f64::max) / g.iter().cloned().fold(f64::MAX, f64::min);

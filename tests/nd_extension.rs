@@ -93,7 +93,10 @@ proptest! {
 #[test]
 fn conv3d_alpha16_kernel() {
     let spec = GammaSpec::new(16, 8, 9, Variant::Standard);
-    let opts = ConvOptions { force_kernels: Some(vec![spec]), ..Default::default() };
+    let opts = ConvOptions {
+        force_kernels: Some(vec![spec]),
+        ..Default::default()
+    };
     let s = Conv3dShape {
         n: 1,
         id: 3,

@@ -2,14 +2,18 @@
 //! the same nets on the same synthetic data and converge together.
 
 use im2col_winograd::nn::train::OptKind;
-use im2col_winograd::nn::{
-    evaluate, resnet18, train, vgg16, Backend, SyntheticDataset, TrainConfig,
-};
+use im2col_winograd::nn::{evaluate, resnet18, train, vgg16, Backend, SyntheticDataset, TrainConfig};
 
 #[test]
 fn vgg16_trains_with_both_backends_and_curves_match() {
     let data = SyntheticDataset::cifar10_like(96, 48);
-    let cfg = TrainConfig { epochs: 2, batch: 12, lr: 1e-3, opt: OptKind::Adam, log_every: 1 };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch: 12,
+        lr: 1e-3,
+        opt: OptKind::Adam,
+        log_every: 1,
+    };
     let mut reports = Vec::new();
     for backend in [Backend::ImcolWinograd, Backend::Gemm] {
         let mut model = vgg16(32, 3, 10, 4, backend);
@@ -33,7 +37,13 @@ fn vgg16_trains_with_both_backends_and_curves_match() {
 #[test]
 fn resnet18_trains_and_eval_accuracy_beats_chance() {
     let data = SyntheticDataset::cifar10_like(120, 40);
-    let cfg = TrainConfig { epochs: 3, batch: 12, lr: 2e-3, opt: OptKind::Adam, log_every: 2 };
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch: 12,
+        lr: 2e-3,
+        opt: OptKind::Adam,
+        log_every: 2,
+    };
     let mut model = resnet18(3, 10, 8, Backend::ImcolWinograd);
     let report = train(&mut model, &data, &cfg);
     assert!(report.final_loss() < report.losses[0].1);
@@ -47,7 +57,13 @@ fn resnet18_trains_and_eval_accuracy_beats_chance() {
 fn sgdm_and_adam_both_work_end_to_end() {
     let data = SyntheticDataset::cifar10_like(64, 32);
     for opt in [OptKind::Adam, OptKind::Sgdm] {
-        let cfg = TrainConfig { epochs: 2, batch: 8, lr: 3e-3, opt, log_every: 1 };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch: 8,
+            lr: 3e-3,
+            opt,
+            log_every: 1,
+        };
         let mut model = vgg16(32, 3, 10, 4, Backend::Gemm);
         let report = train(&mut model, &data, &cfg);
         assert!(

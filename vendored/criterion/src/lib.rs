@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! small API surface used by `crates/bench/benches/*.rs` is implemented
+//! locally: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size` / `throughput` / `bench_with_input`, plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is calibrated so one sample lasts at
+//! least ~5 ms, then `sample_size` samples are taken and the median
+//! per-iteration time is printed (with elements/s when a throughput was
+//! declared). There is no statistics engine, no comparison against saved
+//! baselines, and no plotting.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, matching criterion's API.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+/// Throughput declaration; only element counts are used in this repo.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs at least ~5 ms (or the routine is genuinely slow).
+        let target = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || self.iters_per_sample >= 1 << 20 {
+                break;
+            }
+            self.iters_per_sample = if elapsed.is_zero() {
+                self.iters_per_sample * 16
+            } else {
+                (self.iters_per_sample * 2).max(1)
+            };
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2].as_nanos() as f64 / self.iters_per_sample as f64
+    }
+}
+
+fn report(name: &str, bencher: &mut Bencher, throughput: Option<Throughput>) {
+    let ns = bencher.median_ns_per_iter();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  {:>10.3} Melem/s", n as f64 / ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  {:>10.3} MB/s", n as f64 / ns * 1e3)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<56} {:>12.1} ns/iter{rate}", ns);
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        report(name, &mut b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.full), &mut b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_plumbing() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("f", 7), &2u32, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+}

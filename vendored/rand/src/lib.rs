@@ -1,0 +1,212 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in a container without crates.io access, so the
+//! subset of the `rand 0.8` API the repo uses is implemented locally:
+//!
+//! * [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`] — deterministic
+//!   xoshiro256++ seeded through SplitMix64 (the same construction the
+//!   xoshiro authors recommend);
+//! * [`distributions::Uniform`] / [`distributions::Distribution`] —
+//!   half-open uniform ranges for `f32`/`f64`;
+//! * [`Rng::gen`] for `f32`/`f64` in `[0, 1)`.
+//!
+//! The streams differ from upstream `StdRng` (which is ChaCha12); every
+//! consumer in this repo only relies on seeds being deterministic and the
+//! values being i.i.d. uniform, so that is the contract kept here.
+
+/// Core generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience sampling interface, auto-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its "standard" distribution
+    /// (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types with a standard distribution for [`Rng::gen`].
+pub trait Standard {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f32 {
+        // 24 high-quality mantissa bits -> [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (the repo's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Distribution interface, matching `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Half-open uniform distribution over `[lo, hi)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: PartialOrd + Copy> Uniform<T> {
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Uniform { lo, hi }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.lo + u * (self.hi - self.lo)
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f32 {
+            let u = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+            self.lo + u * (self.hi - self.lo)
+        }
+    }
+
+    impl Distribution<u64> for Uniform<u64> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+            let span = self.hi - self.lo;
+            self.lo + rng.next_u64() % span
+        }
+    }
+
+    impl Distribution<usize> for Uniform<usize> {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+            let span = (self.hi - self.lo) as u64;
+            self.lo + (rng.next_u64() % span) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<f32> = (0..16).map(|_| a.gen::<f32>()).collect();
+        let vb: Vec<f32> = (0..16).map(|_| b.gen::<f32>()).collect();
+        let vc: Vec<f32> = (0..16).map(|_| c.gen::<f32>()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_is_roughly_centred() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Uniform::new(1.0f64, 2.0);
+        let vals: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(vals.iter().all(|&v| (1.0..2.0).contains(&v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 1.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_f32_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen::<f32>();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}
