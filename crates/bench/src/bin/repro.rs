@@ -5,7 +5,8 @@
 //! `repro_results/`.
 
 use iwino_bench::{
-    run_accuracy, run_histogram, run_panel, speedups, validate_stage_model, PanelResult, FIG8, FIG9, TABLE3,
+    bench_stage_rates, run_accuracy, run_histogram, run_panel, speedups, stage_bench_cases, validate_stage_model,
+    PanelResult, FIG8, FIG9, TABLE3,
 };
 use iwino_core::{GammaSpec, Variant};
 use iwino_gpu_sim::model::{Algorithm, Layout};
@@ -80,6 +81,7 @@ fn main() {
         "table3" => table3(&mode),
         "fig10" => fig10(&mode),
         "validate-model" => validate_model(&mode),
+        "bench-stages" => bench_stages(&args, &mode),
         "train-cifar" => train_cifar(&mode),
         "train-imagenet" => train_imagenet(&mode),
         "ablation-banks" => ablation_banks(),
@@ -104,9 +106,9 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|train-cifar|train-imagenet|\
+                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|train-cifar|train-imagenet|\
                  ablation-banks|ablation-boundary|ablation-variants|ablation-transforms|all> \
-                 [--full] [--sim-only] [--metrics <path.json>]"
+                 [--full] [--sim-only] [--metrics <path.json>] [--out <path.json>]"
             );
             if cmd != "help" {
                 std::process::exit(2);
@@ -317,6 +319,46 @@ fn validate_model(mode: &Mode) {
     println!("\n(the CPU profile includes gather/memory time inside input_transform, which the");
     println!(" pure op-count model does not charge — divergence there is expected, §5.4)");
     save_json("validate_model", &Json::Arr(doc));
+}
+
+// ---------------------------------------------------------------------------
+// Stage-rate benchmark: the BENCH_*.json performance trajectory
+// ---------------------------------------------------------------------------
+
+fn bench_stages(args: &[String], mode: &Mode) {
+    println!("\n==== bench-stages: per-stage effective GFLOP/s ====");
+    println!("(gflops = whole-run paper-convention FLOPs / time attributed to the stage;");
+    println!(" the ratio of a stage's gflops across two commits is that stage's speedup)");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "repro_results/stage_bench.json".to_string());
+    let reps = if mode.quick { 5 } else { 20 };
+    let mut doc = Vec::new();
+    for case in stage_bench_cases() {
+        let r = bench_stage_rates(&case, reps);
+        println!("\n-- {} ({}, ofms {}) --", r.label, r.kernel, r.shape);
+        println!("{:<18} {:>14} {:>8} {:>12}", "stage", "ns", "share", "gflops");
+        for s in &r.stages {
+            println!(
+                "{:<18} {:>14} {:>7.1}% {:>12.2}",
+                s.stage,
+                s.ns,
+                100.0 * s.share,
+                s.gflops
+            );
+        }
+        println!("end-to-end: {:.2} Gflop/s over {} reps", r.gflops, r.reps);
+        doc.push(r.to_json());
+    }
+    let json = Json::obj(vec![("schema_version", Json::from(1u64)), ("cases", Json::Arr(doc))]);
+    match fs::write(&out, json.pretty()) {
+        Ok(()) => println!("\n[saved {out}]"),
+        Err(e) => eprintln!("\n[failed to write {out}: {e}]"),
+    }
 }
 
 // ---------------------------------------------------------------------------

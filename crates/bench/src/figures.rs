@@ -529,6 +529,47 @@ impl AccuracyTable {
     }
 }
 
+/// One case of the per-stage throughput bench (`repro bench-stages`): a
+/// Figure-8 shape (batch-scaled for CPU) with a forced primary kernel, so
+/// the same pipeline stages are exercised run after run and their effective
+/// rates can be compared across commits (`BENCH_*.json`).
+pub struct StageBenchCase {
+    pub label: String,
+    pub spec: GammaSpec,
+    pub shape: ConvShape,
+}
+
+/// The stage-bench case list. The headline case is the acceptance shape of
+/// the microkernel work: Γ8(6,3) on a Figure-8 panel row with IC = OC = 64
+/// and `OW` a multiple of n (exact cover — the Winograd-domain accumulate
+/// dominates). The others pin the ragged-width path, the §5.4 ruse strip
+/// gather, and the α = 16 regime.
+pub fn stage_bench_cases() -> Vec<StageBenchCase> {
+    vec![
+        StageBenchCase {
+            // Figure 8, Γ8(6,3) panel row (128, 96, 96, 64), N scaled 128 → 1.
+            label: "g8_6_3_fig8_96x96x64_exact".into(),
+            spec: GammaSpec::new(8, 6, 3, Variant::Standard),
+            shape: ConvShape::from_ofms(1, 96, 96, 64, 64, 3),
+        },
+        StageBenchCase {
+            label: "g8_6_3_95x95x64_ragged".into(),
+            spec: GammaSpec::new(8, 6, 3, Variant::Standard),
+            shape: ConvShape::from_ofms(1, 95, 95, 64, 64, 3),
+        },
+        StageBenchCase {
+            label: "g8ruse_4_5_fig8_64x64x64".into(),
+            spec: GammaSpec::new(8, 4, 5, Variant::Ruse),
+            shape: ConvShape::from_ofms(1, 64, 64, 64, 64, 5),
+        },
+        StageBenchCase {
+            label: "g16_8_9_32x32x64".into(),
+            spec: GammaSpec::new(16, 8, 9, Variant::Standard),
+            shape: ConvShape::from_ofms(1, 32, 32, 64, 64, 9),
+        },
+    ]
+}
+
 /// Scale an ofms batch size so the measured workload stays near
 /// `target_gflop` (quick mode). Returns `(scaled N, scale factor)`.
 pub fn scale_batch(ofms: Ofms, r: usize, target_gflop: f64) -> (usize, f64) {

@@ -14,6 +14,7 @@
 //! repro ablation-banks            §5.2 bank-conflict ablation
 //! repro ablation-variants         §5.4/§5.6 ruse/c64 ablation
 //! repro ablation-transforms       §5.3 simplified-transformation ablation
+//! repro bench-stages [--out p]    per-stage effective GFLOP/s (the BENCH_*.json perf trajectory)
 //! repro all [--quick]             everything above
 //! ```
 //!
@@ -24,5 +25,5 @@
 pub mod figures;
 pub mod runner;
 
-pub use figures::{scale_batch, AccuracyTable, Ofms, Panel, FIG8, FIG9, TABLE3};
+pub use figures::{scale_batch, stage_bench_cases, AccuracyTable, Ofms, Panel, StageBenchCase, FIG8, FIG9, TABLE3};
 pub use runner::*;

@@ -366,6 +366,132 @@ pub fn run_histogram(table: &AccuracyTable, bins: usize, hi: f64, target_gflop: 
     }
 }
 
+/// Effective rate of one pipeline stage over a stage-bench case: the
+/// paper-convention FLOPs of the whole run divided by the time attributed
+/// to this stage alone. The FLOP convention is fixed per shape, so the
+/// ratio of `gflops` across two commits is exactly the stage's speedup —
+/// this is the number `BENCH_*.json` trajectories compare.
+#[derive(Clone, Debug)]
+pub struct StageRate {
+    pub stage: &'static str,
+    pub ns: u64,
+    pub share: f64,
+    pub gflops: f64,
+}
+
+/// Outcome of one [`StageBenchCase`](crate::figures::StageBenchCase).
+#[derive(Clone, Debug)]
+pub struct StageBenchResult {
+    pub label: String,
+    pub shape: String,
+    pub kernel: String,
+    pub reps: usize,
+    pub wall_ns: u64,
+    /// End-to-end achieved GFLOP/s across the reps.
+    pub gflops: f64,
+    pub stages: Vec<StageRate>,
+}
+
+impl StageBenchResult {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::from(self.label.as_str())),
+            ("shape", Json::from(self.shape.as_str())),
+            ("kernel", Json::from(self.kernel.as_str())),
+            ("reps", Json::from(self.reps)),
+            ("wall_ns", Json::from(self.wall_ns)),
+            ("gflops", Json::from(self.gflops)),
+            (
+                "stages",
+                Json::Obj(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.stage.to_string(),
+                                Json::obj(vec![
+                                    ("ns", Json::from(s.ns)),
+                                    ("share", Json::from(s.share)),
+                                    ("gflops", Json::from(s.gflops)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The effective rate of one stage (0.0 when the stage never ran).
+    pub fn stage_gflops(&self, stage: &str) -> f64 {
+        self.stages.iter().find(|s| s.stage == stage).map_or(0.0, |s| s.gflops)
+    }
+}
+
+/// Run one stage-bench case with profiling on and derive per-stage rates.
+/// The warm-up rep runs before the counters are reset, so the transform
+/// caches and the thread pool are hot when measurement starts.
+pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize) -> StageBenchResult {
+    use iwino_obs as obs;
+    let shape = &case.shape;
+    let x = Tensor4::<f32>::random(shape.x_dims(), 41, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 42, -1.0, 1.0);
+    let opts = ConvOptions {
+        force_kernels: Some(vec![case.spec]),
+        ..Default::default()
+    };
+    drop(conv2d_opts(&x, &w, shape, &opts)); // warm-up
+    let reps = reps.max(1);
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::reset();
+    iwino_parallel::reset_global_stats();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        drop(conv2d_opts(&x, &w, shape, &opts));
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let snap = obs::snapshot();
+    obs::set_enabled(was_enabled);
+
+    let flops = snap.counter(iwino_obs::Counter::Flops) as f64;
+    let pipeline = [
+        iwino_obs::Stage::FilterTransform,
+        iwino_obs::Stage::InputTransform,
+        iwino_obs::Stage::OuterProduct,
+        iwino_obs::Stage::OutputTransform,
+        iwino_obs::Stage::GemmRemainder,
+    ];
+    let attributed: u64 = pipeline.iter().map(|&s| snap.stage_ns(s)).sum();
+    let stages = pipeline
+        .iter()
+        .filter(|&&s| snap.stage_ns(s) > 0)
+        .map(|&s| {
+            let ns = snap.stage_ns(s);
+            StageRate {
+                stage: s.name(),
+                ns,
+                share: if attributed > 0 {
+                    ns as f64 / attributed as f64
+                } else {
+                    0.0
+                },
+                gflops: flops / ns as f64,
+            }
+        })
+        .collect();
+    let (n, oh, ow, oc) = (shape.n, shape.oh(), shape.ow(), shape.oc);
+    StageBenchResult {
+        label: case.label.clone(),
+        shape: format!("{n}x{oh}x{ow}x{oc}"),
+        kernel: format!("{}", case.spec),
+        reps,
+        wall_ns,
+        gflops: if wall_ns > 0 { flops / wall_ns as f64 } else { 0.0 },
+        stages,
+    }
+}
+
 /// One row of `repro validate-model`: a pipeline stage with its measured
 /// (CPU, via `iwino-obs`) and predicted (gpu-sim op-count model) share.
 #[derive(Clone, Debug)]

@@ -246,50 +246,68 @@ fn run(
         static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
     }
 
+    // In-bounds filter rows for one output row — the dominant per-row cost
+    // factor: rows near the top/bottom image borders intersect fewer filter
+    // rows and are proportionally cheaper.
+    let in_bounds_fh = |oy: usize| {
+        (0..s.fh)
+            .filter(|&fh| {
+                let iy = oy as isize + fh as isize - s.ph as isize;
+                iy >= 0 && (iy as usize) < s.ih
+            })
+            .count()
+    };
+
     let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
-    par::parallel_for(s.n * oh, &|row| {
-        let out_row = parts.take(row);
-        let b = row / oh;
-        let oy = row % oh;
-        // Row plan: one entry per in-bounds filter row (plane = fh); rows
-        // falling outside the image are absent (implicit zero padding).
-        // Stack-allocated: FH ≤ 16 always holds for the 2-D path.
-        let mut rows_buf = [(0usize, 0usize); 16];
-        let mut row_count = 0usize;
-        for fh in 0..s.fh {
-            let iy = oy as isize + fh as isize - s.ph as isize;
-            if iy >= 0 && (iy as usize) < s.ih {
-                rows_buf[row_count] = (iy as usize * s.iw * s.ic, fh);
-                row_count += 1;
-            }
-        }
-        let job = RowJob {
-            x: &xs[b * img_elems..(b + 1) * img_elems],
-            rows: &rows_buf[..row_count],
-            iw: s.iw,
-            ic: s.ic,
-            pw: s.pw,
-            ow,
-            oc: s.oc,
-        };
+    // Cost-aware row ranges (~equal total cost per piece) instead of one
+    // task per row: boundary rows stop dragging the tail, and the scratch
+    // borrow is amortised over the whole range.
+    par::global().run_chunked_weighted(s.n * oh, &|row| in_bounds_fh(row % oh) as u64, &|range| {
         SCRATCH.with(|scratch| {
             let mut scratch = scratch.borrow_mut();
-            for (seg, k_idx) in plan.segments.iter().zip(&seg_kernels) {
-                match k_idx {
-                    Some(k) => {
-                        let (spec, kernel, tw) = &kernels[*k];
-                        kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut scratch);
-                    }
-                    None => {
-                        let wd = w_direct.as_ref().expect("direct filter was built");
-                        let _g = obs::span(obs::Stage::GemmRemainder);
-                        obs::add(obs::Counter::GemmRemainderCols, seg.len as u64);
-                        direct_row_segment(&job, wd.as_slice(), s.fw, seg.start, seg.len, out_row);
+            for row in range {
+                let out_row = parts.take(row);
+                let b = row / oh;
+                let oy = row % oh;
+                // Row plan: one entry per in-bounds filter row (plane =
+                // fh); rows falling outside the image are absent
+                // (implicit zero padding). Stack-allocated: FH ≤ 16
+                // always holds for the 2-D path.
+                let mut rows_buf = [(0usize, 0usize); 16];
+                let mut row_count = 0usize;
+                for fh in 0..s.fh {
+                    let iy = oy as isize + fh as isize - s.ph as isize;
+                    if iy >= 0 && (iy as usize) < s.ih {
+                        rows_buf[row_count] = (iy as usize * s.iw * s.ic, fh);
+                        row_count += 1;
                     }
                 }
+                let job = RowJob {
+                    x: &xs[b * img_elems..(b + 1) * img_elems],
+                    rows: &rows_buf[..row_count],
+                    iw: s.iw,
+                    ic: s.ic,
+                    pw: s.pw,
+                    ow,
+                    oc: s.oc,
+                };
+                for (seg, k_idx) in plan.segments.iter().zip(&seg_kernels) {
+                    match k_idx {
+                        Some(k) => {
+                            let (spec, kernel, tw) = &kernels[*k];
+                            kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut scratch);
+                        }
+                        None => {
+                            let wd = w_direct.as_ref().expect("direct filter was built");
+                            let _g = obs::span(obs::Stage::GemmRemainder);
+                            obs::add(obs::Counter::GemmRemainderCols, seg.len as u64);
+                            direct_row_segment(&job, wd.as_slice(), s.fw, seg.start, seg.len, out_row);
+                        }
+                    }
+                }
+                let _e = (!matches!(epilogue, Epilogue::None)).then(|| obs::span(obs::Stage::Epilogue));
+                epilogue.apply(out_row, s.oc);
             }
-            let _e = (!matches!(epilogue, Epilogue::None)).then(|| obs::span(obs::Stage::Epilogue));
-            epilogue.apply(out_row, s.oc);
         });
     });
     y

@@ -159,6 +159,16 @@ impl TransformedFilter {
         &self.data[base..base + self.oc]
     }
 
+    /// The contiguous `IC×OC` panel for `(plane, state)` — row `ic` of the
+    /// panel is [`TransformedFilter::row`]`(plane, s, ic)`. The FMA
+    /// microkernel walks this panel linearly, one bounds check per block
+    /// instead of one per `(ic, state)` pair.
+    #[inline]
+    pub fn panel(&self, fh: usize, s: usize) -> &[f32] {
+        let base = (fh * self.alpha + s) * self.ic * self.oc;
+        &self.data[base..base + self.ic * self.oc]
+    }
+
     /// Bytes held by the transformed bank (used by the memory accounting in
     /// the experiments).
     pub fn bytes(&self) -> usize {

@@ -8,10 +8,12 @@
 //!   `FH × (IC / BK)` times (the `fh`/`oic` loops of Algorithm 1);
 //! * per iteration the input tiles are gathered from the NHWC row (implicit
 //!   zero padding via bounds checks, §5), transformed with the *simplified*
-//!   `Dᵀ` (§5.3 even/odd pairing), and multiplied into the `α`-state
-//!   accumulators with an FMA loop that runs along the contiguous `oc` axis
-//!   of the transformed filter (the CPU analogue of the 8×(8×8) outer
-//!   products);
+//!   `Dᵀ` (§5.3 even/odd pairing) in [`crate::plan::LANE`]-wide channel
+//!   chunks, and multiplied into the `α`-state accumulators by a
+//!   register-blocked FMA microkernel that runs along the contiguous `oc`
+//!   axis of the transformed filter — the CPU analogue of the 8×(8×8)
+//!   outer products, with the accumulators held in `[f32; W]` stack arrays
+//!   across the whole channel lane (see `fma_tile` and its block helpers);
 //! * accumulation stays in the Winograd domain across `fh` **and** `ic` —
 //!   the defining trick of Im2col-Winograd — so a single output transform
 //!   per tile finishes the block (Algorithm 1's `transformOutput`).
@@ -28,9 +30,11 @@
 //!   `512/(α+2r)`.
 
 use crate::filter::TransformedFilter;
+use crate::plan::{BK, LANE};
 use iwino_obs as obs;
 use iwino_transforms::{PairedTransform, WinogradTransform};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -44,9 +48,9 @@ pub enum Variant {
     C64,
 }
 
-/// Channels gathered/transformed per inner block (the paper's `BK = 8` is
-/// sized for SMEM ports; on CPU a 32-wide channel panel fills cache lines).
-const BK: usize = 32;
+// `BK` (channel panel) and `LANE` (microkernel vector width) live in
+// `crate::plan` so the planner, the kernels, and the tests agree on the
+// lane-width invariant (`BK % LANE == 0`).
 
 /// A ready-to-run `Γα(n, r)` kernel: transform matrices in f32 with the
 /// §5.3 pairing plans, plus the block geometry.
@@ -104,18 +108,48 @@ pub struct Scratch {
     ytile: Vec<f32>,
 }
 
+/// Hard size bound of the process-wide kernel cache. The supported
+/// `(α, n, r, variant)` space is small — α ∈ {4, 8, 16} with `n + r = α + 1`,
+/// `n, r ≥ 2`, ≤ 2 variants each — under 60 legitimate combinations, so the
+/// bound is never hit by normal use; it exists so a caller generating
+/// arbitrary specs cannot grow the cache without limit.
+const KERNEL_CACHE_BOUND: usize = 64;
+
+/// Keyed-cache insert with a hard size bound: a resident value is cloned
+/// out; otherwise, if the map is full, an arbitrary resident entry is
+/// evicted first (hits are homogeneous and the cache tiny, so LRU
+/// bookkeeping would cost more than the rare regeneration it saves).
+fn bounded_insert<K: Eq + Hash + Clone, V: Clone>(
+    map: &mut HashMap<K, V>,
+    bound: usize,
+    key: K,
+    make: impl FnOnce() -> V,
+) -> V {
+    if let Some(v) = map.get(&key) {
+        return v.clone();
+    }
+    if map.len() >= bound.max(1) {
+        if let Some(evict) = map.keys().next().cloned() {
+            map.remove(&evict);
+        }
+    }
+    let v = make();
+    map.insert(key, v.clone());
+    v
+}
+
 /// Process-wide kernel cache: generating the transform matrices runs exact
 /// rational arithmetic (expensive for α = 16), and convolutions inside a
-/// training loop would otherwise pay it on every call.
+/// training loop would otherwise pay it on every call. Bounded to
+/// [`KERNEL_CACHE_BOUND`] entries.
 pub fn cached_kernel(alpha: usize, n: usize, r: usize, variant: Variant) -> Arc<GammaKernel> {
     type Cache = Mutex<HashMap<(usize, usize, usize, Variant), Arc<GammaKernel>>>;
     static CACHE: OnceLock<Cache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("kernel cache poisoned");
-    Arc::clone(
-        map.entry((alpha, n, r, variant))
-            .or_insert_with(|| Arc::new(GammaKernel::new(alpha, n, r, variant))),
-    )
+    bounded_insert(&mut map, KERNEL_CACHE_BOUND, (alpha, n, r, variant), || {
+        Arc::new(GammaKernel::new(alpha, n, r, variant))
+    })
 }
 
 impl GammaKernel {
@@ -385,10 +419,13 @@ fn gather_positions(
     }
 }
 
-/// The element-wise multiply stage for one tile: for every state `s` and
-/// block channel `i`, FMA the transformed input scalar against the filter's
-/// contiguous `oc` row — the paper's outer-product unit, laid out so the
-/// inner loop vectorises along `oc`.
+/// The element-wise multiply stage for one tile: for every state `s`, FMA
+/// the transformed input scalars against the filter's contiguous `IC×OC`
+/// panel — the paper's outer-product unit. Output channels are
+/// register-blocked (4·LANE, then LANE, then a scalar-width tail) so each
+/// block's accumulators stay in registers across the whole channel lane;
+/// per output element the `ic`-order summation is identical to a plain
+/// nested loop, keeping variants bitwise-comparable.
 #[allow(clippy::too_many_arguments)]
 fn fma_tile(
     acc: &mut [f32],
@@ -403,19 +440,58 @@ fn fma_tile(
     oc0: usize,
     ocb: usize,
 ) {
+    let oc = tw.oc;
     for s in 0..alpha {
-        let arow = &mut acc[(t * alpha + s) * bn..(t * alpha + s) * bn + ocb];
-        for i in 0..icb {
-            let v = tx[s * BK + i];
-            if v == 0.0 {
-                continue;
-            }
-            let wrow = &tw.row(plane, s, ic0 + i)[oc0..oc0 + ocb];
-            for (a, &w) in arow.iter_mut().zip(wrow) {
-                *a += v * w;
-            }
+        let base = (t * alpha + s) * bn;
+        let arow = &mut acc[base..base + ocb];
+        let txs = &tx[s * BK..s * BK + icb];
+        let panel = &tw.panel(plane, s)[ic0 * oc..];
+        let mut o = 0usize;
+        while o + 4 * LANE <= ocb {
+            fma_block::<{ 4 * LANE }>(&mut arow[o..o + 4 * LANE], txs, panel, oc, oc0 + o);
+            o += 4 * LANE;
+        }
+        while o + LANE <= ocb {
+            fma_block::<LANE>(&mut arow[o..o + LANE], txs, panel, oc, oc0 + o);
+            o += LANE;
+        }
+        if o < ocb {
+            fma_tail(&mut arow[o..], txs, panel, oc, oc0 + o);
         }
     }
+}
+
+/// One register block of the outer product: `arow[k] += Σ_i txs[i] ·
+/// panel[i·oc + o0 + k]` for `k < W`. The `W` accumulators live in an
+/// `[f32; W]` stack array loaded once and stored once, so the filter rows
+/// stream through while the partial sums never round-trip to memory.
+#[inline]
+fn fma_block<const W: usize>(arow: &mut [f32], txs: &[f32], panel: &[f32], oc: usize, o0: usize) {
+    let mut accv = [0.0f32; W];
+    accv.copy_from_slice(arow);
+    for (i, &v) in txs.iter().enumerate() {
+        let wrow = &panel[i * oc + o0..i * oc + o0 + W];
+        for (a, &w) in accv.iter_mut().zip(wrow) {
+            *a += v * w;
+        }
+    }
+    arow.copy_from_slice(&accv);
+}
+
+/// Remainder lane: the final `ocb % LANE` output channels, masked to the
+/// live prefix of one `[f32; LANE]` accumulator.
+fn fma_tail(arow: &mut [f32], txs: &[f32], panel: &[f32], oc: usize, o0: usize) {
+    let w = arow.len();
+    debug_assert!(w < LANE);
+    let mut accv = [0.0f32; LANE];
+    accv[..w].copy_from_slice(arow);
+    for (i, &v) in txs.iter().enumerate() {
+        let wrow = &panel[i * oc + o0..i * oc + o0 + w];
+        for (a, &s) in accv.iter_mut().zip(wrow) {
+            *a += v * s;
+        }
+    }
+    arow.copy_from_slice(&accv[..w]);
 }
 
 /// Direct (GEMM-style) computation of a row segment, used for the boundary
@@ -515,5 +591,38 @@ mod tests {
         let mut dst = vec![0.0f32; BK];
         gather_positions(&x_row, 1, 4, 2, 2, 0, 1, &mut dst);
         assert_eq!(&dst[0..2], &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn bounded_insert_caps_len_and_reuses_residents() {
+        let mut m: HashMap<usize, usize> = HashMap::new();
+        for i in 0..100 {
+            let v = bounded_insert(&mut m, 8, i, || i * 10);
+            assert_eq!(v, i * 10);
+            assert!(m.len() <= 8, "cache grew past its bound: {}", m.len());
+        }
+        assert_eq!(m.len(), 8);
+        // A resident key is cloned out, never rebuilt (and never evicts).
+        let k = *m.keys().next().unwrap();
+        let v = bounded_insert(&mut m, 8, k, || panic!("resident key must not be rebuilt"));
+        assert_eq!(v, k * 10);
+        assert_eq!(m.len(), 8);
+    }
+
+    /// Reuse and bounding of the real kernel cache live in ONE test: an
+    /// eviction exercise in a parallel test could otherwise race the
+    /// `Arc::ptr_eq` check (the cache is process-global).
+    #[test]
+    fn cached_kernel_reuses_across_calls() {
+        let a = cached_kernel(8, 6, 3, Variant::Standard);
+        let b = cached_kernel(8, 6, 3, Variant::Standard);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "repeated conv2d calls must share one generated kernel"
+        );
+        // Legitimate spec space fits the bound with headroom: α ∈ {4, 8, 16},
+        // n + r = α + 1, n, r ≥ 2, ≤ 2 variants each.
+        let combos: usize = [4usize, 8, 16].iter().map(|&a| (a - 2) * 2).sum();
+        assert!(combos <= KERNEL_CACHE_BOUND, "{combos} legit combos exceed the bound");
     }
 }

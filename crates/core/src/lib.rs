@@ -59,6 +59,8 @@ pub use filter::TransformedFilter;
 pub use grad::filter_grad;
 pub use kernel::{GammaKernel, Variant};
 pub use nd::{conv3d, conv3d_opts};
-pub use plan::{default_kernel_prefs, winograd2d_loads_per_output, GammaSpec, KernelChoice, Segment, SegmentPlan};
+pub use plan::{
+    default_kernel_prefs, winograd2d_loads_per_output, GammaSpec, KernelChoice, Segment, SegmentPlan, BK, LANE,
+};
 pub use precision::{conv2d_f64, error_decomposition, ErrorDecomposition};
 pub use workspace::{workspace_bytes, workspace_ratio, AlgorithmClass};

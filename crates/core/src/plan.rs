@@ -13,6 +13,22 @@
 use crate::kernel::Variant;
 use std::fmt;
 
+/// Vector lane width of the channel-chunk microkernels: 8 f32 = one 256-bit
+/// register. Every hot loop in [`crate::kernel`] and the paired transforms
+/// walks channels in unrolled lanes of this width (plus one remainder lane
+/// for `IC % LANE ≠ 0`), so rustc autovectorises each lane to SIMD.
+pub const LANE: usize = 8;
+
+/// Channel-panel size `BK`: channels gathered/transformed per inner kernel
+/// block. The paper's `BK = 8` is sized for SMEM ports; on CPU a panel of
+/// four lanes fills cache lines while staying small enough that the `α×BK`
+/// transformed tile lives in L1. Must stay a multiple of [`LANE`] — the
+/// microkernels split `BK` into exact lanes and only the *final* partial
+/// panel (`IC % BK`) may engage the remainder lane.
+pub const BK: usize = 4 * LANE;
+
+const _: () = assert!(BK.is_multiple_of(LANE), "channel panel must be a whole number of lanes");
+
 /// A `Γα(n, r)` kernel selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GammaSpec {
@@ -395,6 +411,14 @@ mod tests {
         assert_eq!(g.phi(), 2.25);
         assert!(g.loads_per_output_2d() < winograd2d_loads_per_output(2, 3));
         assert!(g.states() < 4 * 4);
+    }
+
+    #[test]
+    fn lane_width_invariant() {
+        // The planner's channel panel is a whole number of microkernel
+        // lanes, and the transforms crate unrolls to the same lane width.
+        assert_eq!(BK % LANE, 0);
+        assert_eq!(LANE, iwino_transforms::LANE);
     }
 
     #[test]

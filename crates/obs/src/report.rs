@@ -7,7 +7,7 @@
 //!   "schema_version": 1,
 //!   "label": "<workload name>",
 //!   "wall_ns": <u64>,                    // end-to-end wall time
-//!   "stages": { "<stage>": {"ns", "hits", "share"} , ... },
+//!   "stages": { "<stage>": {"ns", "hits", "share", "gflops"} , ... },
 //!   "counters": { "<counter>": <u64>, ... },
 //!   "derived": { "gflops", "arithmetic_intensity", "bytes_total", ... },
 //!   "pool": { "threads", "jobs", "caller_share", "utilization",
@@ -55,6 +55,19 @@ impl MetricsReport {
         self.snapshot.counter(Counter::Flops) as f64 / self.wall_ns as f64
     }
 
+    /// Effective GFLOP/s of one stage: the run's paper-convention FLOPs
+    /// over the time attributed to that stage alone — "the rate the run
+    /// would achieve if this stage were the whole pipeline". Because the
+    /// FLOP convention is fixed per shape, the ratio of this number across
+    /// two commits is exactly the stage's speedup.
+    pub fn stage_gflops(&self, stage: Stage) -> f64 {
+        let ns = self.snapshot.stage_ns(stage);
+        if ns == 0 {
+            return 0.0;
+        }
+        self.snapshot.counter(Counter::Flops) as f64 / ns as f64
+    }
+
     /// FLOPs per byte moved (loads + stores recorded by the kernels).
     pub fn arithmetic_intensity(&self) -> f64 {
         let bytes = self.snapshot.counter(Counter::BytesLoaded) + self.snapshot.counter(Counter::BytesStored);
@@ -76,6 +89,7 @@ impl MetricsReport {
                         ("ns", Json::from(snap.stage_ns(s))),
                         ("hits", Json::from(snap.stage_hits(s))),
                         ("share", Json::from(snap.stage_share(s))),
+                        ("gflops", Json::from(self.stage_gflops(s))),
                     ]),
                 )
             })
@@ -146,6 +160,9 @@ mod tests {
         };
         assert!((report.gflops() - 2.0).abs() < 1e-12);
         assert!((report.arithmetic_intensity() - 2.0).abs() < 1e-12);
+        // 2e6 FLOPs over 750 ns in the outer product: 2666.67 "GFLOP/s".
+        assert!((report.stage_gflops(Stage::OuterProduct) - 2_000_000.0 / 750.0).abs() < 1e-9);
+        assert_eq!(report.stage_gflops(Stage::Epilogue), 0.0);
         let json = report.to_json().pretty();
         assert!(json.contains("\"schema_version\": 1"));
         assert!(json.contains("\"label\": \"unit\""));

@@ -274,6 +274,45 @@ impl ThreadPool {
         });
     }
 
+    /// Cost-aware variant of [`ThreadPool::run_chunked`]: `cost(i)` estimates
+    /// the relative work of index `i` (absolute scale is irrelevant; zero is
+    /// treated as one), and `0..n` is cut into contiguous pieces of roughly
+    /// equal *total cost*, ~4 pieces per lane. With uniform costs this
+    /// degenerates to the fixed splitter; with skewed costs (e.g. boundary
+    /// output rows that intersect fewer filter rows) it keeps the expensive
+    /// indices spread across lanes instead of letting one lane drag the
+    /// tail. `cost` runs once per index on the submitting thread, so it must
+    /// be cheap relative to `task`.
+    pub fn run_chunked_weighted(
+        &self,
+        n: usize,
+        cost: &dyn Fn(usize) -> u64,
+        task: &(dyn Fn(std::ops::Range<usize>) + Sync),
+    ) {
+        if n == 0 {
+            return;
+        }
+        let costs: Vec<u64> = (0..n).map(|i| cost(i).max(1)).collect();
+        let total: u64 = costs.iter().sum();
+        let pieces_target = (self.threads * 4).clamp(1, n) as u64;
+        let per_piece = total.div_ceil(pieces_target);
+        let mut pieces: Vec<std::ops::Range<usize>> = Vec::with_capacity(pieces_target as usize + 1);
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for (i, &c) in costs.iter().enumerate() {
+            acc += c;
+            if acc >= per_piece {
+                pieces.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < n {
+            pieces.push(start..n);
+        }
+        self.run(pieces.len(), &|p| task(pieces[p].clone()));
+    }
+
     /// Fold one job's per-lane stats into the pool's cumulative totals.
     /// A lane's idle time is the job's wall time it did not spend running
     /// chunks — for workers that includes the wake-up latency, for the
@@ -390,6 +429,11 @@ pub fn parallel_for(n: usize, task: &(dyn Fn(usize) + Sync)) {
 /// Convenience: `global().run_chunked(n, min_chunk, task)`.
 pub fn parallel_for_chunked(n: usize, min_chunk: usize, task: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
     global().run_chunked(n, min_chunk, task);
+}
+
+/// Convenience: `global().run_chunked_weighted(n, cost, task)`.
+pub fn parallel_for_weighted(n: usize, cost: &dyn Fn(usize) -> u64, task: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+    global().run_chunked_weighted(n, cost, task);
 }
 
 /// Zero the global pool's cumulative utilization stats.

@@ -1,0 +1,160 @@
+//! Stress tests for [`ThreadPool::run_chunked`] / [`run_chunked_weighted`]:
+//! skewed per-index costs, a 1-thread pool, and a pool oversubscribed well
+//! past the core count. The invariants under test:
+//!
+//! * every index in `0..n` is executed exactly once (none dropped, none
+//!   run twice), no matter how the cost profile shapes the pieces;
+//! * the pieces handed to the task are contiguous and in-bounds;
+//! * the pool's cumulative [`PoolReport`] accounts for exactly the chunks
+//!   submitted — per-lane chunk counts sum to the number of task
+//!   invocations, and one job is recorded per `run_*` call.
+//!
+//! Each test builds its own pool (never the global one), so the report
+//! totals are exact without cross-test serialisation.
+
+use iwino_parallel::ThreadPool;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Skewed cost model: most indices are cheap, every 31st is ~300× the base,
+/// and every 97th is ~30 000× — the shape that makes fixed-size chunking
+/// leave one lane dragging the tail.
+fn skewed_cost(i: usize) -> u64 {
+    match () {
+        _ if i.is_multiple_of(97) => 30_000,
+        _ if i.is_multiple_of(31) => 300,
+        _ => 1,
+    }
+}
+
+/// Run `f` over `0..n` via the given submit closure and assert exactly-once
+/// coverage plus report consistency. Returns the number of task invocations.
+fn check_exactly_once(
+    pool: &ThreadPool,
+    n: usize,
+    submit: impl Fn(&ThreadPool, &(dyn Fn(std::ops::Range<usize>) + Sync)),
+) -> u64 {
+    // Pool utilization stats are only collected while obs is enabled. The
+    // flag is process-global, but every test here wants it on and this
+    // binary is its own process, so there is nothing to restore.
+    iwino_obs::set_enabled(true);
+    let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let pieces = AtomicU64::new(0);
+    pool.reset_stats();
+    submit(pool, &|range: std::ops::Range<usize>| {
+        assert!(range.start < range.end, "empty piece submitted: {range:?}");
+        assert!(range.end <= n, "piece out of bounds: {range:?} (n = {n})");
+        pieces.fetch_add(1, Ordering::Relaxed);
+        for i in range {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} not executed exactly once");
+    }
+    let pieces = pieces.load(Ordering::Relaxed);
+    let report = pool.report();
+    assert_eq!(report.threads, pool.threads());
+    assert_eq!(report.jobs, 1, "one run_* call must record one job");
+    assert_eq!(report.workers.len(), pool.threads());
+    // The report counts dynamic *claims* of the piece-index space: the
+    // serial path (single-lane pool, or a one-piece job) records exactly one
+    // chunk; the threaded path claims `cs = max(1, pieces/(threads·4))`
+    // piece indices at a time, so exactly ⌈pieces/cs⌉ claims succeed.
+    let chunk_total: u64 = report.workers.iter().map(|w| w.chunks).sum();
+    let expected = if pool.threads() == 1 || pieces == 1 {
+        1
+    } else {
+        let cs = (pieces as usize / (pool.threads() * 4)).max(1);
+        (pieces as usize).div_ceil(cs) as u64
+    };
+    assert_eq!(
+        chunk_total, expected,
+        "lane chunk counts must account for every claim (pieces = {pieces})"
+    );
+    pieces
+}
+
+#[test]
+fn weighted_skewed_costs_cover_all_indices() {
+    for threads in [1usize, 2, 4, 32] {
+        let pool = ThreadPool::new(threads);
+        for n in [1usize, 7, 97, 1000] {
+            let pieces = check_exactly_once(&pool, n, |p, task| {
+                p.run_chunked_weighted(n, &skewed_cost, task);
+            });
+            assert!(pieces as usize <= n, "cannot have more pieces than indices");
+        }
+    }
+}
+
+#[test]
+fn weighted_zero_and_uniform_costs() {
+    let pool = ThreadPool::new(4);
+    // Zero costs are clamped to one — the splitter must not divide by zero
+    // or emit a single giant piece by mistake.
+    check_exactly_once(&pool, 256, |p, task| {
+        p.run_chunked_weighted(256, &|_| 0, task);
+    });
+    // Uniform costs degenerate to near-equal pieces.
+    let pieces = check_exactly_once(&pool, 256, |p, task| {
+        p.run_chunked_weighted(256, &|_| 1, task);
+    });
+    assert!(pieces > 1, "a 4-lane pool should split 256 uniform indices");
+}
+
+#[test]
+fn weighted_one_expensive_index_among_many() {
+    // The adversarial profile: index 0 costs as much as everything else
+    // combined. The splitter must still cover every index exactly once and
+    // must not hand the whole range to one piece.
+    let pool = ThreadPool::new(4);
+    let n = 512usize;
+    let pieces = check_exactly_once(&pool, n, |p, task| {
+        p.run_chunked_weighted(n, &|i| if i == 0 { (n as u64) * 4 } else { 1 }, task);
+    });
+    assert!(pieces >= 2, "expensive head must not absorb the whole range");
+}
+
+#[test]
+fn fixed_chunking_matches_weighted_coverage() {
+    for threads in [1usize, 32] {
+        let pool = ThreadPool::new(threads);
+        for (n, min_chunk) in [(1000usize, 7usize), (97, 1), (5, 100)] {
+            let pieces = check_exactly_once(&pool, n, |p, task| {
+                p.run_chunked(n, min_chunk, task);
+            });
+            assert_eq!(pieces as usize, n.div_ceil(min_chunk.max(1)));
+        }
+    }
+}
+
+#[test]
+fn single_thread_pool_runs_everything_on_caller() {
+    let pool = ThreadPool::new(1);
+    check_exactly_once(&pool, 300, |p, task| {
+        p.run_chunked_weighted(300, &skewed_cost, task);
+    });
+    let report = pool.report();
+    // One lane: the caller executed every chunk.
+    assert_eq!(report.caller_share(), 1.0);
+}
+
+#[test]
+fn oversubscribed_pool_with_fewer_indices_than_lanes() {
+    // 32 lanes, 9 indices: most lanes get nothing; nothing may be dropped
+    // or duplicated and the report must still balance.
+    let pool = ThreadPool::new(32);
+    check_exactly_once(&pool, 9, |p, task| {
+        p.run_chunked_weighted(9, &skewed_cost, task);
+    });
+}
+
+#[test]
+fn empty_range_is_a_noop() {
+    iwino_obs::set_enabled(true);
+    let pool = ThreadPool::new(4);
+    pool.reset_stats();
+    pool.run_chunked_weighted(0, &|_| 1, &|_r| panic!("task must not run for n = 0"));
+    pool.run_chunked(0, 8, &|_r| panic!("task must not run for n = 0"));
+    assert_eq!(pool.report().jobs, 0);
+}

@@ -28,7 +28,7 @@ pub mod paired;
 
 pub use matrix::Matrix;
 pub use opcount::{effective_phi, gamma_op_count, standard_op_count, OpCount};
-pub use paired::PairedTransform;
+pub use paired::{PairedTransform, LANE};
 
 use iwino_rational::{Poly, Rational};
 

@@ -16,6 +16,24 @@
 
 use crate::Matrix;
 
+/// Vector lane width of the strided executors: 8 f32 = one 256-bit register.
+/// Must equal `iwino_core::plan::LANE` (checked by a test there); the kernels
+/// size their channel panels in multiples of it so the lane loops below run
+/// `chunks_exact` with no per-chunk remainder handling.
+pub const LANE: usize = 8;
+
+/// Upper bound on the transform dimension `α` the strided executor's stack
+/// coefficient buffer holds. Every kernel in this repo has `α ≤ 16`; the
+/// headroom keeps the bound out of the way of experiments.
+const MAX_COLS: usize = 64;
+
+/// Channel-chunk width of the strided executor: 8 lanes. The accumulators
+/// are `[f32; CHUNK]` stack arrays, sized so the per-coefficient loop
+/// overhead (zero-skip branch, slice bounds) amortises over a long
+/// vectorised inner loop — at [`LANE`]-sized chunks that overhead is paid
+/// once per 256-bit op and dominates the transform.
+const CHUNK: usize = 8 * LANE;
+
 /// One step of a paired transform plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PlanStep {
@@ -141,54 +159,81 @@ impl PairedTransform {
     ///
     /// This is the NHWC-friendly layout: the lanes are contiguous channels,
     /// so the inner loops vectorise along the channel axis, exactly the
-    /// access-continuity argument of §3/§4.2.
+    /// access-continuity argument of §3/§4.2. Channels are swept in
+    /// [`CHUNK`]-wide blocks (8 SIMD lanes) held in stack accumulators — no
+    /// heap traffic on this hot path — with one remainder block for
+    /// `width % CHUNK`; within a block the coefficient loop is outermost so
+    /// its zero-skip branch amortises over a long vectorised inner loop.
+    /// Per output element the summation order is identical to the scalar
+    /// executor: even/odd partial sums in column order, then `e + o` /
+    /// `e − o`.
     pub fn apply_f32_strided(&self, x: &[f32], x_stride: usize, out: &mut [f32], out_stride: usize, width: usize) {
         assert!(x_stride >= width && out_stride >= width);
         assert!(x.len() >= (self.cols - 1) * x_stride + width);
         assert!(out.len() >= (self.rows - 1) * out_stride + width);
-        let mut even = vec![0.0f32; width];
-        let mut odd = vec![0.0f32; width];
-        for step in &self.plan {
-            match *step {
-                PlanStep::Pair { row } => {
-                    even.fill(0.0);
-                    odd.fill(0.0);
-                    for j in 0..self.cols {
-                        let m = self.coeff(row, j) as f32;
-                        if m == 0.0 {
-                            continue;
-                        }
-                        let src = &x[j * x_stride..j * x_stride + width];
-                        let dst = if j % 2 == 0 { &mut even } else { &mut odd };
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d += m * s;
-                        }
-                    }
-                    let (lo, hi) = out.split_at_mut((row + 1) * out_stride);
-                    let o0 = &mut lo[row * out_stride..row * out_stride + width];
-                    for c in 0..width {
-                        o0[c] = even[c] + odd[c];
-                    }
-                    let o1 = &mut hi[..width];
-                    for (c, o) in o1.iter_mut().enumerate() {
-                        *o = even[c] - odd[c];
-                    }
+        assert!(
+            self.cols <= MAX_COLS,
+            "transform dimension {} exceeds the lane executor's coefficient buffer ({MAX_COLS}); \
+             every Γα(n,r) kernel has α ≤ 16",
+            self.cols
+        );
+        let mut mbuf = [0.0f32; MAX_COLS];
+        for c0 in (0..width).step_by(CHUNK) {
+            let w = CHUNK.min(width - c0);
+            for step in &self.plan {
+                let row = match *step {
+                    PlanStep::Pair { row } | PlanStep::Single { row } => row,
+                };
+                for (j, m) in mbuf[..self.cols].iter_mut().enumerate() {
+                    *m = self.coeff(row, j) as f32;
                 }
-                PlanStep::Single { row } => {
-                    let dst_base = row * out_stride;
-                    out[dst_base..dst_base + width].fill(0.0);
-                    for j in 0..self.cols {
-                        let m = self.coeff(row, j) as f32;
-                        if m == 0.0 {
-                            continue;
-                        }
-                        let src_base = j * x_stride;
-                        for c in 0..width {
-                            out[dst_base + c] += m * x[src_base + c];
-                        }
-                    }
-                }
+                let paired = matches!(*step, PlanStep::Pair { .. });
+                Self::step_chunk(&mbuf[..self.cols], paired, x, x_stride, out, out_stride, row, c0, w);
             }
+        }
+    }
+
+    /// One channel block of one plan step: channels `[c0, c0 + w)`,
+    /// `w ≤ CHUNK`. The accumulators are `[f32; CHUNK]` stack arrays; each
+    /// non-zero coefficient contributes one `w`-long FMA pass that rustc
+    /// autovectorises into [`LANE`]-wide ops.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn step_chunk(
+        coeffs: &[f32],
+        paired: bool,
+        x: &[f32],
+        x_stride: usize,
+        out: &mut [f32],
+        out_stride: usize,
+        row: usize,
+        c0: usize,
+        w: usize,
+    ) {
+        debug_assert!((1..=CHUNK).contains(&w));
+        let mut even = [0.0f32; CHUNK];
+        let mut odd = [0.0f32; CHUNK];
+        for (j, &m) in coeffs.iter().enumerate() {
+            if m == 0.0 {
+                continue;
+            }
+            let src = &x[j * x_stride + c0..j * x_stride + c0 + w];
+            let dst = if paired && j % 2 != 0 { &mut odd } else { &mut even };
+            for (d, &s) in dst[..w].iter_mut().zip(src) {
+                *d += m * s;
+            }
+        }
+        let o0 = &mut out[row * out_stride + c0..row * out_stride + c0 + w];
+        if !paired {
+            o0.copy_from_slice(&even[..w]);
+            return;
+        }
+        for (c, o) in o0.iter_mut().enumerate() {
+            *o = even[c] + odd[c];
+        }
+        let o1 = &mut out[(row + 1) * out_stride + c0..(row + 1) * out_stride + c0 + w];
+        for (c, o) in o1.iter_mut().enumerate() {
+            *o = even[c] - odd[c];
         }
     }
 

@@ -5,11 +5,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== no #[ignore]d tests in tier-1 files =="
+# The tier-1 gate is `cargo test -q` over crates/, src/ and tests/; an
+# #[ignore] there silently removes a test from the gate, so it fails loudly
+# here instead. (vendored/ is exempt: it mirrors upstream APIs.)
+if grep -rn --include='*.rs' '#\[ignore' crates src tests; then
+  echo "error: #[ignore]d tests are not allowed in tier-1 files (crates/, src/, tests/)" >&2
+  exit 1
+fi
+
 echo "== cargo build --release =="
 cargo build --offline --release
 
 echo "== cargo test -q (workspace) =="
 cargo test --offline --workspace -q
+
+echo "== property tests (fixed PROPTEST_CASES budget) =="
+# The Γ conformance net honours PROPTEST_CASES (vendored/proptest); pin an
+# explicit budget above the 32-case default so the remainder-lane sweep is
+# deeper here than in the quick workspace pass, and reproducible.
+PROPTEST_CASES=64 cargo test --offline -q --test gamma_conformance
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -58,6 +58,7 @@ pub use iwino_baselines as baselines;
 pub use iwino_core as core;
 pub use iwino_gpu_sim as gpu_sim;
 pub use iwino_nn as nn;
+pub use iwino_obs as obs;
 pub use iwino_parallel as parallel;
 pub use iwino_rational as rational;
 pub use iwino_tensor as tensor;

@@ -1,0 +1,106 @@
+//! Property-test conformance net for every supported `Γα(n, r)` kernel.
+//!
+//! The channel-chunk microkernels in `iwino-core::kernel` walk IC/OC in
+//! unrolled lanes of `LANE = 8` f32 with a remainder lane for the final
+//! partial chunk. These tests force each kernel (no planner heuristics) on
+//! channel counts deliberately *not* divisible by 8 — {3, 5, 7, 9, 17} —
+//! so every case exercises the remainder lane (and 17 = 2·8 + 1 exercises
+//! full lanes *plus* the remainder), and on output widths `OW ∈ [n, 3n]`
+//! so exact covers, ±1 raggedness, and the GEMM remainder segment all come
+//! up. Agreement is checked against the f64 direct reference.
+//!
+//! The case budget honours `PROPTEST_CASES` (see `scripts/check.sh`).
+
+use im2col_winograd::baselines::direct_conv_f64_ref;
+use im2col_winograd::prelude::*;
+use im2col_winograd::tensor::{max_mixed_error, ErrorStats};
+use proptest::prelude::*;
+
+/// Channel counts that are all coprime-ish with the lane width 8: each one
+/// forces the remainder lane, and 17 also runs two full lanes first.
+const ODD_CHANNELS: [usize; 5] = [3, 5, 7, 9, 17];
+
+/// Every `(n, r)` the `Γα` family supports for this `α` with `r ∈ 2..=9`:
+/// `α = n + r − 1` and output tiles of at least 2.
+fn combos(alpha: usize) -> Vec<(usize, usize)> {
+    (2..=9)
+        .filter_map(|r| {
+            let n = (alpha + 1).checked_sub(r)?;
+            (n >= 2).then_some((n, r))
+        })
+        .collect()
+}
+
+/// Run one forced-kernel conv against the f64 direct reference.
+///
+/// `lo..hi` is the input distribution: sign-varying `[-1, 1)` for the
+/// well-conditioned α ∈ {4, 8} transforms, the paper's positive `[1, 2)`
+/// for α = 16 whose transform entries span ~10 orders of magnitude
+/// (§6.2.2 conditioning).
+#[allow(clippy::too_many_arguments)]
+fn check_forced(alpha: usize, n: usize, r: usize, variant: Variant, ic: usize, oc: usize, ow: usize, seed: u64) {
+    let s = ConvShape::square(1, ow, ic, oc, r);
+    let (lo, hi) = if alpha == 16 { (1.0, 2.0) } else { (-1.0, 1.0) };
+    let x = Tensor4::<f32>::random(s.x_dims(), seed, lo, hi);
+    let w = Tensor4::<f32>::random(s.w_dims(), seed ^ 0x9e3779b97f4a7c15, lo, hi);
+    let want = direct_conv_f64_ref(&x, &w, &s);
+    let opts = ConvOptions {
+        force_kernels: Some(vec![GammaSpec::new(alpha, n, r, variant)]),
+        ..Default::default()
+    };
+    let got = conv2d_opts(&x, &w, &s, &opts);
+    if alpha == 16 {
+        let stats = ErrorStats::between(&got, &want);
+        assert!(
+            stats.mean < 1e-3,
+            "Γ{alpha}(n={n}, r={r}, {variant:?}) ic={ic} oc={oc} ow={ow}: {stats:?}"
+        );
+    } else {
+        let e = max_mixed_error(&got, &want);
+        assert!(
+            e < 5e-4,
+            "Γ{alpha}(n={n}, r={r}, {variant:?}) ic={ic} oc={oc} ow={ow}: error {e}"
+        );
+    }
+}
+
+/// Sweep every combo of one α family for a sampled channel/width/seed case.
+fn check_family(alpha: usize, variant: Variant, ici: usize, oci: usize, oww: usize, seed: u64) {
+    for (n, r) in combos(alpha) {
+        // OW ∈ [n, 3n]: k·n exact covers, k·n ± 1, and GEMM remainders.
+        let ow = n + oww % (2 * n + 1);
+        check_forced(alpha, n, r, variant, ODD_CHANNELS[ici], ODD_CHANNELS[oci], ow, seed);
+    }
+}
+
+proptest! {
+    #[test]
+    fn gamma4_standard_remainder_lanes(ici in 0usize..5, oci in 0usize..5, oww in 0usize..64, seed in 0u64..1_000_000) {
+        check_family(4, Variant::Standard, ici, oci, oww, seed);
+    }
+
+    #[test]
+    fn gamma8_standard_remainder_lanes(ici in 0usize..5, oci in 0usize..5, oww in 0usize..64, seed in 0u64..1_000_000) {
+        check_family(8, Variant::Standard, ici, oci, oww, seed);
+    }
+
+    #[test]
+    fn gamma16_standard_remainder_lanes(ici in 0usize..5, oci in 0usize..5, oww in 0usize..64, seed in 0u64..1_000_000) {
+        check_family(16, Variant::Standard, ici, oci, oww, seed);
+    }
+
+    #[test]
+    fn gamma_ruse_remainder_lanes(ici in 0usize..5, oci in 0usize..5, oww in 0usize..64, seed in 0u64..1_000_000) {
+        // The §5.4 reuse variant shares the microkernel FMA path but gathers
+        // one overlapping strip per block; sweep it across every family too.
+        for alpha in [4usize, 8, 16] {
+            check_family(alpha, Variant::Ruse, ici, oci, oww, seed);
+        }
+    }
+
+    #[test]
+    fn gamma16_c64_remainder_lanes(ici in 0usize..5, oci in 0usize..5, oww in 0usize..64, seed in 0u64..1_000_000) {
+        // §5.6 enlarged cache block is only defined for α = 16.
+        check_family(16, Variant::C64, ici, oci, oww, seed);
+    }
+}

@@ -62,8 +62,16 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         // Upstream defaults to 256; 32 keeps the exact-arithmetic suites
-        // fast in debug builds while still sweeping the input space.
-        ProptestConfig { cases: 32 }
+        // fast in debug builds while still sweeping the input space. Like
+        // upstream, the `PROPTEST_CASES` environment variable overrides the
+        // default (CI pins it so the budget is explicit); tests that pass
+        // `with_cases` keep their fixed count.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(32);
+        ProptestConfig { cases }
     }
 }
 
