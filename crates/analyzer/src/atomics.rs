@@ -1,0 +1,133 @@
+//! Pass 3 — the atomics / concurrency lint.
+//!
+//! Every `Ordering::Relaxed` (or bare imported `Relaxed`) and every
+//! `static mut` in production code must carry a `// ORDERING:`
+//! justification on the same line or in an adjacent comment (within
+//! [`crate::unsafe_audit::DOC_WINDOW`] code lines) — the argument for why no
+//! stronger ordering is needed (counter monotonicity, gate-tearing
+//! tolerance, an external happens-before edge like a mutex or a join).
+//!
+//! Scope: test code is exempt. That means files under `tests/`, `benches/`
+//! or `examples/` directories, and — inside library files — everything at
+//! or below the first `#[cfg(test)]` line. (The workspace convention puts
+//! the `#[cfg(test)] mod tests` block at the end of the file, which the
+//! workspace's own clean run depends on; the heuristic is deliberately
+//! conservative in that direction — it can only under-lint test code,
+//! never skip production code.)
+
+use crate::diag::{Finding, Pass};
+use crate::scan::{documented, has_word, ScannedFile};
+use crate::unsafe_audit::DOC_WINDOW;
+
+/// Path components that mark a file as test/bench/example code.
+const EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples"];
+
+fn is_exempt_path(rel_path: &str) -> bool {
+    rel_path.split('/').any(|part| EXEMPT_DIRS.contains(&part))
+}
+
+/// Lint every file, returning one finding per undocumented site.
+pub fn lint_atomics(files: &[ScannedFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if is_exempt_path(&file.rel_path) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.code.contains("#[cfg(test)]") {
+                break;
+            }
+            let relaxed = has_word(&line.code, "Relaxed");
+            let static_mut = line.code.contains("static mut ");
+            if !(relaxed || static_mut) {
+                continue;
+            }
+            if documented(&file.lines, idx, "ORDERING:", DOC_WINDOW) {
+                continue;
+            }
+            let what = if static_mut {
+                "`static mut`"
+            } else {
+                "`Ordering::Relaxed`"
+            };
+            findings.push(Finding::new(
+                Pass::AtomicsLint,
+                &file.rel_path,
+                idx + 1,
+                format!("{what} without an adjacent `// ORDERING:` justification (within {DOC_WINDOW} lines)"),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_str;
+
+    fn file(rel_path: &str, src: &str) -> ScannedFile {
+        ScannedFile {
+            rel_path: rel_path.to_string(),
+            lines: scan_str(src),
+        }
+    }
+
+    #[test]
+    fn flags_undocumented_relaxed() {
+        let f = file(
+            "crates/obs/src/lib.rs",
+            "fn bump(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        let findings = lint_atomics(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("ORDERING:"));
+    }
+
+    #[test]
+    fn documented_relaxed_passes() {
+        let f = file(
+            "crates/obs/src/lib.rs",
+            "fn bump(c: &AtomicU64) {\n    // ORDERING: monotonic counter, no data published through it.\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(lint_atomics(&[f]).is_empty());
+    }
+
+    #[test]
+    fn one_comment_covers_a_cluster() {
+        let f = file(
+            "crates/parallel/src/lib.rs",
+            "// ORDERING: all three are monotonic counters.\na.store(0, Ordering::Relaxed);\nb.store(0, Ordering::Relaxed);\nc.store(0, Ordering::Relaxed);\n",
+        );
+        assert!(lint_atomics(&[f]).is_empty());
+    }
+
+    #[test]
+    fn static_mut_is_flagged() {
+        let f = file("crates/core/src/lib.rs", "static mut GLOBAL: u32 = 0;\n");
+        let findings = lint_atomics(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("static mut"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let in_tests_dir = file(
+            "crates/parallel/tests/stress.rs",
+            "c.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert!(lint_atomics(&[in_tests_dir]).is_empty());
+        let after_cfg_test = file(
+            "crates/obs/src/lib.rs",
+            "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { c.load(Ordering::Relaxed); }\n}\n",
+        );
+        assert!(lint_atomics(&[after_cfg_test]).is_empty());
+        // …but production code *above* the cfg(test) marker is still linted.
+        let above = file(
+            "crates/obs/src/lib.rs",
+            "pub fn bad() { c.load(Ordering::Relaxed); }\n#[cfg(test)]\nmod tests {}\n",
+        );
+        assert_eq!(lint_atomics(&[above]).len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Findings and rustc-style diagnostics.
+
+use iwino_obs::Json;
+use std::fmt;
+
+/// Which analysis pass produced a finding. The code strings appear inside
+/// the `error[...]` bracket of the printed diagnostic and as the `"pass"`
+/// field of the JSON report, so they are part of the tool's interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// Symbolic Γα(n, r) transform verification + coefficient-bound snapshot.
+    TransformVerify,
+    /// `unsafe` allowlist / `// SAFETY:` adjacency / `#![forbid(unsafe_code)]`.
+    UnsafeAudit,
+    /// `Ordering::Relaxed` / `static mut` `// ORDERING:` justification lint.
+    AtomicsLint,
+}
+
+impl Pass {
+    pub fn code(self) -> &'static str {
+        match self {
+            Pass::TransformVerify => "transform-verify",
+            Pass::UnsafeAudit => "unsafe-audit",
+            Pass::AtomicsLint => "atomics-lint",
+        }
+    }
+}
+
+/// One diagnostic, anchored to a `file:line` inside the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub pass: Pass,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(pass: Pass, file: impl Into<String>, line: usize, message: impl Into<String>) -> Finding {
+        Finding {
+            pass,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pass", Json::from(self.pass.code())),
+            ("file", Json::from(self.file.as_str())),
+            ("line", Json::from(self.line)),
+            ("message", Json::from(self.message.as_str())),
+        ])
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.pass.code(), self.message)?;
+        if self.line > 0 {
+            write!(f, "  --> {}:{}", self.file, self.line)
+        } else {
+            write!(f, "  --> {}", self.file)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_shaped() {
+        let f = Finding::new(
+            Pass::UnsafeAudit,
+            "crates/x/src/lib.rs",
+            42,
+            "`unsafe` outside the allowlist",
+        );
+        let s = format!("{f}");
+        assert_eq!(
+            s,
+            "error[unsafe-audit]: `unsafe` outside the allowlist\n  --> crates/x/src/lib.rs:42"
+        );
+        let file_level = Finding::new(
+            Pass::TransformVerify,
+            "crates/analyzer/transform_bounds.snap",
+            0,
+            "stale",
+        );
+        assert!(format!("{file_level}").ends_with("--> crates/analyzer/transform_bounds.snap"));
+    }
+
+    #[test]
+    fn json_fields() {
+        let f = Finding::new(Pass::AtomicsLint, "a.rs", 7, "m");
+        let j = f.to_json().pretty();
+        assert!(j.contains("\"pass\": \"atomics-lint\""));
+        assert!(j.contains("\"line\": 7"));
+    }
+}

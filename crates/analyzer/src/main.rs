@@ -1,0 +1,108 @@
+//! `cargo run -p analyzer -- --workspace [--json PATH] [--fix-snapshot] [--root DIR]`
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage / I/O error.
+
+#![forbid(unsafe_code)]
+
+use analyzer::{analyze_workspace, Options, SNAPSHOT_REL_PATH};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: analyzer --workspace [--json PATH] [--fix-snapshot] [--root DIR]";
+
+struct Cli {
+    opts: Options,
+    json_path: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut workspace = false;
+    let mut fix_snapshot = false;
+    let mut json_path = None;
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--fix-snapshot" => fix_snapshot = true,
+            "--json" => {
+                let p = it.next().ok_or("--json requires a path")?;
+                json_path = Some(PathBuf::from(p));
+            }
+            "--root" => {
+                let p = it.next().ok_or("--root requires a directory")?;
+                root = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if !workspace {
+        return Err(format!("--workspace is required\n{USAGE}"));
+    }
+    let root = match root {
+        Some(r) => r,
+        // Default to the workspace root: the manifest dir is
+        // crates/analyzer, two levels down.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    Ok(Cli {
+        opts: Options { root, fix_snapshot },
+        json_path,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = match analyze_workspace(&cli.opts) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analyzer: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if analysis.snapshot_written {
+        eprintln!("analyzer: wrote {SNAPSHOT_REL_PATH}");
+    }
+
+    for finding in &analysis.findings {
+        eprintln!("{finding}\n");
+    }
+
+    if let Some(path) = &cli.json_path {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("analyzer: cannot create {}: {e}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, analysis.to_json().pretty()) {
+            eprintln!("analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    eprintln!(
+        "analyzer: {} files scanned, {} (n,r) pairs verified, {} finding(s)",
+        analysis.files_scanned,
+        analysis.pairs_verified,
+        analysis.findings.len()
+    );
+
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

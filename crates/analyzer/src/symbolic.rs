@@ -1,0 +1,320 @@
+//! Pass 1 — symbolic Γα(n, r) transform verification over ℚ.
+//!
+//! `tests/gamma_conformance.rs` *samples* the kernels; this pass *proves*
+//! the transform matrices. The filter taps `g_j` and data items `d_i` are
+//! left as indeterminates (see [`iwino_rational::MPoly`]) and the exact
+//! rational transform entries are folded through both sides of
+//!
+//! ```text
+//! Aᵀ[(G·g) ⊙ (Dᵀ·d)]  =  conv(g, d)
+//! ```
+//!
+//! Both sides are bilinear forms in `(g, d)`; the identity therefore holds
+//! for **every** real input iff the symbolic difference is the zero
+//! polynomial — which is what [`verify_matrices`] checks, coefficient by
+//! coefficient, in exact arithmetic. A single wrong entry anywhere in
+//! `Aᵀ`, `G` or `Dᵀ` leaves a nonzero residual monomial and is reported
+//! with its magnitude.
+//!
+//! [`verify_fh_accumulation`] proves the Γ-decomposition identity the same
+//! way: summing Winograd-domain products over the filter-height planes
+//! before the single output transform (Algorithm 1's defining trick) equals
+//! summing the per-plane 1-D convolutions afterwards. By linearity the same
+//! argument covers the input-channel accumulation.
+//!
+//! Coverage is exactly the planner's reachable kernel set: every `(n, r)`
+//! that [`iwino_core::plan::default_kernel_prefs`] can emit for
+//! `r ∈ 2..=9` (both α-preference flags). For each pair the pass also
+//! derives the max-|coefficient| and the `‖Aᵀ‖∞·‖G‖∞·‖Dᵀ‖∞`
+//! error-amplification bound, and diffs the table against the committed
+//! snapshot (`crates/analyzer/transform_bounds.snap`).
+
+use crate::diag::{Finding, Pass};
+use iwino_core::plan::default_kernel_prefs;
+use iwino_rational::{MPoly, Rational};
+use iwino_transforms::{Matrix, WinogradTransform};
+use std::collections::BTreeSet;
+
+/// Variable-id base for the data symbols `d_i` (filter symbols start at 0).
+/// Plane `fh` of the FH-accumulation check shifts both families by
+/// `fh · PLANE_STRIDE`.
+const DATA_BASE: u32 = 64;
+const PLANE_STRIDE: u32 = 128;
+
+/// One row of the coefficient-bound table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundsRow {
+    pub alpha: usize,
+    pub n: usize,
+    pub r: usize,
+    /// Largest |entry| across Aᵀ, G, Dᵀ.
+    pub max_coeff: Rational,
+    /// `‖Aᵀ‖∞ · ‖G‖∞ · ‖Dᵀ‖∞` error-amplification bound.
+    pub amp: Rational,
+}
+
+/// Every `(n, r)` pair the §5.5 planner can select for `r ∈ 2..=9`,
+/// sorted by `(r, n)`.
+pub fn plan_reachable_pairs() -> Vec<(usize, usize)> {
+    let mut pairs = BTreeSet::new();
+    for r in 2..=9usize {
+        for prefer_alpha16 in [false, true] {
+            for spec in default_kernel_prefs(r, prefer_alpha16) {
+                pairs.insert((spec.r, spec.n));
+            }
+        }
+    }
+    pairs.into_iter().map(|(r, n)| (n, r)).collect()
+}
+
+fn sym_vars(count: usize, base: u32) -> Vec<MPoly> {
+    (0..count).map(|i| MPoly::var(base + i as u32)).collect()
+}
+
+/// Exact symbolic matrix–vector product `M · v`.
+fn mat_vec_sym(m: &Matrix, v: &[MPoly]) -> Vec<MPoly> {
+    assert_eq!(m.cols(), v.len());
+    (0..m.rows())
+        .map(|i| {
+            m.row(i)
+                .iter()
+                .zip(v)
+                .filter(|(c, _)| !c.is_zero())
+                .fold(MPoly::zero(), |acc, (&c, p)| &acc + &p.scale(c))
+        })
+        .collect()
+}
+
+/// Symbolic schoolbook correlation `y_i = Σ_j g_j · d_{i+j}`.
+fn sym_correlation(g: &[MPoly], d: &[MPoly]) -> Vec<MPoly> {
+    let n = d.len() + 1 - g.len();
+    (0..n)
+        .map(|i| {
+            g.iter()
+                .enumerate()
+                .fold(MPoly::zero(), |acc, (j, gj)| &acc + &(gj * &d[i + j]))
+        })
+        .collect()
+}
+
+/// Symbolic Winograd pipeline `Aᵀ[(G·g) ⊙ (Dᵀ·d)]`.
+fn sym_winograd(at: &Matrix, g_mat: &Matrix, dt: &Matrix, g: &[MPoly], d: &[MPoly]) -> Vec<MPoly> {
+    let tg = mat_vec_sym(g_mat, g);
+    let td = mat_vec_sym(dt, d);
+    let prod: Vec<MPoly> = tg.iter().zip(&td).map(|(a, b)| a * b).collect();
+    mat_vec_sym(at, &prod)
+}
+
+/// Prove `Aᵀ[(G·g) ⊙ (Dᵀ·d)] = conv(g, d)` for all inputs, given the
+/// three matrices of an `F(n, r)` algorithm. Returns a description of the
+/// first nonzero residual on failure — exercised by the analyzer's
+/// broken-fixture tests with deliberately typo'd coefficients.
+pub fn verify_matrices(n: usize, r: usize, at: &Matrix, g_mat: &Matrix, dt: &Matrix) -> Result<(), String> {
+    let alpha = n + r - 1;
+    let g = sym_vars(r, 0);
+    let d = sym_vars(alpha, DATA_BASE);
+    let got = sym_winograd(at, g_mat, dt, &g, &d);
+    let want = sym_correlation(&g, &d);
+    for (i, (y, c)) in got.iter().zip(&want).enumerate() {
+        let residual = y - c;
+        if !residual.is_zero() {
+            return Err(format!(
+                "F({n},{r}) output {i}: Aᵀ[(G·g) ⊙ (Dᵀ·d)] − conv(g, d) = {residual} (max |coeff| {})",
+                residual.max_abs_coeff()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Prove the identity for a generated transform.
+pub fn verify_transform(t: &WinogradTransform) -> Result<(), String> {
+    verify_matrices(t.n, t.r, &t.at, &t.g, &t.dt)
+}
+
+/// Prove the Γ-decomposition accumulation identity over `fh_planes`
+/// symbolic filter-height planes:
+///
+/// ```text
+/// Aᵀ[ Σ_fh (G·g⁽ᶠʰ⁾) ⊙ (Dᵀ·d⁽ᶠʰ⁾) ]  =  Σ_fh conv(g⁽ᶠʰ⁾, d⁽ᶠʰ⁾)
+/// ```
+///
+/// i.e. accumulating in the Winograd domain across `fh` (and, by the same
+/// linearity, across input channels) commutes with the single output
+/// transform — the fusion §4 builds the whole algorithm on.
+pub fn verify_fh_accumulation(t: &WinogradTransform, fh_planes: usize) -> Result<(), String> {
+    assert!(fh_planes >= 1);
+    let mut winograd_sum: Vec<MPoly> = vec![MPoly::zero(); t.alpha];
+    let mut conv_sum: Vec<MPoly> = vec![MPoly::zero(); t.n];
+    for fh in 0..fh_planes {
+        let base = fh as u32 * PLANE_STRIDE;
+        let g = sym_vars(t.r, base);
+        let d = sym_vars(t.alpha, base + DATA_BASE);
+        let tg = mat_vec_sym(&t.g, &g);
+        let td = mat_vec_sym(&t.dt, &d);
+        for (acc, (a, b)) in winograd_sum.iter_mut().zip(tg.iter().zip(&td)) {
+            *acc = &*acc + &(a * b);
+        }
+        for (acc, c) in conv_sum.iter_mut().zip(sym_correlation(&g, &d)) {
+            *acc = &*acc + &c;
+        }
+    }
+    let got = mat_vec_sym(&t.at, &winograd_sum);
+    for (i, (y, c)) in got.iter().zip(&conv_sum).enumerate() {
+        let residual = y - c;
+        if !residual.is_zero() {
+            return Err(format!(
+                "Γ{}({},{}) FH-accumulation output {i}: residual {residual} over {fh_planes} planes",
+                t.alpha, t.n, t.r
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Coefficient-bound row for one transform.
+pub fn bounds_row(t: &WinogradTransform) -> BoundsRow {
+    BoundsRow {
+        alpha: t.alpha,
+        n: t.n,
+        r: t.r,
+        max_coeff: t.max_abs_coeff(),
+        amp: t.error_amplification(),
+    }
+}
+
+/// Render the coefficient-bound table in its committed snapshot format.
+/// Exact rationals plus a rounded decimal so humans can eyeball growth.
+pub fn render_snapshot(rows: &[BoundsRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Per-(n,r) transform coefficient bounds — regenerate with `cargo run -p analyzer -- --fix-snapshot`.\n",
+    );
+    out.push_str("# max_coeff = largest |entry| across At/G/Dt; amp = inf-norm product error-amplification bound.\n");
+    for row in rows {
+        out.push_str(&format!(
+            "Gamma{}({},{}) max_coeff={} amp={} amp~{:.3e}\n",
+            row.alpha,
+            row.n,
+            row.r,
+            row.max_coeff,
+            row.amp,
+            row.amp.to_f64()
+        ));
+    }
+    out
+}
+
+/// Run the full pass: prove both identities for every planner-reachable
+/// pair and diff the bounds table against `committed_snapshot` (pass
+/// `None` when the snapshot file is missing).
+pub fn run(committed_snapshot: Option<&str>, snapshot_rel_path: &str) -> (Vec<Finding>, Vec<BoundsRow>) {
+    let mut findings = Vec::new();
+    let mut rows = Vec::new();
+    for (n, r) in plan_reachable_pairs() {
+        let t = WinogradTransform::generate(n, r);
+        if let Err(msg) = verify_transform(&t) {
+            findings.push(Finding::new(
+                Pass::TransformVerify,
+                "crates/transforms/src/lib.rs",
+                0,
+                msg,
+            ));
+        }
+        if let Err(msg) = verify_fh_accumulation(&t, 3) {
+            findings.push(Finding::new(
+                Pass::TransformVerify,
+                "crates/transforms/src/lib.rs",
+                0,
+                msg,
+            ));
+        }
+        rows.push(bounds_row(&t));
+    }
+    let rendered = render_snapshot(&rows);
+    match committed_snapshot {
+        None => findings.push(Finding::new(
+            Pass::TransformVerify,
+            snapshot_rel_path,
+            0,
+            "coefficient-bound snapshot is missing — run with --fix-snapshot and commit it",
+        )),
+        Some(committed) if committed != rendered => {
+            let line = committed
+                .lines()
+                .zip(rendered.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| committed.lines().count().min(rendered.lines().count()) + 1);
+            findings.push(Finding::new(
+                Pass::TransformVerify,
+                snapshot_rel_path,
+                line,
+                "coefficient-bound snapshot is stale — regenerate with --fix-snapshot and review the diff",
+            ));
+        }
+        Some(_) => {}
+    }
+    (findings, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachable_pairs_cover_r_2_through_9() {
+        let pairs = plan_reachable_pairs();
+        for r in 2..=9 {
+            assert!(pairs.iter().any(|&(_, pr)| pr == r), "no pair for r = {r}");
+        }
+        // The paper's flagship kernels are reachable.
+        assert!(pairs.contains(&(6, 3)), "Γ8(6,3)");
+        assert!(pairs.contains(&(8, 9)), "Γ16(8,9)");
+        assert!(pairs.contains(&(2, 3)), "Γ4(2,3)");
+        // And every pair is a valid spec (n ≥ 2, α ≤ 16).
+        for &(n, r) in &pairs {
+            assert!(n >= 2 && n + r - 1 <= 16, "bad pair ({n},{r})");
+        }
+    }
+
+    #[test]
+    fn identity_holds_for_flagship_kernels() {
+        for (n, r) in [(6, 3), (2, 3), (4, 5), (8, 9)] {
+            let t = WinogradTransform::generate(n, r);
+            verify_transform(&t).unwrap();
+            verify_fh_accumulation(&t, 3).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_coefficient_typo_is_caught() {
+        let t = WinogradTransform::generate(6, 3);
+        // Perturb one G entry by the smallest typo a reviewer would miss.
+        let mut g_bad = t.g.clone();
+        g_bad[(3, 1)] += Rational::new(1, 576);
+        let err = verify_matrices(t.n, t.r, &t.at, &g_bad, &t.dt).unwrap_err();
+        assert!(err.contains("F(6,3)"), "err: {err}");
+        // A Dᵀ typo and an Aᵀ typo are caught too.
+        let mut dt_bad = t.dt.clone();
+        dt_bad[(0, 2)] = -dt_bad[(0, 2)];
+        assert!(verify_matrices(t.n, t.r, &t.at, &t.g, &dt_bad).is_err());
+        let mut at_bad = t.at.clone();
+        at_bad[(5, 7)] = Rational::ZERO;
+        assert!(verify_matrices(t.n, t.r, &at_bad, &t.g, &t.dt).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_staleness() {
+        let rows: Vec<BoundsRow> = [(2usize, 3usize), (6, 3)]
+            .iter()
+            .map(|&(n, r)| bounds_row(&WinogradTransform::generate(n, r)))
+            .collect();
+        let rendered = render_snapshot(&rows);
+        assert!(rendered.contains("Gamma8(6,3)"));
+        // Identical snapshot → silent; tampered snapshot → one finding with
+        // the first differing line.
+        let tampered = rendered.replace("Gamma8", "Gamma9");
+        assert_ne!(rendered, tampered);
+    }
+}

@@ -1,0 +1,7 @@
+// Clean fixture: the unsafe block carries an adjacent justification.
+pub fn read_first(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    // SAFETY: `p` comes from a live slice borrow; callers must pass a
+    // non-empty slice (debug-asserted), so the read is in bounds.
+    unsafe { *p }
+}

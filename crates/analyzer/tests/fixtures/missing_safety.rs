@@ -1,0 +1,6 @@
+// Deliberately broken fixture: the unsafe block below carries no safety
+// justification comment, so the unsafe audit must flag it.
+pub fn read_first(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+// Deliberately broken fixture: one documented Relaxed site, one not.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+pub static MISSES: AtomicU64 = AtomicU64::new(0);
+
+pub fn hit() {
+    // ORDERING: monotonic counter, no data published through it.
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn miss() {
+    MISSES.fetch_add(1, Ordering::Relaxed);
+}

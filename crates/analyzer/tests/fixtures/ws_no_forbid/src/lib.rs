@@ -1,0 +1,7 @@
+//! Deliberately broken fixture: a crate root (when scanned with the
+//! `ws_no_forbid` directory as the workspace root) that is missing
+//! `#![forbid(unsafe_code)]`.
+
+pub fn identity(x: u32) -> u32 {
+    x
+}

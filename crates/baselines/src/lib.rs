@@ -12,6 +12,8 @@
 //!   cuDNN's `Fused_Winograd` (NCHW, 3×3-only — the restriction the paper
 //!   calls out in §6.1.1).
 
+#![forbid(unsafe_code)]
+
 pub mod direct;
 pub mod fft;
 pub mod gemm;

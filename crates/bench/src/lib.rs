@@ -22,6 +22,8 @@
 //! of Gflop and shrinks the training runs; every scaling factor is printed
 //! alongside the row it affects.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 pub mod runner;
 

@@ -609,9 +609,9 @@ mod tests {
         assert_eq!(m.len(), 8);
     }
 
-    /// Reuse and bounding of the real kernel cache live in ONE test: an
-    /// eviction exercise in a parallel test could otherwise race the
-    /// `Arc::ptr_eq` check (the cache is process-global).
+    /// Reuse, bounding, and eviction safety of the real kernel cache live
+    /// in ONE test: an eviction exercise in a parallel test could otherwise
+    /// race the `Arc::ptr_eq` check (the cache is process-global).
     #[test]
     fn cached_kernel_reuses_across_calls() {
         let a = cached_kernel(8, 6, 3, Variant::Standard);
@@ -624,5 +624,88 @@ mod tests {
         // n + r = α + 1, n, r ≥ 2, ≤ 2 variants each.
         let combos: usize = [4usize, 8, 16].iter().map(|&a| (a - 2) * 2).sum();
         assert!(combos <= KERNEL_CACHE_BOUND, "{combos} legit combos exceed the bound");
+
+        // Regression: eviction at the bound drops only the cache's OWN
+        // reference — an Arc handed out before the flood keeps computing
+        // mid-conv. (conv2d holds its kernels across the whole call, so a
+        // concurrent caller flooding the cache with other specs must never
+        // invalidate them.)
+        let held = a;
+        let (job_x, w, w_hwio) = eviction_fixture();
+        let rows = [(0usize, 0usize), (12 * 3, 1), (2 * 12 * 3, 2)];
+        let job = RowJob {
+            x: &job_x,
+            rows: &rows,
+            iw: 12,
+            ic: 3,
+            pw: 1,
+            ow: 12,
+            oc: 4,
+        };
+        let tw = TransformedFilter::forward(&w, &held.transform());
+        let mut scratch = Scratch::default();
+        let mut before = vec![0.0f32; 12 * 4];
+        held.run_segment(&job, &tw, 0, 2, &mut before, &mut scratch);
+
+        // Flood: every (α, n, r) triple for α ∈ {4, 8, 16} in all three
+        // variants is 66 distinct keys — strictly more than the bound, so
+        // inserts evict residents (very likely including `held`'s entry).
+        let mut flooded = 0usize;
+        for alpha in [4usize, 8, 16] {
+            for n in 2..alpha {
+                let r = alpha + 1 - n;
+                for variant in [Variant::Standard, Variant::Ruse, Variant::C64] {
+                    let k = cached_kernel(alpha, n, r, variant);
+                    assert_eq!((k.alpha, k.n, k.r), (alpha, n, r));
+                    flooded += 1;
+                }
+            }
+        }
+        assert!(flooded > KERNEL_CACHE_BOUND, "flood too small: {flooded}");
+
+        // The held Arc still produces the identical segment, and a fresh
+        // fetch (rebuilt if evicted) agrees bitwise.
+        let mut after = vec![0.0f32; 12 * 4];
+        held.run_segment(&job, &tw, 0, 2, &mut after, &mut scratch);
+        assert_eq!(before, after, "held kernel changed behaviour after cache flood");
+        let fresh = cached_kernel(8, 6, 3, Variant::Standard);
+        let mut fresh_out = vec![0.0f32; 12 * 4];
+        fresh.run_segment(&job, &tw, 0, 2, &mut fresh_out, &mut scratch);
+        assert_eq!(before, fresh_out, "refetched kernel disagrees with held one");
+
+        // And both match the direct reference within fp tolerance.
+        let mut reference = vec![0.0f32; 12 * 4];
+        direct_row_segment(&job, &w_hwio, 3, 0, 12, &mut reference);
+        for (i, (&got, &want)) in before.iter().zip(&reference).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                "output {i}: {got} vs direct {want}"
+            );
+        }
+    }
+
+    /// Deterministic Γ8(6,3) single-row workload: a 3-row image slab
+    /// (`IW = 12, IC = 3`), an `OC = 4` filter in OHWI, and the same filter
+    /// in the HWIO layout `direct_row_segment` expects.
+    fn eviction_fixture() -> (Vec<f32>, iwino_tensor::Tensor4<f32>, Vec<f32>) {
+        let (iw, ic, oc, fh, fw) = (12usize, 3usize, 4usize, 3usize, 3usize);
+        let x: Vec<f32> = (0..3 * iw * ic)
+            .map(|i| ((i * 37 + 11) % 23) as f32 * 0.25 - 2.0)
+            .collect();
+        let mut w = iwino_tensor::Tensor4::<f32>::filter_ohwi(oc, fh, fw, ic);
+        for (i, v) in w.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 29 + 5) % 19) as f32 * 0.125 - 1.0;
+        }
+        let mut w_hwio = vec![0.0f32; fh * fw * ic * oc];
+        for o in 0..oc {
+            for h in 0..fh {
+                for fx in 0..fw {
+                    for i in 0..ic {
+                        w_hwio[((h * fw + fx) * ic + i) * oc + o] = w.at(o, h, fx, i);
+                    }
+                }
+            }
+        }
+        (x, w, w_hwio)
     }
 }

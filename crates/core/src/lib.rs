@@ -43,6 +43,8 @@
 //! the role of SMEM; the *input* side stays fully fused with no workspace,
 //! which is the component that scales with the feature maps). See DESIGN.md.
 
+#![forbid(unsafe_code)]
+
 pub mod conv;
 pub mod conv1d;
 pub mod filter;

@@ -26,6 +26,8 @@
 //! supports are ordinal (who wins, crossovers, variant ordering), which is
 //! what EXPERIMENTS.md records.
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod model;
 pub mod occupancy;

@@ -22,6 +22,8 @@
 //! Cifar10/ILSVRC2012 are not available offline; the experiment's claim —
 //! *the Winograd and GEMM arms converge identically* — is preserved.
 
+#![forbid(unsafe_code)]
+
 pub mod conv;
 pub mod data;
 pub mod dropout;

@@ -19,6 +19,8 @@
 //! code pays only that load plus a predictable branch; the overhead guard
 //! in `tests/overhead.rs` pins this to within 5% of uninstrumented code.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -27,7 +29,7 @@ mod json;
 mod report;
 
 pub use json::Json;
-pub use report::MetricsReport;
+pub use report::{MetricsReport, SCHEMA_VERSION};
 
 /// Pipeline stages attributed by [`span`]. `Total` covers a whole
 /// convolution call; the others nest inside it.
@@ -140,13 +142,10 @@ impl Slot {
     }
 
     fn reset(&self) {
-        for a in &self.stage_ns {
-            a.store(0, Ordering::Relaxed);
-        }
-        for a in &self.stage_hits {
-            a.store(0, Ordering::Relaxed);
-        }
-        for a in &self.counters {
+        // ORDERING: Relaxed is enough — callers quiesce the workload before
+        // resetting, and [`reset`] already holds the registry mutex, whose
+        // release/acquire edge orders these stores against later snapshots.
+        for a in self.stage_ns.iter().chain(&self.stage_hits).chain(&self.counters) {
             a.store(0, Ordering::Relaxed);
         }
     }
@@ -176,11 +175,16 @@ thread_local! {
 /// should hoist this into a local `bool` per batch of work.
 #[inline(always)]
 pub fn enabled() -> bool {
+    // ORDERING: Relaxed — the flag is an independent bool (no data is
+    // published through it); a stale read only delays when instrumentation
+    // kicks in by one batch, which the measurement protocol tolerates.
     ENABLED.load(Ordering::Relaxed)
 }
 
 /// Turn recording on or off process-wide.
 pub fn set_enabled(on: bool) {
+    // ORDERING: Relaxed — see [`enabled`]; benches toggle the flag before
+    // and after a timed region on the same thread (program order suffices).
     ENABLED.store(on, Ordering::Relaxed);
 }
 
@@ -218,6 +222,10 @@ impl Drop for Span {
         if let Some((stage, start)) = self.start {
             let ns = start.elapsed().as_nanos() as u64;
             SLOT.with(|slot| {
+                // ORDERING: Relaxed — monotonic accumulators read only by
+                // [`snapshot`] after the workload joins (mutex + thread-join
+                // edges provide the happens-before; the atomics just make
+                // cross-thread reads non-UB).
                 slot.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
                 slot.stage_hits[stage as usize].fetch_add(1, Ordering::Relaxed);
             });
@@ -229,6 +237,8 @@ impl Drop for Span {
 pub fn add_stage_ns(stage: Stage, ns: u64) {
     if enabled() {
         SLOT.with(|slot| {
+            // ORDERING: Relaxed — same monotonic-accumulator argument as
+            // [`Span::drop`].
             slot.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
             slot.stage_hits[stage as usize].fetch_add(1, Ordering::Relaxed);
         });
@@ -240,6 +250,8 @@ pub fn add_stage_ns(stage: Stage, ns: u64) {
 pub fn add(counter: Counter, n: u64) {
     if enabled() {
         SLOT.with(|slot| {
+            // ORDERING: Relaxed — monotonic counter, aggregated only after
+            // the workload quiesces (see [`Span::drop`]).
             slot.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
         });
     }
@@ -378,14 +390,18 @@ pub fn snapshot() -> Snapshot {
         ..Snapshot::default()
     };
     for slot in registry().lock().unwrap().iter() {
+        // ORDERING: Relaxed loads — each value is independently monotonic;
+        // exactness is only claimed once the workload has quiesced (the
+        // happens-before then comes from the registry mutex and the pool's
+        // job-completion handshake, not from these atomics).
         for (i, a) in slot.stage_ns.iter().enumerate() {
             snap.stage_ns[i] += a.load(Ordering::Relaxed);
         }
         for (i, a) in slot.stage_hits.iter().enumerate() {
-            snap.stage_hits[i] += a.load(Ordering::Relaxed);
+            snap.stage_hits[i] += a.load(Ordering::Relaxed); // ORDERING: as above
         }
         for (i, a) in slot.counters.iter().enumerate() {
-            snap.counters[i] += a.load(Ordering::Relaxed);
+            snap.counters[i] += a.load(Ordering::Relaxed); // ORDERING: as above
         }
     }
     snap

@@ -1,10 +1,14 @@
 //! Structured metrics export: one JSON document per measured run.
 //!
-//! Schema (version 1):
+//! Schema (version 2). Version 2 adds the `"kind"` discriminator so
+//! consumers can tell a metrics document from the static-analysis report
+//! the `analyzer` crate emits with the same `schema_version` ("metrics"
+//! here, "analysis" there):
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
+//!   "kind": "metrics",
 //!   "label": "<workload name>",
 //!   "wall_ns": <u64>,                    // end-to-end wall time
 //!   "stages": { "<stage>": {"ns", "hits", "share", "gflops"} , ... },
@@ -24,8 +28,9 @@ use crate::{snapshot, Counter, Json, Snapshot, Stage};
 use std::io;
 use std::path::Path;
 
-/// Version of the JSON layout emitted by [`MetricsReport::to_json`].
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version of the JSON layout emitted by [`MetricsReport::to_json`] (and
+/// shared by the analyzer's `"kind": "analysis"` documents).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A captured, self-describing metrics document.
 #[derive(Clone, Debug)]
@@ -115,6 +120,7 @@ impl MetricsReport {
         ]);
         Json::obj(vec![
             ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("kind", Json::from("metrics")),
             ("label", Json::from(self.label.as_str())),
             ("wall_ns", Json::from(self.wall_ns)),
             ("stages", Json::Obj(stages)),
@@ -164,7 +170,8 @@ mod tests {
         assert!((report.stage_gflops(Stage::OuterProduct) - 2_000_000.0 / 750.0).abs() < 1e-9);
         assert_eq!(report.stage_gflops(Stage::Epilogue), 0.0);
         let json = report.to_json().pretty();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"kind\": \"metrics\""));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"outer_product\""));
         assert!(json.contains("\"ruse_tile_fraction\": 0.4"));

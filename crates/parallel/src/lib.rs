@@ -43,9 +43,13 @@ thread_local! {
 /// completion barrier in [`ThreadPool::run`]).
 #[derive(Clone, Copy)]
 struct TaskPtr(*const (dyn Fn(usize) + Sync));
-// SAFETY: the referent is Sync and the pool enforces that it outlives all
-// uses (run() blocks until the job completes).
+// SAFETY: the pointee is `dyn Fn(usize) + Sync`, so concurrent `&`-calls
+// from many workers are sound by the pointee's own contract; the pointer is
+// only dereferenced between job publication and the completion wait in
+// `run`, during which the caller keeps the original `&` borrow alive —
+// no use-after-free and no mutation anywhere (shared access only).
 unsafe impl Send for TaskPtr {}
+// SAFETY: as for Send above — the referent is Sync and outlives every use.
 unsafe impl Sync for TaskPtr {}
 
 /// Per-lane accounting for a single job; allocated only while recording.
@@ -79,10 +83,18 @@ impl Job {
     /// Claim and execute chunks until the job is drained. `lane` indexes
     /// the stats row (0 = submitting caller).
     fn work(&self, lane: usize) {
-        // SAFETY: see TaskPtr.
+        // SAFETY: the pointer was created in `run` from a live `&(dyn
+        // Fn(usize) + Sync)` and `run` does not return (releasing that
+        // borrow) until `running == 0`, which this worker contributes to
+        // only after its last `task` call — the referent is alive and
+        // shared-immutable for the whole loop below.
         let task = unsafe { &*self.task.0 };
         match &self.stats {
             None => loop {
+                // ORDERING: Relaxed — the claim counter is an atomic RMW, so
+                // each chunk is handed out exactly once regardless of
+                // ordering; the task's *results* are published by the
+                // job-done mutex/condvar barrier in `run`, not by this.
                 let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
                 if start >= self.end {
                     break;
@@ -93,6 +105,7 @@ impl Job {
                 }
             },
             Some(stats) => loop {
+                // ORDERING: Relaxed — same claim-counter argument as above.
                 let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
                 if start >= self.end {
                     break;
@@ -102,6 +115,8 @@ impl Job {
                 for i in start..stop {
                     task(i);
                 }
+                // ORDERING: Relaxed — per-lane monotonic accounting, read
+                // only in `absorb_job_stats` after the completion barrier.
                 stats.lane_busy_ns[lane].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 stats.lane_chunks[lane].fetch_add(1, Ordering::Relaxed);
             },
@@ -206,8 +221,11 @@ impl ThreadPool {
             }
             if let Some(t0) = t0 {
                 let busy = t0.elapsed().as_nanos() as u64;
-                self.jobs.fetch_add(1, Ordering::Relaxed);
                 let caller = &self.lane_totals[0];
+                // ORDERING: Relaxed — cumulative counters bumped on the
+                // submitting thread; `report` reads them here (program
+                // order) or after the pool quiesces.
+                self.jobs.fetch_add(1, Ordering::Relaxed);
                 caller.chunks.fetch_add(1, Ordering::Relaxed);
                 caller.busy_ns.fetch_add(busy, Ordering::Relaxed);
                 obs::set_pool_report(self.report());
@@ -218,8 +236,12 @@ impl ThreadPool {
         // ~4 chunks per lane keeps the tail balanced without excessive
         // counter traffic.
         let chunk = (n / (self.threads * 4)).max(1);
-        // SAFETY: we erase the lifetime; the completion wait below
-        // guarantees no worker touches the task after `run` returns.
+        // SAFETY: lifetime erasure only — the pointee type (including its
+        // Sync bound) is unchanged, and the transmuted pointer never
+        // outlives the borrow: `run` publishes the job, then blocks on
+        // `job_done` until every worker has dropped out of `Job::work`, and
+        // clears `st.job` before returning, so no worker can touch the
+        // pointer after `task`'s lifetime ends.
         let task_static: TaskPtr = TaskPtr(unsafe {
             std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task as *const _)
         });
@@ -318,16 +340,20 @@ impl ThreadPool {
     /// chunks — for workers that includes the wake-up latency, for the
     /// caller the completion wait.
     fn absorb_job_stats(&self, stats: &JobStats, wall_ns: u64) {
+        // ORDERING: Relaxed throughout — the completion wait in `run`
+        // (job_done mutex/condvar) happens-before this, so the job's stats
+        // are final; the cumulative totals are monotonic counters with no
+        // data published through them.
         self.jobs.fetch_add(1, Ordering::Relaxed);
         for lane in 0..self.threads {
             let busy = stats.lane_busy_ns[lane].load(Ordering::Relaxed);
-            let chunks = stats.lane_chunks[lane].load(Ordering::Relaxed);
+            let chunks = stats.lane_chunks[lane].load(Ordering::Relaxed); // ORDERING: as above
             let totals = &self.lane_totals[lane];
             totals.chunks.fetch_add(chunks, Ordering::Relaxed);
             totals.busy_ns.fetch_add(busy, Ordering::Relaxed);
             totals
                 .idle_ns
-                .fetch_add(wall_ns.saturating_sub(busy), Ordering::Relaxed);
+                .fetch_add(wall_ns.saturating_sub(busy), Ordering::Relaxed); // ORDERING: as above
         }
     }
 
@@ -336,6 +362,8 @@ impl ThreadPool {
     pub fn report(&self) -> obs::PoolReport {
         obs::PoolReport {
             threads: self.threads,
+            // ORDERING: Relaxed — sampling reads of monotonic counters;
+            // callers only rely on exact values after quiescence.
             jobs: self.jobs.load(Ordering::Relaxed),
             workers: self
                 .lane_totals
@@ -344,6 +372,7 @@ impl ThreadPool {
                 .map(|(lane, t)| obs::PoolWorkerStats {
                     lane,
                     is_caller_lane: lane == 0,
+                    // ORDERING: as above.
                     chunks: t.chunks.load(Ordering::Relaxed),
                     busy_ns: t.busy_ns.load(Ordering::Relaxed),
                     idle_ns: t.idle_ns.load(Ordering::Relaxed),
@@ -355,9 +384,11 @@ impl ThreadPool {
     /// Zero the cumulative stats (call alongside `obs::reset()` to scope a
     /// report to one workload).
     pub fn reset_stats(&self) {
+        // ORDERING: Relaxed — callers scope reports around quiesced
+        // workloads; no ordering is needed between the zeroing stores.
         self.jobs.store(0, Ordering::Relaxed);
         for t in &self.lane_totals {
-            t.chunks.store(0, Ordering::Relaxed);
+            t.chunks.store(0, Ordering::Relaxed); // ORDERING: as above
             t.busy_ns.store(0, Ordering::Relaxed);
             t.idle_ns.store(0, Ordering::Relaxed);
         }

@@ -18,9 +18,16 @@ pub struct SliceParts<'a, T> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
-// SAFETY: chunks are disjoint and each is handed out at most once, so
-// concurrent `take` calls never alias.
+// SAFETY: the raw `base` pointer is the only non-auto-Send/Sync field. It
+// derives from a `&'a mut [T]` that `new` borrows exclusively for 'a (held
+// by `_marker`), so no other path can touch the buffer while a SliceParts
+// exists. Cross-thread `&self` access only reaches the buffer via `take`,
+// whose AcqRel claim swap hands each disjoint chunk to at most one thread —
+// concurrent `take` calls never produce aliasing `&mut`s. `T: Send` is
+// required because chunk contents move to the claiming thread.
 unsafe impl<T: Send> Send for SliceParts<'_, T> {}
+// SAFETY: as for Send above — shared access is mediated entirely by the
+// per-chunk claim flags.
 unsafe impl<T: Send> Sync for SliceParts<'_, T> {}
 
 impl<'a, T> SliceParts<'a, T> {
@@ -59,8 +66,14 @@ impl<'a, T> SliceParts<'a, T> {
         assert_eq!(was, 0, "chunk {i} claimed twice");
         let start = i * self.chunk;
         let end = (start + self.chunk).min(self.len);
-        // SAFETY: bounds checked above; disjointness enforced by the claim
-        // flag; lifetime tied to the borrow in `new`.
+        // SAFETY: in-bounds — `i < claimed.len()` (indexing above panics
+        // otherwise) gives `start ≤ len` via the div_ceil construction, and
+        // `end` is clamped to `len`, so `base + start .. base + end` stays
+        // inside the original allocation. Non-aliasing — the swap above
+        // returned 0, so this chunk was never handed out before, and chunks
+        // at different `i` cover disjoint index ranges. The returned
+        // lifetime is `'a` at most (elided via `&self`), matching the
+        // exclusive borrow captured in `new`.
         unsafe { std::slice::from_raw_parts_mut(self.base.add(start), end - start) }
     }
 }

@@ -11,8 +11,12 @@
 //! silently wrapping. For the paper's point set (|p| ≤ 4, α ≤ 16) every
 //! intermediate fits comfortably in `i128`.
 
+#![forbid(unsafe_code)]
+
+pub mod mpoly;
 pub mod poly;
 
+pub use mpoly::MPoly;
 pub use poly::Poly;
 
 use std::cmp::Ordering;

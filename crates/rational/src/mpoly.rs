@@ -1,0 +1,260 @@
+//! Sparse multivariate polynomials over [`Rational`] — the symbolic
+//! substrate of the analyzer's transform verifier.
+//!
+//! The Winograd identity `Aᵀ[(G g) ⊙ (Dᵀ d)] = conv(g, d)` is an equality
+//! of *bilinear forms* in the filter taps `g_j` and data items `d_i`. To
+//! prove it for **all** inputs — not just sampled ones — both sides are
+//! evaluated with the inputs left as indeterminates: `g_j` and `d_i` become
+//! variables, the transform entries stay exact rationals, and the identity
+//! holds iff the difference polynomial is identically zero. Everything the
+//! verifier needs is degree ≤ 2 (products of two linear forms), but the
+//! representation is general: a term map from a sorted variable multiset to
+//! its rational coefficient.
+//!
+//! Variables are plain `u32` ids; callers assign disjoint id ranges to the
+//! symbol families they need (e.g. filter taps vs. data items vs. planes).
+
+use crate::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A multivariate polynomial `Σ c · Π x_i`. Invariant: no stored
+/// coefficient is zero, and every monomial key is sorted (a multiset of
+/// variable ids), so structural equality is semantic equality.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MPoly {
+    terms: BTreeMap<Vec<u32>, Rational>,
+}
+
+impl MPoly {
+    /// The zero polynomial.
+    pub fn zero() -> MPoly {
+        MPoly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rational) -> MPoly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Vec::new(), c);
+        }
+        MPoly { terms }
+    }
+
+    /// The single variable `x_id`.
+    pub fn var(id: u32) -> MPoly {
+        let mut terms = BTreeMap::new();
+        terms.insert(vec![id], Rational::ONE);
+        MPoly { terms }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of (nonzero) terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree (0 for constants and for the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.terms.keys().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Coefficient of the monomial with the given variable multiset
+    /// (order-insensitive); zero if absent.
+    pub fn coeff(&self, vars: &[u32]) -> Rational {
+        let mut key = vars.to_vec();
+        key.sort_unstable();
+        self.terms.get(&key).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Multiply by a rational constant.
+    pub fn scale(&self, c: Rational) -> MPoly {
+        if c.is_zero() {
+            return MPoly::zero();
+        }
+        MPoly {
+            terms: self.terms.iter().map(|(k, &v)| (k.clone(), v * c)).collect(),
+        }
+    }
+
+    /// Largest absolute coefficient (zero for the zero polynomial). The
+    /// verifier reports this for residuals so a broken transform shows
+    /// *how* wrong it is, not just that it is.
+    pub fn max_abs_coeff(&self) -> Rational {
+        self.terms.values().map(Rational::abs).max().unwrap_or(Rational::ZERO)
+    }
+
+    fn add_term(&mut self, key: Vec<u32>, c: Rational) {
+        if c.is_zero() {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match self.terms.entry(key) {
+            Entry::Vacant(e) => {
+                e.insert(c);
+            }
+            Entry::Occupied(mut e) => {
+                let sum = *e.get() + c;
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+        }
+    }
+}
+
+impl Add for &MPoly {
+    type Output = MPoly;
+    fn add(self, rhs: &MPoly) -> MPoly {
+        let mut out = self.clone();
+        for (k, &c) in &rhs.terms {
+            out.add_term(k.clone(), c);
+        }
+        out
+    }
+}
+
+impl Sub for &MPoly {
+    type Output = MPoly;
+    fn sub(self, rhs: &MPoly) -> MPoly {
+        let mut out = self.clone();
+        for (k, &c) in &rhs.terms {
+            out.add_term(k.clone(), -c);
+        }
+        out
+    }
+}
+
+impl Mul for &MPoly {
+    type Output = MPoly;
+    fn mul(self, rhs: &MPoly) -> MPoly {
+        let mut out = MPoly::zero();
+        for (ka, &ca) in &self.terms {
+            for (kb, &cb) in &rhs.terms {
+                let mut key = Vec::with_capacity(ka.len() + kb.len());
+                key.extend_from_slice(ka);
+                key.extend_from_slice(kb);
+                key.sort_unstable();
+                out.add_term(key, ca * cb);
+            }
+        }
+        out
+    }
+}
+
+impl Neg for &MPoly {
+    type Output = MPoly;
+    fn neg(self) -> MPoly {
+        self.scale(-Rational::ONE)
+    }
+}
+
+impl fmt::Display for MPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (key, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if key.is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                write!(f, "{c}")?;
+                for v in key {
+                    write!(f, "·x{v}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn construction_and_zero() {
+        assert!(MPoly::zero().is_zero());
+        assert!(MPoly::constant(Rational::ZERO).is_zero());
+        assert!(!MPoly::var(3).is_zero());
+        assert_eq!(MPoly::var(3).degree(), 1);
+        assert_eq!(MPoly::constant(r(2, 1)).degree(), 0);
+    }
+
+    #[test]
+    fn ring_operations() {
+        let x = MPoly::var(0);
+        let y = MPoly::var(1);
+        // (x + y)(x − y) = x² − y²
+        let lhs = &(&x + &y) * &(&x - &y);
+        let x2 = &x * &x;
+        let y2 = &y * &y;
+        assert_eq!(lhs, &x2 - &y2);
+        assert_eq!(lhs.coeff(&[0, 0]), Rational::ONE);
+        assert_eq!(lhs.coeff(&[1, 1]), -Rational::ONE);
+        assert_eq!(lhs.coeff(&[0, 1]), Rational::ZERO);
+        assert_eq!(lhs.degree(), 2);
+    }
+
+    #[test]
+    fn cancellation_restores_zero() {
+        let x = MPoly::var(7);
+        let half = MPoly::constant(r(1, 2));
+        let p = &(&x * &half) + &(&x * &half);
+        assert_eq!(p, MPoly::var(7));
+        assert!((&p - &x).is_zero());
+        assert_eq!((&p - &x).term_count(), 0);
+    }
+
+    #[test]
+    fn coeff_is_order_insensitive() {
+        let p = &MPoly::var(2) * &MPoly::var(5);
+        assert_eq!(p.coeff(&[5, 2]), Rational::ONE);
+        assert_eq!(p.coeff(&[2, 5]), Rational::ONE);
+    }
+
+    #[test]
+    fn scale_and_max_abs() {
+        let p = &MPoly::var(0).scale(r(-21, 4)) + &MPoly::constant(r(1, 3));
+        assert_eq!(p.max_abs_coeff(), r(21, 4));
+        assert!(p.scale(Rational::ZERO).is_zero());
+        assert_eq!((-&p).coeff(&[0]), r(21, 4));
+    }
+
+    #[test]
+    fn bilinear_identity_example() {
+        // Distributivity over symbolic vectors: (a0 + a1)·(b0 + b1)
+        // = a0·b0 + a0·b1 + a1·b0 + a1·b1 — the shape the transform
+        // verifier relies on.
+        let a: Vec<MPoly> = (0..2).map(MPoly::var).collect();
+        let b: Vec<MPoly> = (10..12).map(MPoly::var).collect();
+        let lhs = &(&a[0] + &a[1]) * &(&b[0] + &b[1]);
+        let mut rhs = MPoly::zero();
+        for ai in &a {
+            for bj in &b {
+                rhs = &rhs + &(ai * bj);
+            }
+        }
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = &MPoly::var(1).scale(r(3, 2)) * &MPoly::var(0);
+        assert_eq!(format!("{p}"), "3/2·x0·x1");
+        assert_eq!(format!("{}", MPoly::zero()), "0");
+    }
+}

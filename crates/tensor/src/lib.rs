@@ -9,6 +9,8 @@
 //!   layout used by forward convolution (§5.1);
 //! * ofms `Y ∈ R^{N×OH×OW×OC}`.
 
+#![forbid(unsafe_code)]
+
 pub mod layout;
 pub mod shape;
 pub mod stats;

@@ -22,6 +22,8 @@
 //! nearly halves the multiplication count (see
 //! [`PairedTransform::mul_count`] vs [`Matrix::mul_count`]).
 
+#![forbid(unsafe_code)]
+
 pub mod matrix;
 pub mod opcount;
 pub mod paired;
@@ -206,6 +208,21 @@ impl WinogradTransform {
     /// `Γ8(6,3)` against `25/4` for `F(2×2, 3×3)`; per-axis this is `α/n`).
     pub fn loads_per_output(&self) -> f64 {
         self.alpha as f64 / self.n as f64
+    }
+
+    /// Largest absolute coefficient across `Aᵀ`, `G` and `Dᵀ`.
+    pub fn max_abs_coeff(&self) -> Rational {
+        self.at.max_abs().max(self.g.max_abs()).max(self.dt.max_abs())
+    }
+
+    /// Worst-case error-amplification bound `‖Aᵀ‖∞ · ‖G‖∞ · ‖Dᵀ‖∞`
+    /// (DWM, arXiv:2002.00552 uses the same product-of-norms shape): a
+    /// relative perturbation of the inputs is magnified by at most this
+    /// factor through the transform→product→inverse-transform pipeline.
+    /// Growing α drives it up — the quantitative face of the Table 3 /
+    /// Figure 10 accuracy degradation at large tiles.
+    pub fn error_amplification(&self) -> Rational {
+        self.at.inf_norm() * self.g.inf_norm() * self.dt.inf_norm()
     }
 
     /// Input transform as a [`PairedTransform`] (simplified transformation).

@@ -127,6 +127,22 @@ impl Matrix {
     pub fn nnz(&self) -> usize {
         self.data.iter().filter(|c| !c.is_zero()).count()
     }
+
+    /// Largest absolute entry. A coefficient typo in a generated transform
+    /// almost always moves this (the analyzer snapshots it per `(n, r)`).
+    pub fn max_abs(&self) -> Rational {
+        self.data.iter().map(Rational::abs).max().unwrap_or(Rational::ZERO)
+    }
+
+    /// Operator ∞-norm: the maximum absolute row sum. For `y = M·x` this
+    /// bounds `‖y‖∞ ≤ ‖M‖∞ · ‖x‖∞`, which is what makes it the right
+    /// factor in the Winograd error-amplification bound.
+    pub fn inf_norm(&self) -> Rational {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().fold(Rational::ZERO, |acc, c| acc + c.abs()))
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -207,6 +223,16 @@ mod tests {
         let m = Matrix::parse(&["1 -1 0 1/2", "2 0 0 1"]);
         assert_eq!(m.mul_count(), 2); // 1/2 and 2
         assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::parse(&["1 -1 0 1/2", "2 0 0 1"]);
+        assert_eq!(m.max_abs(), ri(2));
+        // Row sums: 1 + 1 + 0 + 1/2 = 5/2 and 2 + 0 + 0 + 1 = 3.
+        assert_eq!(m.inf_norm(), ri(3));
+        assert_eq!(Matrix::zeros(2, 2).inf_norm(), Rational::ZERO);
+        assert_eq!(Matrix::zeros(2, 2).max_abs(), Rational::ZERO);
     }
 
     #[test]

@@ -278,6 +278,30 @@ fn theoretical_speedup_values() {
 }
 
 #[test]
+fn amplification_grows_with_alpha() {
+    // The error-amplification bound is the analyzer's snapshot quantity;
+    // pin its qualitative behaviour (monotone in α for fixed r) and a
+    // closed-form small case. For F(2,3): Aᵀ row sums max 3, G max 1,
+    // Dᵀ max 2 ⟹ amplification 6 — but check via the definition instead
+    // of hard-coding, so the test documents rather than duplicates.
+    let small = WinogradTransform::generate(2, 3);
+    assert_eq!(
+        small.error_amplification(),
+        small.at.inf_norm() * small.g.inf_norm() * small.dt.inf_norm()
+    );
+    let a8 = WinogradTransform::generate(6, 3).error_amplification();
+    let a16 = WinogradTransform::generate(14, 3).error_amplification();
+    assert!(small.error_amplification() < a8);
+    assert!(a8 < a16, "amplification must grow with α: {a8} vs {a16}");
+    // Max-abs coefficient: Γ8(6,3)'s Dᵀ tops out at ±21/4 (Figure 5);
+    // across all three matrices the largest entry is Aᵀ's 2⁵ = 32 (the
+    // p = ±2 column raised to the n−1 = 5th power).
+    let g863 = WinogradTransform::generate(6, 3);
+    assert_eq!(g863.dt.max_abs(), r(21, 4));
+    assert_eq!(g863.max_abs_coeff(), ri(32));
+}
+
+#[test]
 fn gamma_checks_alpha() {
     let t = gamma(8, 6, 3);
     assert_eq!((t.n, t.r, t.alpha), (6, 3, 8));

@@ -15,7 +15,9 @@ if grep -rn --include='*.rs' '#\[ignore' crates src tests; then
 fi
 
 echo "== cargo build --release =="
-cargo build --offline --release
+# --workspace: a bare `cargo build` here only covers the root package, so
+# e.g. target/release/repro could go stale and drive old code.
+cargo build --offline --release --workspace
 
 echo "== cargo test -q (workspace) =="
 cargo test --offline --workspace -q
@@ -28,6 +30,14 @@ PROPTEST_CASES=64 cargo test --offline -q --test gamma_conformance
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== static analysis (iwino-analyze) =="
+# Symbolic transform verification over Q, unsafe/SAFETY audit, atomics
+# lint. Exits nonzero on any finding; the JSON report lands next to the
+# repro results. A stale coefficient-bound table is a finding too —
+# regenerate with `cargo run -p analyzer -- --workspace --fix-snapshot`.
+mkdir -p repro_results
+cargo run --offline --release -p analyzer -- --workspace --json repro_results/analyzer.json
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -54,6 +54,8 @@
 //! assert!(err.mean < 1e-5); // Table 3 territory
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use iwino_baselines as baselines;
 pub use iwino_core as core;
 pub use iwino_gpu_sim as gpu_sim;
