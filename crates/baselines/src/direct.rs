@@ -74,6 +74,63 @@ pub fn direct_conv_f64_ref(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape
     direct_conv(&x64, &w64, shape)
 }
 
+/// Direct backward-data for arbitrary stride: scatter-free gather form —
+/// `dx[b, iy, ix, ic] = Σ_{oc, fh, fw} dy[b, oy, ox, oc] · w[oc, fh, fw, ic]`
+/// over the `(oy, ox)` that map onto `(iy, ix)`. The GEMM-class fallback
+/// for strided deconvolution (§5.7's "other algorithms handle the
+/// non-unit-stride cases").
+pub fn direct_backward_data(dy: &Tensor4<f32>, w: &Tensor4<f32>, s: &ConvShape) -> Tensor4<f32> {
+    let (oh, ow) = (s.oh(), s.ow());
+    let _b = obs::span(obs::Stage::Baseline);
+    let mut dx = Tensor4::<f32>::zeros(s.x_dims());
+    let dys = dy.as_slice();
+    let ws = w.as_slice();
+    let row_elems = s.iw * s.ic;
+    let parts = par::SliceParts::new(dx.as_mut_slice(), row_elems);
+    par::parallel_for(s.n * s.ih, &|row| {
+        let out = parts.take(row);
+        let b = row / s.ih;
+        let iy = row % s.ih;
+        let dy_img = &dys[b * oh * ow * s.oc..(b + 1) * oh * ow * s.oc];
+        for fh in 0..s.fh {
+            // iy = oy·sh + fh − ph  ⟹  oy = (iy + ph − fh) / sh.
+            let num = iy as isize + s.ph as isize - fh as isize;
+            if num < 0 || !(num as usize).is_multiple_of(s.sh) {
+                continue;
+            }
+            let oy = num as usize / s.sh;
+            if oy >= oh {
+                continue;
+            }
+            let dy_row = &dy_img[oy * ow * s.oc..(oy + 1) * ow * s.oc];
+            for ix in 0..s.iw {
+                let dst = &mut out[ix * s.ic..(ix + 1) * s.ic];
+                for fw in 0..s.fw {
+                    let num = ix as isize + s.pw as isize - fw as isize;
+                    if num < 0 || !(num as usize).is_multiple_of(s.sw) {
+                        continue;
+                    }
+                    let ox = num as usize / s.sw;
+                    if ox >= ow {
+                        continue;
+                    }
+                    let dy_px = &dy_row[ox * s.oc..(ox + 1) * s.oc];
+                    for (o, &g) in dy_px.iter().enumerate() {
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let wrow = &ws[((o * s.fh + fh) * s.fw + fw) * s.ic..((o * s.fh + fh) * s.fw + fw + 1) * s.ic];
+                        for (d, &wv) in dst.iter_mut().zip(wrow) {
+                            *d += g * wv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    dx
+}
+
 fn check_shapes<T: Scalar>(x: &Tensor4<T>, w: &Tensor4<T>, s: &ConvShape) {
     assert_eq!(x.dims(), s.x_dims(), "input dims mismatch");
     assert_eq!(w.dims(), s.w_dims(), "filter dims mismatch");

@@ -9,6 +9,7 @@
 //! memory-efficient as the fused kernels it is compared against (§6.1.1).
 
 use crate::gemm::sgemm_acc;
+use crate::scratch::{AllocScratch, ScratchProvider};
 use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_tensor::{transpose_filter_to_hwio, ConvShape, Tensor4};
@@ -56,17 +57,30 @@ impl Im2colPlan {
 /// im2col + GEMM convolution, NHWC. `x` is `N×IH×IW×IC`, `w` is the native
 /// `OC×FH×FW×IC` filter; output `N×OH×OW×OC`.
 pub fn im2col_conv_nhwc(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -> Tensor4<f32> {
+    // GEMM right operand: W reshaped to (FH·FW·IC) × OC — the transposed
+    // filter layout (§5.1) flattens to exactly this.
+    let wmat = transpose_filter_to_hwio(w);
+    im2col_conv_nhwc_pretransposed(x, &wmat, plan, &AllocScratch)
+}
+
+/// [`im2col_conv_nhwc`] with the filter already in `FH×FW×IC×OC` (HWIO)
+/// layout and the per-row patch buffers drawn from `scratch`. This is the
+/// serving-engine entry point: the engine's plan caches `wmat` (cuDNN's
+/// "precomp" covers the filter too) and its arena recycles the patch
+/// buffers, so steady-state calls do no heap allocation here.
+pub fn im2col_conv_nhwc_pretransposed(
+    x: &Tensor4<f32>,
+    wmat: &Tensor4<f32>,
+    plan: &Im2colPlan,
+    scratch: &dyn ScratchProvider,
+) -> Tensor4<f32> {
     let s = plan.shape;
     assert_eq!(x.dims(), s.x_dims());
-    assert_eq!(w.dims(), s.w_dims());
+    assert_eq!(wmat.dims(), [s.fh, s.fw, s.ic, s.oc], "wmat must be HWIO");
     let _b = obs::span(obs::Stage::Baseline);
     obs::add(obs::Counter::Flops, s.flops() as u64);
     let (oh, ow) = (s.oh(), s.ow());
     let k = s.fh * s.fw * s.ic;
-
-    // GEMM right operand: W reshaped to (FH·FW·IC) × OC — the transposed
-    // filter layout (§5.1) flattens to exactly this.
-    let wmat = transpose_filter_to_hwio(w);
 
     let mut y = Tensor4::<f32>::zeros(s.y_dims());
     let row_elems = ow * s.oc;
@@ -78,7 +92,7 @@ pub fn im2col_conv_nhwc(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
         let b = row / oh;
         let oy = row % oh;
         // Gather the OW × K patch matrix for this output row.
-        let mut patch = vec![0.0f32; ow * k];
+        let mut patch = scratch.checkout(ow * k);
         let x_img = &xs[b * s.ih * s.iw * s.ic..(b + 1) * s.ih * s.iw * s.ic];
         for ox in 0..ow {
             let dst_row = &mut patch[ox * k..(ox + 1) * k];
@@ -99,6 +113,7 @@ pub fn im2col_conv_nhwc(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
         // out[OW × OC] = patch[OW × K] · W[K × OC]. Runs serially here
         // (we are inside a pool worker), which is the intent.
         sgemm_acc(ow, s.oc, k, &patch, ws, out, false);
+        scratch.give_back(patch);
     });
     y
 }

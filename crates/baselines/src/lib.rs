@@ -18,10 +18,12 @@ pub mod direct;
 pub mod fft;
 pub mod gemm;
 pub mod im2col;
+pub mod scratch;
 pub mod winograd2d;
 
-pub use direct::{direct_conv, direct_conv_f64_ref};
+pub use direct::{direct_backward_data, direct_conv, direct_conv_f64_ref};
 pub use fft::{fft, fft_conv, Complex};
 pub use gemm::{sgemm, sgemm_acc, sgemm_naive};
-pub use im2col::{im2col_conv_nchw, im2col_conv_nhwc, Im2colPlan};
+pub use im2col::{im2col_conv_nchw, im2col_conv_nhwc, im2col_conv_nhwc_pretransposed, Im2colPlan};
+pub use scratch::{AllocScratch, ScratchProvider};
 pub use winograd2d::winograd2d_conv;

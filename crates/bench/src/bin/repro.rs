@@ -82,6 +82,7 @@ fn main() {
         "fig10" => fig10(&mode),
         "validate-model" => validate_model(&mode),
         "bench-stages" => bench_stages(&args, &mode),
+        "engine" => engine(&mode),
         "train-cifar" => train_cifar(&mode),
         "train-imagenet" => train_imagenet(&mode),
         "ablation-banks" => ablation_banks(),
@@ -106,9 +107,9 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|train-cifar|train-imagenet|\
-                 ablation-banks|ablation-boundary|ablation-variants|ablation-transforms|all> \
-                 [--full] [--sim-only] [--metrics <path.json>] [--out <path.json>]"
+                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|engine|train-cifar|\
+                 train-imagenet|ablation-banks|ablation-boundary|ablation-variants|ablation-transforms|all> \
+                 [--full] [--sim-only] [--engine] [--metrics <path.json>] [--out <path.json>]"
             );
             if cmd != "help" {
                 std::process::exit(2);
@@ -326,9 +327,14 @@ fn validate_model(mode: &Mode) {
 // ---------------------------------------------------------------------------
 
 fn bench_stages(args: &[String], mode: &Mode) {
+    let via_engine = args.iter().any(|a| a == "--engine");
     println!("\n==== bench-stages: per-stage effective GFLOP/s ====");
     println!("(gflops = whole-run paper-convention FLOPs / time attributed to the stage;");
     println!(" the ratio of a stage's gflops across two commits is that stage's speedup)");
+    if via_engine {
+        println!("(--engine: reps run plan-cached through iwino-engine; the filter transform");
+        println!(" is paid once at warm-up, so it drops out of the measured profile)");
+    }
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -339,7 +345,7 @@ fn bench_stages(args: &[String], mode: &Mode) {
     let reps = if mode.quick { 5 } else { 20 };
     let mut doc = Vec::new();
     for case in stage_bench_cases() {
-        let r = bench_stage_rates(&case, reps);
+        let r = bench_stage_rates(&case, reps, via_engine);
         println!("\n-- {} ({}, ofms {}) --", r.label, r.kernel, r.shape);
         println!("{:<18} {:>14} {:>8} {:>12}", "stage", "ns", "share", "gflops");
         for s in &r.stages {
@@ -359,6 +365,70 @@ fn bench_stages(args: &[String], mode: &Mode) {
         Ok(()) => println!("\n[saved {out}]"),
         Err(e) => eprintln!("\n[failed to write {out}: {e}]"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Engine smoke: every registry backend vs the f64 reference + cache stats
+// ---------------------------------------------------------------------------
+
+fn engine(mode: &Mode) {
+    println!("\n==== engine: registry smoke over every backend ====");
+    println!("(each backend runs by name through iwino-engine on the first shape it");
+    println!(" supports, is checked against the FP64 direct reference, and is timed");
+    println!(" on the plan-cached hot path)");
+    let reps = mode.reps();
+    let rows = match iwino_bench::engine_smoke(reps) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("engine smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<20} {:<14} {:>12} {:>12}",
+        "backend", "shape", "max error", "Gflop/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:<14} {:>12.2e} {:>12.2}",
+            r.backend, r.shape, r.max_error, r.gflops
+        );
+    }
+    let st = iwino_engine::Engine::global().stats();
+    println!(
+        "\nplan cache: {} hits / {} misses / {} evictions; {} plans resident ({} KB)",
+        st.plan_hits,
+        st.plan_misses,
+        st.plan_evictions,
+        st.plans_cached,
+        st.plan_resident_bytes / 1024
+    );
+    println!(
+        "arena: {} hits / {} misses; high water {} KB",
+        st.arena.hits,
+        st.arena.misses,
+        st.arena.bytes_high_water / 1024
+    );
+    let doc = Json::obj(vec![
+        (
+            "backends",
+            Json::Arr(rows.iter().map(iwino_bench::EngineSmokeRow::to_json).collect()),
+        ),
+        (
+            "engine_stats",
+            Json::obj(vec![
+                ("plan_hits", Json::from(st.plan_hits)),
+                ("plan_misses", Json::from(st.plan_misses)),
+                ("plan_evictions", Json::from(st.plan_evictions)),
+                ("plans_cached", Json::from(st.plans_cached)),
+                ("plan_resident_bytes", Json::from(st.plan_resident_bytes)),
+                ("arena_hits", Json::from(st.arena.hits)),
+                ("arena_misses", Json::from(st.arena.misses)),
+                ("arena_high_water_bytes", Json::from(st.arena.bytes_high_water)),
+            ]),
+        ),
+    ]);
+    save_json("engine_smoke", &doc);
 }
 
 // ---------------------------------------------------------------------------

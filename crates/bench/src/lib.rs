@@ -14,7 +14,9 @@
 //! repro ablation-banks            §5.2 bank-conflict ablation
 //! repro ablation-variants         §5.4/§5.6 ruse/c64 ablation
 //! repro ablation-transforms       §5.3 simplified-transformation ablation
-//! repro bench-stages [--out p]    per-stage effective GFLOP/s (the BENCH_*.json perf trajectory)
+//! repro bench-stages [--out p] [--engine]  per-stage effective GFLOP/s (the BENCH_*.json perf
+//!                                 trajectory; --engine runs plan-cached reps through the engine)
+//! repro engine                    registry smoke: every backend vs the f64 reference + cache stats
 //! repro all [--quick]             everything above
 //! ```
 //!

@@ -2,12 +2,14 @@
 //! criterion benches.
 
 use crate::figures::{scale_batch, AccuracyTable, Panel};
-use iwino_baselines::{direct_conv_f64_ref, im2col_conv_nchw, im2col_conv_nhwc, winograd2d_conv, Im2colPlan};
-use iwino_core::{conv2d_opts, ConvOptions, GammaSpec};
+use iwino_baselines::{direct_conv_f64_ref, im2col_conv_nhwc, winograd2d_conv, Im2colPlan};
+use iwino_core::{conv2d_opts, ConvError, ConvOptions, Epilogue, GammaSpec};
+use iwino_engine::{ConvAlgorithm, Engine, Handle, WinogradBackend};
 use iwino_gpu_sim::model::{Algorithm, Layout};
 use iwino_gpu_sim::DeviceSpec;
 use iwino_obs::Json;
-use iwino_tensor::{nhwc_to_nchw, relative_error_histogram, ConvShape, ErrorStats, Tensor4};
+use iwino_tensor::{relative_error_histogram, ConvShape, ErrorStats, Tensor4};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One plotted point: series label → Gflop/s.
@@ -90,32 +92,46 @@ pub fn measure_gamma(shape: &ConvShape, spec: GammaSpec, reps: usize) -> f64 {
     shape.flops() / dt / 1e9
 }
 
-/// Measured CPU Gflop/s of the im2col+GEMM baselines.
-pub fn measure_im2col(shape: &ConvShape, layout: Layout, reps: usize) -> f64 {
-    let plan = Im2colPlan::new(shape);
-    let dt = match layout {
-        Layout::Nhwc => {
-            let x = Tensor4::<f32>::random(shape.x_dims(), 13, -1.0, 1.0);
-            let w = Tensor4::<f32>::random(shape.w_dims(), 14, -1.0, 1.0);
-            time_reps(|| drop(im2col_conv_nhwc(&x, &w, &plan)), reps)
-        }
-        Layout::Nchw => {
-            let x = nhwc_to_nchw(&Tensor4::<f32>::random(shape.x_dims(), 13, -1.0, 1.0));
-            // OIHW weights.
-            let mut w = Tensor4::<f32>::zeros([shape.oc, shape.ic, shape.fh, shape.fw]);
-            w.fill_uniform(14, -1.0, 1.0);
-            time_reps(|| drop(im2col_conv_nchw(&x, &w, &plan)), reps)
-        }
-    };
-    shape.flops() / dt / 1e9
+/// Measured CPU Gflop/s of a registry backend driven by name through the
+/// engine — the plan is built (and cached) on warm-up and every timed rep
+/// is a plan-cache hit, which is the deployment hot path `nn::Conv2d`
+/// exercises. Errors surface before the timed loop starts.
+pub fn measure_engine_backend(name: &str, shape: &ConvShape, reps: usize) -> Result<f64, ConvError> {
+    let eng = Engine::global();
+    let algo = eng.algorithm(name)?;
+    // A fresh handle per measurement: its unique filter-id keeps this run's
+    // plan from colliding with any earlier sweep over the same shape.
+    let h = Handle::default();
+    let x = Tensor4::<f32>::random(shape.x_dims(), 13, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 14, -1.0, 1.0);
+    eng.conv_with(&algo, h.filter_id(), &x, &w, shape, &Epilogue::None)?;
+    let dt = time_reps(
+        || {
+            drop(
+                eng.conv_with(&algo, h.filter_id(), &x, &w, shape, &Epilogue::None)
+                    .expect("pre-flight call succeeded"),
+            )
+        },
+        reps,
+    );
+    Ok(shape.flops() / dt / 1e9)
 }
 
-/// Measured CPU Gflop/s of the fused 2-D Winograd baseline (r = 3 only).
+/// Measured CPU Gflop/s of the im2col+GEMM baselines, driven through the
+/// engine registry (NCHW pays its layout conversions at the tensor edges,
+/// which is exactly the §6.1 point about NHWC being the native layout).
+pub fn measure_im2col(shape: &ConvShape, layout: Layout, reps: usize) -> f64 {
+    let name = match layout {
+        Layout::Nhwc => "im2col-gemm-nhwc",
+        Layout::Nchw => "im2col-gemm-nchw",
+    };
+    measure_engine_backend(name, shape, reps).unwrap_or_else(|e| panic!("{name} on {shape:?}: {e}"))
+}
+
+/// Measured CPU Gflop/s of the fused 2-D Winograd baseline (r = 3 only),
+/// driven through the engine registry.
 pub fn measure_winograd2d(shape: &ConvShape, reps: usize) -> f64 {
-    let x = Tensor4::<f32>::random(shape.x_dims(), 15, -1.0, 1.0);
-    let w = Tensor4::<f32>::random(shape.w_dims(), 16, -1.0, 1.0);
-    let dt = time_reps(|| drop(winograd2d_conv(&x, &w, shape, 2)), reps);
-    shape.flops() / dt / 1e9
+    measure_engine_backend("winograd2d", shape, reps).unwrap_or_else(|e| panic!("winograd2d on {shape:?}: {e}"))
 }
 
 /// Regenerate one figure panel: GPU-simulated series for every variant and
@@ -389,6 +405,9 @@ pub struct StageBenchResult {
     pub wall_ns: u64,
     /// End-to-end achieved GFLOP/s across the reps.
     pub gflops: f64,
+    /// Whether the reps ran through the engine's plan cache (filter
+    /// transformed once at warm-up) instead of re-planning per call.
+    pub via_engine: bool,
     pub stages: Vec<StageRate>,
 }
 
@@ -401,6 +420,7 @@ impl StageBenchResult {
             ("reps", Json::from(self.reps)),
             ("wall_ns", Json::from(self.wall_ns)),
             ("gflops", Json::from(self.gflops)),
+            ("via_engine", Json::from(self.via_engine)),
             (
                 "stages",
                 Json::Obj(
@@ -431,7 +451,13 @@ impl StageBenchResult {
 /// Run one stage-bench case with profiling on and derive per-stage rates.
 /// The warm-up rep runs before the counters are reset, so the transform
 /// caches and the thread pool are hot when measurement starts.
-pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize) -> StageBenchResult {
+///
+/// With `via_engine`, the reps run through an [`Engine`] instead of the
+/// plan-per-call `conv2d_opts` path: the warm-up builds (and caches) the
+/// plan, so the measured window holds only cache hits and the
+/// `filter_transform` stage drops out of the profile entirely — the ratio
+/// against a non-engine run of the same case is the plan cache's payoff.
+pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize, via_engine: bool) -> StageBenchResult {
     use iwino_obs as obs;
     let shape = &case.shape;
     let x = Tensor4::<f32>::random(shape.x_dims(), 41, -1.0, 1.0);
@@ -440,7 +466,22 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize) -> 
         force_kernels: Some(vec![case.spec]),
         ..Default::default()
     };
-    drop(conv2d_opts(&x, &w, shape, &opts)); // warm-up
+    // A private engine keeps the cache statistics (and the plan built for
+    // this forced kernel) out of the global engine other code shares.
+    let eng = Engine::new();
+    let algo: Arc<dyn ConvAlgorithm> = Arc::new(WinogradBackend::with_options(opts.clone()));
+    let handle = Handle::default();
+    let run_once = || {
+        if via_engine {
+            drop(
+                eng.conv_with(&algo, handle.filter_id(), &x, &w, shape, &Epilogue::None)
+                    .unwrap_or_else(|e| panic!("{}: {e}", case.label)),
+            );
+        } else {
+            drop(conv2d_opts(&x, &w, shape, &opts));
+        }
+    };
+    run_once(); // warm-up (and, via the engine, the plan build)
     let reps = reps.max(1);
     let was_enabled = obs::enabled();
     obs::set_enabled(true);
@@ -448,11 +489,22 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize) -> 
     iwino_parallel::reset_global_stats();
     let t0 = Instant::now();
     for _ in 0..reps {
-        drop(conv2d_opts(&x, &w, shape, &opts));
+        run_once();
     }
     let wall_ns = t0.elapsed().as_nanos() as u64;
     let snap = obs::snapshot();
     obs::set_enabled(was_enabled);
+    if via_engine {
+        let st = eng.stats();
+        assert_eq!(
+            st.plan_misses, 1,
+            "engine-mode bench must plan exactly once (at warm-up)"
+        );
+        assert_eq!(
+            st.plan_hits as usize, reps,
+            "every measured rep must hit the plan cache"
+        );
+    }
 
     let flops = snap.counter(iwino_obs::Counter::Flops) as f64;
     let pipeline = [
@@ -488,8 +540,77 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize) -> 
         reps,
         wall_ns,
         gflops: if wall_ns > 0 { flops / wall_ns as f64 } else { 0.0 },
+        via_engine,
         stages,
     }
+}
+
+/// One row of `repro engine`: a registry backend smoke-tested end to end —
+/// conformance against the f64 direct reference plus an achieved rate.
+#[derive(Clone, Debug)]
+pub struct EngineSmokeRow {
+    pub backend: &'static str,
+    pub shape: String,
+    pub max_error: f64,
+    pub gflops: f64,
+}
+
+impl EngineSmokeRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("backend", Json::from(self.backend)),
+            ("shape", Json::from(self.shape.as_str())),
+            ("max_error", Json::from(self.max_error)),
+            ("gflops", Json::from(self.gflops)),
+        ])
+    }
+}
+
+/// Drive every registered backend by name through the engine on the first
+/// shape it supports, check the output against `direct_conv_f64_ref`, and
+/// measure its plan-cached rate. Errors (a backend failing to plan/run, or
+/// disagreeing with the reference) come back as a message naming the
+/// backend — the CI smoke step turns that into a nonzero exit.
+pub fn engine_smoke(reps: usize) -> Result<Vec<EngineSmokeRow>, String> {
+    let eng = Engine::global();
+    let candidates = [
+        ConvShape::square(1, 12, 4, 8, 3), // unit-stride 3×3: every backend
+        ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 11, 3, 4, 3)
+        },
+    ];
+    let mut rows = Vec::new();
+    for name in iwino_engine::BACKEND_NAMES {
+        let algo = eng.algorithm(name).map_err(|e| format!("{name}: {e}"))?;
+        let shape = candidates
+            .iter()
+            .find(|s| algo.supports(s))
+            .ok_or_else(|| format!("{name}: no smoke shape supported"))?;
+        let x = Tensor4::<f32>::random(shape.x_dims(), 81, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(shape.w_dims(), 82, -1.0, 1.0);
+        let h = Handle::default();
+        let y = eng
+            .conv_with(&algo, h.filter_id(), &x, &w, shape, &Epilogue::None)
+            .map_err(|e| format!("{name} on {shape:?}: {e}"))?;
+        let want = direct_conv_f64_ref(&x, &w, shape);
+        let max_error = iwino_tensor::max_mixed_error(&y, &want);
+        if max_error >= 1e-3 {
+            return Err(format!(
+                "{name} on {shape:?}: max error {max_error:.2e} vs f64 reference"
+            ));
+        }
+        let gflops = measure_engine_backend(name, shape, reps).map_err(|e| format!("{name}: {e}"))?;
+        let (n, oh, ow, oc) = (shape.n, shape.oh(), shape.ow(), shape.oc);
+        rows.push(EngineSmokeRow {
+            backend: name,
+            shape: format!("{n}x{oh}x{ow}x{oc}"),
+            max_error,
+            gflops,
+        });
+    }
+    Ok(rows)
 }
 
 /// One row of `repro validate-model`: a pipeline stage with its measured
@@ -569,7 +690,7 @@ pub fn validate_stage_model(shape: &ConvShape, spec: GammaSpec, reps: usize) -> 
 mod tests {
     use super::*;
     use crate::figures::AccuracyTable;
-    use crate::figures::FIG8;
+    use crate::figures::{stage_bench_cases, FIG8};
 
     #[test]
     fn panel_simulation_produces_all_series() {
@@ -632,6 +753,32 @@ mod tests {
         for r in &rows {
             assert!(r.divergence() <= 1.0, "{r:?}");
         }
+    }
+
+    #[test]
+    fn engine_mode_amortises_the_filter_transform() {
+        let case = &stage_bench_cases()[0];
+        let per_call = bench_stage_rates(case, 2, false);
+        let engined = bench_stage_rates(case, 2, true);
+        assert!(
+            per_call.stages.iter().any(|s| s.stage == "filter_transform"),
+            "plan-per-call reps re-transform the filter: {:?}",
+            per_call.stages
+        );
+        assert!(
+            engined.stages.iter().all(|s| s.stage != "filter_transform"),
+            "plan-cached reps must not touch the filter transform: {:?}",
+            engined.stages
+        );
+        assert!(engined.via_engine && !per_call.via_engine);
+    }
+
+    #[test]
+    fn engine_smoke_covers_every_backend() {
+        let rows = engine_smoke(1).expect("smoke must pass");
+        let names: Vec<&str> = rows.iter().map(|r| r.backend).collect();
+        assert_eq!(names, iwino_engine::BACKEND_NAMES.to_vec());
+        assert!(rows.iter().all(|r| r.gflops > 0.0 && r.max_error < 1e-3));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! roughly constant across CNN layers so the task count stays consistent
 //! (§5.1).
 
+use crate::error::{expect_dims, ConvError};
 use crate::filter::{filter_hwio, TransformedFilter};
 use crate::kernel::{cached_kernel, direct_row_segment, GammaKernel, RowJob, Scratch, Variant};
 use crate::plan::{default_kernel_prefs, GammaSpec, KernelChoice, SegmentPlan};
@@ -36,7 +37,11 @@ pub enum Epilogue {
 }
 
 impl Epilogue {
-    fn apply(&self, out_row: &mut [f32], oc: usize) {
+    /// Apply the epilogue to a contiguous `…×OC` output slice (a row or the
+    /// whole tensor — the layout is uniform along OC). Public so engine
+    /// backends whose kernels cannot fuse the epilogue apply the identical
+    /// arithmetic after the fact.
+    pub fn apply(&self, out_row: &mut [f32], oc: usize) {
         match self {
             Epilogue::None => {}
             Epilogue::Bias(b) => {
@@ -87,7 +92,10 @@ pub struct ConvOptions {
 }
 
 impl ConvOptions {
-    fn plan_for(&self, ow: usize, r: usize, oc: usize) -> SegmentPlan {
+    /// The §5.5 segment plan these options produce for an `OW`-wide row
+    /// with filter width `r`. Public so the engine's workspace accounting
+    /// can see which α a shape resolves to.
+    pub fn plan_for(&self, ow: usize, r: usize, oc: usize) -> SegmentPlan {
         let mut prefs = match &self.force_kernels {
             Some(k) => k.clone(),
             None => default_kernel_prefs(r, self.prefer_alpha16 || r >= 8),
@@ -121,15 +129,20 @@ pub fn conv2d(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape) -> Tensor4<
     conv2d_opts(x, w, shape, &ConvOptions::default())
 }
 
-/// Unit-stride 2-D convolution with explicit options.
+/// Unit-stride 2-D convolution with explicit options. Panics on malformed
+/// requests; [`try_conv2d_opts`] is the recoverable form.
 pub fn conv2d_opts(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Tensor4<f32> {
-    assert!(
-        shape.is_unit_stride(),
-        "Im2col-Winograd is a unit-stride algorithm (§4); use a GEMM/direct path for strided convolution"
-    );
-    assert_eq!(x.dims(), shape.x_dims(), "input dims mismatch");
-    assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
-    run(x, w, shape, opts, false, &Epilogue::None)
+    try_conv2d_opts(x, w, shape, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`conv2d_opts`] returning [`ConvError`] instead of panicking.
+pub fn try_conv2d_opts(
+    x: &Tensor4<f32>,
+    w: &Tensor4<f32>,
+    shape: &ConvShape,
+    opts: &ConvOptions,
+) -> Result<Tensor4<f32>, ConvError> {
+    PreparedConv::forward(w, shape, opts)?.execute(x, &Epilogue::None)
 }
 
 /// Convolution with a fused output epilogue (bias / activation applied
@@ -141,10 +154,18 @@ pub fn conv2d_fused(
     opts: &ConvOptions,
     epilogue: &Epilogue,
 ) -> Tensor4<f32> {
-    assert!(shape.is_unit_stride(), "Im2col-Winograd is a unit-stride algorithm");
-    assert_eq!(x.dims(), shape.x_dims(), "input dims mismatch");
-    assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
-    run(x, w, shape, opts, false, epilogue)
+    try_conv2d_fused(x, w, shape, opts, epilogue).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`conv2d_fused`] returning [`ConvError`] instead of panicking.
+pub fn try_conv2d_fused(
+    x: &Tensor4<f32>,
+    w: &Tensor4<f32>,
+    shape: &ConvShape,
+    opts: &ConvOptions,
+    epilogue: &Epilogue,
+) -> Result<Tensor4<f32>, ConvError> {
+    PreparedConv::forward(w, shape, opts)?.execute(x, epilogue)
 }
 
 /// Deconvolution (backward-data): given `dy = N×OH×OW×OC` and the forward
@@ -155,162 +176,242 @@ pub fn deconv2d(dy: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape) -> Tenso
     deconv2d_opts(dy, w, shape, &ConvOptions::default())
 }
 
-/// [`deconv2d`] with explicit options.
+/// [`deconv2d`] with explicit options. Panics on malformed requests;
+/// [`try_deconv2d_opts`] is the recoverable form.
 pub fn deconv2d_opts(dy: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Tensor4<f32> {
-    assert!(
-        shape.is_unit_stride(),
-        "unit-stride only; strided deconvolution goes through the GEMM path"
-    );
-    assert_eq!(dy.dims(), shape.y_dims(), "dy dims mismatch");
-    assert_eq!(w.dims(), shape.w_dims(), "filter dims mismatch");
-    // Backward-data of conv(pad p) is conv(dy, rot180(W), pad r−1−p):
-    // ih = oh + fh − 1 − 2·(fh−1−ph) wait—the shape below says it directly:
-    // the deconv is itself a unit-stride convolution with input dy and
-    // output dx.
-    let bw = ConvShape::unit(
-        shape.n,
-        shape.oh(),
-        shape.ow(),
-        shape.oc,
-        shape.ic,
-        shape.fh,
-        shape.fw,
-        shape.fh - 1 - shape.ph,
-        shape.fw - 1 - shape.pw,
-    );
-    debug_assert_eq!(bw.oh(), shape.ih);
-    debug_assert_eq!(bw.ow(), shape.iw);
-    run(dy, w, &bw, opts, true, &Epilogue::None)
+    try_deconv2d_opts(dy, w, shape, opts).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Shared forward/deconv driver. For deconv, `shape` is already the
-/// backward geometry (input = dy) and `w` is the *forward* filter — the
-/// rotation happens inside the filter transforms.
-fn run(
-    x: &Tensor4<f32>,
+/// [`deconv2d_opts`] returning [`ConvError`] instead of panicking.
+pub fn try_deconv2d_opts(
+    dy: &Tensor4<f32>,
     w: &Tensor4<f32>,
     shape: &ConvShape,
     opts: &ConvOptions,
-    rotate: bool,
-    epilogue: &Epilogue,
-) -> Tensor4<f32> {
-    let s = *shape;
-    let (oh, ow) = (s.oh(), s.ow());
-    let _total = obs::span(obs::Stage::Total);
-    // The paper's GFLOP/s convention: count the FLOPs of the standard
-    // convolution producing the same output, whatever kernel runs.
-    obs::add(obs::Counter::Flops, s.flops() as u64);
-    let plan = opts.plan_for(ow, s.fw, s.oc);
+) -> Result<Tensor4<f32>, ConvError> {
+    PreparedConv::deconv(w, shape, opts)?.execute(dy, &Epilogue::None)
+}
 
-    // Each distinct Γ kernel (cached process-wide — transform generation is
-    // exact rational arithmetic) plus its per-call transformed filter bank.
-    let ft_span = obs::span(obs::Stage::FilterTransform);
-    let mut kernels: Vec<(GammaSpec, Arc<GammaKernel>, TransformedFilter)> = Vec::new();
-    for spec in plan.gamma_specs() {
-        let kernel = cached_kernel(spec.alpha, spec.n, spec.r, spec.variant);
-        let t = kernel.transform();
-        let tw = if rotate {
-            TransformedFilter::deconv(w, &t)
-        } else {
-            TransformedFilter::forward(w, &t)
-        };
-        kernels.push((spec, kernel, tw));
-    }
-    // Untransformed HWIO filter for the GEMM remainder (built only if used).
-    let needs_direct = plan.segments.iter().any(|g| g.kernel == KernelChoice::Gemm);
-    let w_direct = needs_direct.then(|| filter_hwio(w, rotate));
-    drop(ft_span);
-    // Segment → kernel index, resolved once instead of per row.
-    let seg_kernels: Vec<Option<usize>> = plan
-        .segments
-        .iter()
-        .map(|seg| match seg.kernel {
-            KernelChoice::Gamma(spec) => Some(
-                kernels
-                    .iter()
-                    .position(|(ks, _, _)| *ks == spec)
-                    .expect("planned kernel was built"),
-            ),
-            KernelChoice::Gemm => None,
-        })
-        .collect();
+/// A planned convolution with its transformed-filter bank, reusable across
+/// calls on same-shape inputs.
+///
+/// The original `conv2d` re-ran the §5.5 width planning and the §5.1 filter
+/// transforms on every call. For the serving scenario — many forward passes
+/// through fixed weights — that repeated filter transform is pure waste:
+/// the bank depends only on `(w, shape, opts)`. `PreparedConv` splits the
+/// call into [`PreparedConv::forward`]/[`PreparedConv::deconv`] (plan +
+/// transform once) and [`PreparedConv::execute`] (the fused row pass), so a
+/// plan cache (see `iwino-engine`) can amortise preparation across calls.
+pub struct PreparedConv {
+    /// Geometry this plan *executes* (for deconv this is the backward
+    /// geometry whose input is `dy`).
+    shape: ConvShape,
+    plan: SegmentPlan,
+    kernels: Vec<(GammaSpec, Arc<GammaKernel>, TransformedFilter)>,
+    w_direct: Option<Tensor4<f32>>,
+    /// Segment → kernel index, resolved once instead of per row.
+    seg_kernels: Vec<Option<usize>>,
+}
 
-    let mut y = Tensor4::<f32>::zeros(s.y_dims());
-    let xs = x.as_slice();
-    let row_elems = ow * s.oc;
-    let img_elems = s.ih * s.iw * s.ic;
-
-    // Per-worker scratch, reused across rows (thread-local because tasks of
-    // many rows land on the same worker).
-    thread_local! {
-        static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+impl PreparedConv {
+    /// Plan a forward convolution and transform `w` into the Winograd
+    /// domain. `shape` must be unit-stride and `w` must be `OC×FH×FW×IC`.
+    pub fn forward(w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Result<PreparedConv, ConvError> {
+        if !shape.is_unit_stride() {
+            return Err(ConvError::NonUnitStride {
+                algorithm: "Im2col-Winograd",
+                sh: shape.sh,
+                sw: shape.sw,
+            });
+        }
+        expect_dims("filter", w.dims(), shape.w_dims())?;
+        Ok(Self::build(w, *shape, opts, false))
     }
 
-    // In-bounds filter rows for one output row — the dominant per-row cost
-    // factor: rows near the top/bottom image borders intersect fewer filter
-    // rows and are proportionally cheaper.
-    let in_bounds_fh = |oy: usize| {
-        (0..s.fh)
-            .filter(|&fh| {
-                let iy = oy as isize + fh as isize - s.ph as isize;
-                iy >= 0 && (iy as usize) < s.ih
+    /// Plan the backward-data pass of the forward convolution described by
+    /// `shape`. The returned plan's input is `dy = N×OH×OW×OC` and its
+    /// output is `dx = N×IH×IW×IC`; the 180° rotation and channel swap are
+    /// fused into the filter transform (§5.1).
+    pub fn deconv(w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Result<PreparedConv, ConvError> {
+        if !shape.is_unit_stride() {
+            return Err(ConvError::NonUnitStride {
+                algorithm: "Im2col-Winograd (deconv)",
+                sh: shape.sh,
+                sw: shape.sw,
+            });
+        }
+        expect_dims("filter", w.dims(), shape.w_dims())?;
+        // Backward-data of conv(pad p) is conv(dy, rot180(W), pad r−1−p):
+        // the deconv is itself a unit-stride convolution with input dy and
+        // output dx.
+        let bw = ConvShape::unit(
+            shape.n,
+            shape.oh(),
+            shape.ow(),
+            shape.oc,
+            shape.ic,
+            shape.fh,
+            shape.fw,
+            shape.fh - 1 - shape.ph,
+            shape.fw - 1 - shape.pw,
+        );
+        debug_assert_eq!(bw.oh(), shape.ih);
+        debug_assert_eq!(bw.ow(), shape.iw);
+        Ok(Self::build(w, bw, opts, true))
+    }
+
+    /// Shared planning + filter-transform step. For deconv, `s` is already
+    /// the backward geometry (input = dy) and `w` is the *forward* filter —
+    /// the rotation happens inside the filter transforms.
+    fn build(w: &Tensor4<f32>, s: ConvShape, opts: &ConvOptions, rotate: bool) -> PreparedConv {
+        let plan = opts.plan_for(s.ow(), s.fw, s.oc);
+        // Each distinct Γ kernel (cached process-wide — transform generation
+        // is exact rational arithmetic) plus its transformed filter bank.
+        let ft_span = obs::span(obs::Stage::FilterTransform);
+        let mut kernels: Vec<(GammaSpec, Arc<GammaKernel>, TransformedFilter)> = Vec::new();
+        for spec in plan.gamma_specs() {
+            let kernel = cached_kernel(spec.alpha, spec.n, spec.r, spec.variant);
+            let t = kernel.transform();
+            let tw = if rotate {
+                TransformedFilter::deconv(w, &t)
+            } else {
+                TransformedFilter::forward(w, &t)
+            };
+            kernels.push((spec, kernel, tw));
+        }
+        // Untransformed HWIO filter for the GEMM remainder (built only if used).
+        let needs_direct = plan.segments.iter().any(|g| g.kernel == KernelChoice::Gemm);
+        let w_direct = needs_direct.then(|| filter_hwio(w, rotate));
+        drop(ft_span);
+        let seg_kernels: Vec<Option<usize>> = plan
+            .segments
+            .iter()
+            .map(|seg| match seg.kernel {
+                KernelChoice::Gamma(spec) => Some(
+                    kernels
+                        .iter()
+                        .position(|(ks, _, _)| *ks == spec)
+                        .expect("planned kernel was built"),
+                ),
+                KernelChoice::Gemm => None,
             })
-            .count()
-    };
+            .collect();
+        PreparedConv {
+            shape: s,
+            plan,
+            kernels,
+            w_direct,
+            seg_kernels,
+        }
+    }
 
-    let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
-    // Cost-aware row ranges (~equal total cost per piece) instead of one
-    // task per row: boundary rows stop dragging the tail, and the scratch
-    // borrow is amortised over the whole range.
-    par::global().run_chunked_weighted(s.n * oh, &|row| in_bounds_fh(row % oh) as u64, &|range| {
-        SCRATCH.with(|scratch| {
-            let mut scratch = scratch.borrow_mut();
-            for row in range {
-                let out_row = parts.take(row);
-                let b = row / oh;
-                let oy = row % oh;
-                // Row plan: one entry per in-bounds filter row (plane =
-                // fh); rows falling outside the image are absent
-                // (implicit zero padding). Stack-allocated: FH ≤ 16
-                // always holds for the 2-D path.
-                let mut rows_buf = [(0usize, 0usize); 16];
-                let mut row_count = 0usize;
-                for fh in 0..s.fh {
+    /// The geometry this plan executes (for deconv plans: the backward
+    /// geometry, so `x_dims()` is the `dy` shape and `y_dims()` the `dx`).
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// Bytes held by the transformed-filter bank(s) plus the GEMM-remainder
+    /// filter — the plan's resident workspace, matching the
+    /// `AlgorithmClass::ImcolWinogradFused` accounting.
+    pub fn filter_bank_bytes(&self) -> usize {
+        let banks: usize = self
+            .kernels
+            .iter()
+            .map(|(spec, _, _)| self.shape.fh * spec.alpha * self.shape.ic * self.shape.oc * 4)
+            .sum();
+        banks + self.w_direct.as_ref().map_or(0, |t| t.len() * 4)
+    }
+
+    /// Run the fused row pass: transform input tiles, multiply against the
+    /// prepared filter bank, accumulate over `FH×IC`, output-transform, and
+    /// apply `epilogue` while the row is cache-hot.
+    pub fn execute(&self, x: &Tensor4<f32>, epilogue: &Epilogue) -> Result<Tensor4<f32>, ConvError> {
+        let s = self.shape;
+        expect_dims("input", x.dims(), s.x_dims())?;
+        let (oh, ow) = (s.oh(), s.ow());
+        let _total = obs::span(obs::Stage::Total);
+        // The paper's GFLOP/s convention: count the FLOPs of the standard
+        // convolution producing the same output, whatever kernel runs.
+        obs::add(obs::Counter::Flops, s.flops() as u64);
+
+        let mut y = Tensor4::<f32>::zeros(s.y_dims());
+        let xs = x.as_slice();
+        let row_elems = ow * s.oc;
+        let img_elems = s.ih * s.iw * s.ic;
+
+        // Per-worker scratch, reused across rows (thread-local because tasks
+        // of many rows land on the same worker).
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+        }
+
+        // In-bounds filter rows for one output row — the dominant per-row
+        // cost factor: rows near the top/bottom image borders intersect
+        // fewer filter rows and are proportionally cheaper.
+        let in_bounds_fh = |oy: usize| {
+            (0..s.fh)
+                .filter(|&fh| {
                     let iy = oy as isize + fh as isize - s.ph as isize;
-                    if iy >= 0 && (iy as usize) < s.ih {
-                        rows_buf[row_count] = (iy as usize * s.iw * s.ic, fh);
-                        row_count += 1;
-                    }
-                }
-                let job = RowJob {
-                    x: &xs[b * img_elems..(b + 1) * img_elems],
-                    rows: &rows_buf[..row_count],
-                    iw: s.iw,
-                    ic: s.ic,
-                    pw: s.pw,
-                    ow,
-                    oc: s.oc,
-                };
-                for (seg, k_idx) in plan.segments.iter().zip(&seg_kernels) {
-                    match k_idx {
-                        Some(k) => {
-                            let (spec, kernel, tw) = &kernels[*k];
-                            kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut scratch);
+                    iy >= 0 && (iy as usize) < s.ih
+                })
+                .count()
+        };
+
+        let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
+        // Cost-aware row ranges (~equal total cost per piece) instead of one
+        // task per row: boundary rows stop dragging the tail, and the
+        // scratch borrow is amortised over the whole range.
+        par::global().run_chunked_weighted(s.n * oh, &|row| in_bounds_fh(row % oh) as u64, &|range| {
+            SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                for row in range {
+                    let out_row = parts.take(row);
+                    let b = row / oh;
+                    let oy = row % oh;
+                    // Row plan: one entry per in-bounds filter row (plane =
+                    // fh); rows falling outside the image are absent
+                    // (implicit zero padding). Stack-allocated: FH ≤ 16
+                    // always holds for the 2-D path.
+                    let mut rows_buf = [(0usize, 0usize); 16];
+                    let mut row_count = 0usize;
+                    for fh in 0..s.fh {
+                        let iy = oy as isize + fh as isize - s.ph as isize;
+                        if iy >= 0 && (iy as usize) < s.ih {
+                            rows_buf[row_count] = (iy as usize * s.iw * s.ic, fh);
+                            row_count += 1;
                         }
-                        None => {
-                            let wd = w_direct.as_ref().expect("direct filter was built");
-                            let _g = obs::span(obs::Stage::GemmRemainder);
-                            obs::add(obs::Counter::GemmRemainderCols, seg.len as u64);
-                            direct_row_segment(&job, wd.as_slice(), s.fw, seg.start, seg.len, out_row);
+                    }
+                    let job = RowJob {
+                        x: &xs[b * img_elems..(b + 1) * img_elems],
+                        rows: &rows_buf[..row_count],
+                        iw: s.iw,
+                        ic: s.ic,
+                        pw: s.pw,
+                        ow,
+                        oc: s.oc,
+                    };
+                    for (seg, k_idx) in self.plan.segments.iter().zip(&self.seg_kernels) {
+                        match k_idx {
+                            Some(k) => {
+                                let (spec, kernel, tw) = &self.kernels[*k];
+                                kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut scratch);
+                            }
+                            None => {
+                                let wd = self.w_direct.as_ref().expect("direct filter was built");
+                                let _g = obs::span(obs::Stage::GemmRemainder);
+                                obs::add(obs::Counter::GemmRemainderCols, seg.len as u64);
+                                direct_row_segment(&job, wd.as_slice(), s.fw, seg.start, seg.len, out_row);
+                            }
                         }
                     }
+                    let _e = (!matches!(epilogue, Epilogue::None)).then(|| obs::span(obs::Stage::Epilogue));
+                    epilogue.apply(out_row, s.oc);
                 }
-                let _e = (!matches!(epilogue, Epilogue::None)).then(|| obs::span(obs::Stage::Epilogue));
-                epilogue.apply(out_row, s.oc);
-            }
+            });
         });
-    });
-    y
+        Ok(y)
+    }
 }
 
 #[cfg(test)]

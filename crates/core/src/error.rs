@@ -1,0 +1,97 @@
+//! Recoverable convolution errors.
+//!
+//! The original entry points (`conv2d`, `deconv2d`) validated shapes with
+//! `assert!`, so a malformed request from a caller aborted the whole
+//! process — unacceptable once convolutions are dispatched from a serving
+//! engine that handles many independent requests. Every planning/execution
+//! path now reports [`ConvError`] through the `try_*` entry points (and
+//! through `iwino-engine`); the panicking wrappers remain only as thin
+//! compatibility shims for code that wants the old behaviour.
+
+use iwino_tensor::ConvShape;
+use std::fmt;
+
+/// Why a convolution request could not be planned or run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConvError {
+    /// A tensor's dimensions disagree with what `shape` implies.
+    ShapeMismatch {
+        /// Which operand was wrong (`"input"`, `"filter"`, `"dy"` …).
+        what: &'static str,
+        got: [usize; 4],
+        want: [usize; 4],
+    },
+    /// The algorithm only handles unit strides (§4: Im2col-Winograd is a
+    /// unit-stride algorithm) but the shape is strided.
+    NonUnitStride {
+        algorithm: &'static str,
+        sh: usize,
+        sw: usize,
+    },
+    /// The algorithm cannot run this shape for a reason other than stride
+    /// (e.g. the fused 2-D Winograd baseline is 3×3-only).
+    Unsupported { algorithm: &'static str, reason: String },
+    /// No registered algorithm answers to this name (engine dispatch).
+    UnknownAlgorithm { name: String },
+    /// No registered algorithm supports the shape (engine dispatch).
+    NoEligibleAlgorithm { shape: ConvShape },
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::ShapeMismatch { what, got, want } => {
+                write!(f, "{what} dims mismatch: got {got:?}, want {want:?}")
+            }
+            ConvError::NonUnitStride { algorithm, sh, sw } => {
+                write!(
+                    f,
+                    "{algorithm} is a unit-stride algorithm (§4) but stride is {sh}×{sw}; \
+                     use a GEMM/direct path for strided convolution"
+                )
+            }
+            ConvError::Unsupported { algorithm, reason } => {
+                write!(f, "{algorithm} cannot run this shape: {reason}")
+            }
+            ConvError::UnknownAlgorithm { name } => write!(f, "no convolution algorithm named {name:?} is registered"),
+            ConvError::NoEligibleAlgorithm { shape } => {
+                write!(f, "no registered convolution algorithm supports shape {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvError {}
+
+/// `got == want` or a [`ConvError::ShapeMismatch`] naming the operand.
+pub fn expect_dims(what: &'static str, got: [usize; 4], want: [usize; 4]) -> Result<(), ConvError> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(ConvError::ShapeMismatch { what, got, want })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_operand() {
+        let e = expect_dims("input", [1, 2, 3, 4], [1, 2, 3, 5]).unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("input"), "{msg}");
+        assert!(msg.contains("[1, 2, 3, 4]"), "{msg}");
+    }
+
+    #[test]
+    fn matching_dims_pass() {
+        assert!(expect_dims("filter", [4, 3, 3, 2], [4, 3, 3, 2]).is_ok());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ConvError::UnknownAlgorithm { name: "nope".into() });
+        assert!(format!("{e}").contains("nope"));
+    }
+}

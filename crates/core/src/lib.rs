@@ -47,6 +47,7 @@
 
 pub mod conv;
 pub mod conv1d;
+pub mod error;
 pub mod filter;
 pub mod grad;
 pub mod kernel;
@@ -55,8 +56,12 @@ pub mod plan;
 pub mod precision;
 pub mod workspace;
 
-pub use conv::{auto_options, conv2d, conv2d_fused, conv2d_opts, deconv2d, deconv2d_opts, ConvOptions, Epilogue};
+pub use conv::{
+    auto_options, conv2d, conv2d_fused, conv2d_opts, deconv2d, deconv2d_opts, try_conv2d_fused, try_conv2d_opts,
+    try_deconv2d_opts, ConvOptions, Epilogue, PreparedConv,
+};
 pub use conv1d::{conv1d, conv1d_opts};
+pub use error::ConvError;
 pub use filter::TransformedFilter;
 pub use grad::filter_grad;
 pub use kernel::{GammaKernel, Variant};

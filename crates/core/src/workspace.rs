@@ -30,6 +30,11 @@ pub enum AlgorithmClass {
     ExplicitIm2colGemm,
     /// Implicit-precomp GEMM: only the precomputed index maps.
     ImplicitPrecompGemm,
+    /// Naive direct convolution: no auxiliary memory at all.
+    Direct,
+    /// FFT convolution: frequency-domain ifms, filter bank, and product
+    /// accumulator, each padded to the `IH×IW` transform size.
+    Fft,
 }
 
 /// Bytes of auxiliary global memory the algorithm needs for `shape` (f32).
@@ -57,6 +62,15 @@ pub fn workspace_bytes(class: AlgorithmClass, s: &ConvShape) -> usize {
         AlgorithmClass::ImplicitPrecompGemm => {
             // Index maps: one i32 per (oy, fh) and (ox, fw) pair.
             (s.oh() * s.fh + s.ow() * s.fw) * 4
+        }
+        AlgorithmClass::Direct => 0,
+        AlgorithmClass::Fft => {
+            // Complex (2×f32) IH×IW-padded planes: transformed ifms, the
+            // frequency-domain filter bank, and one product accumulator
+            // plane per worker (counted once — it is shape-, not
+            // batch-scaled).
+            let plane = s.ih * s.iw * 2 * f32s;
+            s.n * s.ic * plane + s.oc * s.ic * plane + s.oc * plane
         }
     }
 }

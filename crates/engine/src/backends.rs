@@ -1,0 +1,459 @@
+//! The registered [`ConvAlgorithm`] implementations.
+//!
+//! One adapter per algorithm family the paper benchmarks (§6.1.1): the
+//! fused Im2col-Winograd kernels, im2col+GEMM in both layouts (the
+//! `Implicit_Precomp_GEMM` stand-ins), direct convolution, fused 2-D
+//! Winograd (`Fused_Winograd`, 3×3-only), and FFT. Every adapter produces a
+//! [`ConvPlan`] owning whatever per-shape state is expensive to rebuild —
+//! transformed-filter banks, reshaped weights, gather maps — so the
+//! engine's cache turns repeat calls into pure execution.
+
+use crate::arena::WorkspacePool;
+use crate::{ConvAlgorithm, ConvPlan};
+use iwino_baselines as baselines;
+use iwino_core::error::expect_dims;
+use iwino_core::{AlgorithmClass, ConvError, ConvOptions, Epilogue, PreparedConv};
+use iwino_tensor::{nchw_to_nhwc, nhwc_to_nchw, transpose_filter_to_hwio, ConvShape, Tensor4};
+use std::sync::Arc;
+
+/// Registry names, in registration order. `Engine::algorithms` mirrors this.
+pub const BACKEND_NAMES: [&str; 6] = [
+    "im2col-winograd",
+    "im2col-gemm-nhwc",
+    "im2col-gemm-nchw",
+    "direct",
+    "winograd2d",
+    "fft",
+];
+
+pub(crate) fn all_backends() -> Vec<Arc<dyn ConvAlgorithm>> {
+    vec![
+        Arc::new(WinogradBackend::auto()),
+        Arc::new(GemmNhwcBackend),
+        Arc::new(GemmNchwBackend),
+        Arc::new(DirectBackend),
+        Arc::new(Winograd2dBackend),
+        Arc::new(FftBackend),
+    ]
+}
+
+fn unsupported(algorithm: &'static str, reason: impl Into<String>) -> ConvError {
+    ConvError::Unsupported {
+        algorithm,
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------- winograd
+
+/// The paper's fused Γα(n, r) path, wrapped as a registry backend. By
+/// default each shape gets `auto_options`; bench sweeps that force a
+/// specific kernel construct [`WinogradBackend::with_options`] directly.
+pub struct WinogradBackend {
+    opts: Option<ConvOptions>,
+}
+
+impl WinogradBackend {
+    pub fn auto() -> Self {
+        WinogradBackend { opts: None }
+    }
+
+    /// Fixed options (forced kernels, α preferences) instead of per-shape
+    /// auto-selection. Used by forced-kernel benchmark sweeps, which hold
+    /// the returned plan themselves rather than going through the cache.
+    pub fn with_options(opts: ConvOptions) -> Self {
+        WinogradBackend { opts: Some(opts) }
+    }
+
+    fn options_for(&self, s: &ConvShape) -> ConvOptions {
+        match &self.opts {
+            Some(o) => o.clone(),
+            None => iwino_core::auto_options(s),
+        }
+    }
+}
+
+struct WinogradPlan {
+    prep: PreparedConv,
+    /// The *forward* geometry the caller asked about (for deconv plans the
+    /// executed geometry differs; see [`PreparedConv::deconv`]).
+    shape: ConvShape,
+}
+
+impl ConvAlgorithm for WinogradBackend {
+    fn name(&self) -> &'static str {
+        "im2col-winograd"
+    }
+
+    fn supports(&self, s: &ConvShape) -> bool {
+        // Unit stride (§4); the row kernel stack-allocates FH ≤ 16 filter
+        // rows; planning covers filter widths 2..=15.
+        s.is_unit_stride() && (2..=15).contains(&s.fw) && s.fh <= 16
+    }
+
+    fn workspace_class(&self, s: &ConvShape) -> AlgorithmClass {
+        let opts = self.options_for(s);
+        let plan = opts.plan_for(s.ow(), s.fw, s.oc);
+        let alpha = plan.gamma_specs().first().map_or(s.fw, |spec| spec.alpha);
+        AlgorithmClass::ImcolWinogradFused { alpha }
+    }
+
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        if !self.supports(s) {
+            return Err(unsupported(self.name(), format!("unsupported shape {s:?}")));
+        }
+        let opts = self.options_for(s);
+        let prep = if deconv {
+            PreparedConv::deconv(w, s, &opts)?
+        } else {
+            PreparedConv::forward(w, s, &opts)?
+        };
+        Ok(Arc::new(WinogradPlan { prep, shape: *s }))
+    }
+}
+
+impl ConvPlan for WinogradPlan {
+    fn algorithm(&self) -> &'static str {
+        "im2col-winograd"
+    }
+
+    fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.prep.filter_bank_bytes()
+    }
+
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, _arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        // Fully fused: no arena draw — the §4.2 zero-workspace property.
+        self.prep.execute(x, epilogue)
+    }
+}
+
+// ------------------------------------------------------------- im2col NHWC
+
+/// im2col + GEMM in the native NHWC layout. The plan caches the gather
+/// maps *and* the HWIO-reshaped filter (cuDNN's "precomp"), and the patch
+/// rows draw from the engine arena.
+pub struct GemmNhwcBackend;
+
+struct GemmNhwcPlan {
+    plan: baselines::Im2colPlan,
+    wmat: Tensor4<f32>,
+}
+
+impl ConvAlgorithm for GemmNhwcBackend {
+    fn name(&self) -> &'static str {
+        "im2col-gemm-nhwc"
+    }
+
+    fn supports(&self, _s: &ConvShape) -> bool {
+        true
+    }
+
+    fn workspace_class(&self, _s: &ConvShape) -> AlgorithmClass {
+        AlgorithmClass::ImplicitPrecompGemm
+    }
+
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        if deconv {
+            return Err(unsupported(self.name(), "backward-data runs through `direct`"));
+        }
+        expect_dims("filter", w.dims(), s.w_dims())?;
+        Ok(Arc::new(GemmNhwcPlan {
+            plan: baselines::Im2colPlan::new(s),
+            wmat: transpose_filter_to_hwio(w),
+        }))
+    }
+}
+
+impl ConvPlan for GemmNhwcPlan {
+    fn algorithm(&self) -> &'static str {
+        "im2col-gemm-nhwc"
+    }
+
+    fn shape(&self) -> &ConvShape {
+        self.plan.shape()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.wmat.len() * 4
+    }
+
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        let s = self.plan.shape();
+        expect_dims("input", x.dims(), s.x_dims())?;
+        let mut y = baselines::im2col_conv_nhwc_pretransposed(x, &self.wmat, &self.plan, arena);
+        epilogue.apply(y.as_mut_slice(), s.oc);
+        Ok(y)
+    }
+}
+
+// ------------------------------------------------------------- im2col NCHW
+
+/// im2col + GEMM in NCHW/OIHW, wrapped with layout conversion at the edges
+/// so it presents the same NHWC interface as every other backend (the
+/// benchmark harness compares the two layouts' gather behaviour like the
+/// paper compares `Implicit_Precomp_GEMM` in both formats).
+pub struct GemmNchwBackend;
+
+struct GemmNchwPlan {
+    plan: baselines::Im2colPlan,
+    w_oihw: Tensor4<f32>,
+}
+
+fn ohwi_to_oihw(w: &Tensor4<f32>) -> Tensor4<f32> {
+    let [oc, fh, fw, ic] = w.dims();
+    let mut out = Tensor4::zeros([oc, ic, fh, fw]);
+    for o in 0..oc {
+        for h in 0..fh {
+            for x in 0..fw {
+                for i in 0..ic {
+                    *out.at_mut(o, i, h, x) = w.at(o, h, x, i);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl ConvAlgorithm for GemmNchwBackend {
+    fn name(&self) -> &'static str {
+        "im2col-gemm-nchw"
+    }
+
+    fn supports(&self, _s: &ConvShape) -> bool {
+        true
+    }
+
+    fn workspace_class(&self, _s: &ConvShape) -> AlgorithmClass {
+        AlgorithmClass::ImplicitPrecompGemm
+    }
+
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        if deconv {
+            return Err(unsupported(self.name(), "backward-data runs through `direct`"));
+        }
+        expect_dims("filter", w.dims(), s.w_dims())?;
+        Ok(Arc::new(GemmNchwPlan {
+            plan: baselines::Im2colPlan::new(s),
+            w_oihw: ohwi_to_oihw(w),
+        }))
+    }
+}
+
+impl ConvPlan for GemmNchwPlan {
+    fn algorithm(&self) -> &'static str {
+        "im2col-gemm-nchw"
+    }
+
+    fn shape(&self) -> &ConvShape {
+        self.plan.shape()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.w_oihw.len() * 4
+    }
+
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, _arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        let s = self.plan.shape();
+        expect_dims("input", x.dims(), s.x_dims())?;
+        let y_nchw = baselines::im2col_conv_nchw(&nhwc_to_nchw(x), &self.w_oihw, &self.plan);
+        let mut y = nchw_to_nhwc(&y_nchw);
+        epilogue.apply(y.as_mut_slice(), s.oc);
+        Ok(y)
+    }
+}
+
+// ------------------------------------------------------------------ direct
+
+/// Schoolbook convolution: supports everything, fast at nothing. Also the
+/// backward-data fallback for strided shapes (§5.7's "other algorithms
+/// handle the non-unit-stride cases").
+pub struct DirectBackend;
+
+struct DirectPlan {
+    w: Tensor4<f32>,
+    shape: ConvShape,
+    deconv: bool,
+}
+
+impl ConvAlgorithm for DirectBackend {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn supports(&self, _s: &ConvShape) -> bool {
+        true
+    }
+
+    fn workspace_class(&self, _s: &ConvShape) -> AlgorithmClass {
+        AlgorithmClass::Direct
+    }
+
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        expect_dims("filter", w.dims(), s.w_dims())?;
+        Ok(Arc::new(DirectPlan {
+            w: w.clone(),
+            shape: *s,
+            deconv,
+        }))
+    }
+}
+
+impl ConvPlan for DirectPlan {
+    fn algorithm(&self) -> &'static str {
+        "direct"
+    }
+
+    fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.w.len() * 4
+    }
+
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, _arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        let s = &self.shape;
+        if self.deconv {
+            expect_dims("dy", x.dims(), s.y_dims())?;
+            let mut dx = baselines::direct_backward_data(x, &self.w, s);
+            epilogue.apply(dx.as_mut_slice(), s.ic);
+            Ok(dx)
+        } else {
+            expect_dims("input", x.dims(), s.x_dims())?;
+            let mut y = baselines::direct_conv(x, &self.w, s);
+            epilogue.apply(y.as_mut_slice(), s.oc);
+            Ok(y)
+        }
+    }
+}
+
+// -------------------------------------------------------------- winograd2d
+
+/// Fused 2-D Winograd `F(2×2, 3×3)` — the `Fused_Winograd` stand-in, with
+/// exactly the 3×3/unit-stride restriction the paper calls out in §6.1.1.
+pub struct Winograd2dBackend;
+
+struct Winograd2dPlan {
+    w: Tensor4<f32>,
+    shape: ConvShape,
+}
+
+impl ConvAlgorithm for Winograd2dBackend {
+    fn name(&self) -> &'static str {
+        "winograd2d"
+    }
+
+    fn supports(&self, s: &ConvShape) -> bool {
+        s.is_unit_stride() && s.fh == 3 && s.fw == 3
+    }
+
+    fn workspace_class(&self, _s: &ConvShape) -> AlgorithmClass {
+        AlgorithmClass::Winograd2dNonFused { alpha: 4, n: 2 }
+    }
+
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        if deconv {
+            return Err(unsupported(self.name(), "backward-data runs through `direct`"));
+        }
+        if !self.supports(s) {
+            return Err(unsupported(self.name(), "3×3 unit-stride only (§6.1.1)"));
+        }
+        expect_dims("filter", w.dims(), s.w_dims())?;
+        Ok(Arc::new(Winograd2dPlan {
+            w: w.clone(),
+            shape: *s,
+        }))
+    }
+}
+
+impl ConvPlan for Winograd2dPlan {
+    fn algorithm(&self) -> &'static str {
+        "winograd2d"
+    }
+
+    fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.w.len() * 4
+    }
+
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, _arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        let s = &self.shape;
+        expect_dims("input", x.dims(), s.x_dims())?;
+        let mut y = baselines::winograd2d_conv(x, &self.w, s, 2);
+        epilogue.apply(y.as_mut_slice(), s.oc);
+        Ok(y)
+    }
+}
+
+// --------------------------------------------------------------------- fft
+
+/// FFT convolution (unit stride). Included for algorithm-coverage parity;
+/// its frequency-domain filter bank is rebuilt per run, which the
+/// `AlgorithmClass::Fft` workspace accounting already charges it for.
+pub struct FftBackend;
+
+struct FftPlan {
+    w: Tensor4<f32>,
+    shape: ConvShape,
+}
+
+impl ConvAlgorithm for FftBackend {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn supports(&self, s: &ConvShape) -> bool {
+        s.is_unit_stride()
+    }
+
+    fn workspace_class(&self, _s: &ConvShape) -> AlgorithmClass {
+        AlgorithmClass::Fft
+    }
+
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        if deconv {
+            return Err(unsupported(self.name(), "backward-data runs through `direct`"));
+        }
+        if !self.supports(s) {
+            return Err(ConvError::NonUnitStride {
+                algorithm: "fft",
+                sh: s.sh,
+                sw: s.sw,
+            });
+        }
+        expect_dims("filter", w.dims(), s.w_dims())?;
+        Ok(Arc::new(FftPlan {
+            w: w.clone(),
+            shape: *s,
+        }))
+    }
+}
+
+impl ConvPlan for FftPlan {
+    fn algorithm(&self) -> &'static str {
+        "fft"
+    }
+
+    fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.w.len() * 4
+    }
+
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, _arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        let s = &self.shape;
+        expect_dims("input", x.dims(), s.x_dims())?;
+        let mut y = baselines::fft_conv(x, &self.w, s);
+        epilogue.apply(y.as_mut_slice(), s.oc);
+        Ok(y)
+    }
+}

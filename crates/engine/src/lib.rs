@@ -1,0 +1,483 @@
+//! Unified convolution engine: one dispatch surface over every algorithm
+//! in the workspace.
+//!
+//! The paper's §5.5/§5.7 story is that Im2col-Winograd is one algorithm in
+//! a *selector* — unit-stride convolutions run Γα(n, r), everything else
+//! falls back to GEMM-class paths. This crate is that selector made
+//! concrete, in the shape framework integrations actually use (cuDNN's
+//! algorithm enum + plan handles; the Indirect Convolution paper's
+//! precomputed per-shape state):
+//!
+//! * [`ConvAlgorithm`] / [`ConvPlan`] — the registry abstraction. An
+//!   algorithm inspects a [`ConvShape`] and builds a plan; the plan owns
+//!   the expensive per-shape state (transformed-filter banks, reshaped
+//!   weights, gather maps) and executes against inputs.
+//! * [`Engine`] — the global registry plus a bounded LRU **plan cache**
+//!   keyed by `(algorithm, shape, filter-id, direction)`, so repeated
+//!   same-shape forwards stop re-transforming filters (the serving hot
+//!   path), and an arena-backed [`WorkspacePool`] so GEMM-class scratch
+//!   stops hitting the allocator per row.
+//! * [`SelectionPolicy`] — §5.7's heuristic by default (unit stride → Γ,
+//!   otherwise GEMM), an optional measure-once autotune that times every
+//!   eligible backend on first sight of a shape and pins the winner, and
+//!   `Force` for driving a specific backend by registry name.
+//! * [`Handle`] — per-layer identity: owns the filter-id whose epoch is
+//!   bumped on weight mutation, which invalidates cached plans without any
+//!   cache walk.
+
+#![forbid(unsafe_code)]
+
+mod arena;
+mod backends;
+mod cache;
+
+pub use arena::{ArenaStats, WorkspacePool};
+pub use backends::{WinogradBackend, BACKEND_NAMES};
+pub use cache::FilterId;
+
+use cache::{PlanCache, PlanKey};
+use iwino_core::{AlgorithmClass, ConvError, Epilogue};
+use iwino_obs as obs;
+use iwino_tensor::{ConvShape, Tensor4};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Plans the plan cache retains before LRU eviction. Each entry's dominant
+/// cost is its filter bank (`FH×α×IC×OC` floats), so the bound also bounds
+/// resident bytes for a fixed model.
+const PLAN_CACHE_BOUND: usize = 64;
+
+/// A convolution algorithm the engine can dispatch to.
+pub trait ConvAlgorithm: Send + Sync {
+    /// Stable registry name (`"im2col-winograd"`, `"direct"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Can this algorithm run `s` at all? Selection and autotune consult
+    /// this before planning.
+    fn supports(&self, s: &ConvShape) -> bool;
+
+    /// Workspace class for the §6.1.1 memory accounting
+    /// (`iwino_core::workspace_bytes`).
+    fn workspace_class(&self, s: &ConvShape) -> AlgorithmClass;
+
+    /// Build a plan for `shape` around filter `w` (`OC×FH×FW×IC`). With
+    /// `deconv`, the plan computes backward-data: its input is `dy` and its
+    /// output `dx`. Backends without a deconv path return
+    /// [`ConvError::Unsupported`]; the engine reroutes those to `direct`.
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError>;
+}
+
+/// An executable convolution plan. Immutable after construction, shared via
+/// `Arc` between the cache and in-flight calls.
+pub trait ConvPlan: Send + Sync {
+    /// Name of the algorithm that built this plan.
+    fn algorithm(&self) -> &'static str;
+
+    /// The *forward* geometry this plan answers for.
+    fn shape(&self) -> &ConvShape;
+
+    /// Bytes of per-shape state the plan keeps resident (filter banks,
+    /// reshaped weights) — what a cache entry costs.
+    fn resident_bytes(&self) -> usize;
+
+    /// Execute. `x` is the input (`dy` for deconv plans); scratch buffers
+    /// draw from `arena`.
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError>;
+}
+
+/// How a [`Handle`] picks its backend.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// §5.7: unit-stride shapes the fused kernels can run → Im2col-Winograd;
+    /// everything else → im2col+GEMM (NHWC).
+    #[default]
+    Heuristic,
+    /// Time every eligible backend on first sight of a shape, pin the
+    /// winner for all subsequent calls (measure-once, like cuDNN's
+    /// `cudnnFindConvolutionForwardAlgorithm`).
+    Autotune,
+    /// Always use the named backend.
+    Force(String),
+}
+
+static NEXT_HANDLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-call-site identity for plan caching: a conv layer (or bench loop)
+/// holds one `Handle`; its `(id, epoch)` pair keys the filter bank in the
+/// plan cache, and [`Handle::invalidate`] retires every cached plan built
+/// from previous weights by bumping the epoch.
+#[derive(Debug)]
+pub struct Handle {
+    id: u64,
+    epoch: AtomicU64,
+    pub policy: SelectionPolicy,
+}
+
+impl Handle {
+    pub fn new(policy: SelectionPolicy) -> Handle {
+        Handle {
+            // ORDERING: Relaxed — a unique-id counter; no other data is
+            // published through it and ids only need to be distinct.
+            id: NEXT_HANDLE_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
+            policy,
+        }
+    }
+
+    /// The cache key component identifying this handle's current weights.
+    pub fn filter_id(&self) -> FilterId {
+        FilterId {
+            owner: self.id,
+            // ORDERING: Relaxed — the epoch is a monotonic generation
+            // counter; callers that mutate weights and then call conv do so
+            // in program order on the same thread (or across the training
+            // step's join barrier), which already orders the bump.
+            epoch: self.epoch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Call after mutating the weights this handle convolves with: cached
+    /// plans built from the old values stop being served (their keys carry
+    /// the old epoch and age out of the LRU).
+    pub fn invalidate(&self) {
+        // ORDERING: Relaxed — see [`Handle::filter_id`].
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for Handle {
+    fn default() -> Self {
+        Handle::new(SelectionPolicy::Heuristic)
+    }
+}
+
+/// Point-in-time engine statistics (plan cache + arena).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub plan_evictions: u64,
+    pub plans_cached: usize,
+    pub plan_resident_bytes: usize,
+    pub arena: ArenaStats,
+}
+
+/// The dispatch surface: registry + plan cache + arena + autotune pins.
+pub struct Engine {
+    registry: Vec<Arc<dyn ConvAlgorithm>>,
+    cache: Mutex<PlanCache>,
+    arena: WorkspacePool,
+    /// Autotune winners, keyed by shape. Deliberately separate from the
+    /// plan cache: evicting a plan must not forget the measurement.
+    pinned: Mutex<HashMap<ConvShape, &'static str>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with the standard backend registry. Tests that need
+    /// isolated cache statistics construct their own; everything else uses
+    /// [`Engine::global`].
+    pub fn new() -> Engine {
+        Engine {
+            registry: backends::all_backends(),
+            cache: Mutex::new(PlanCache::new(PLAN_CACHE_BOUND)),
+            arena: WorkspacePool::new(),
+            pinned: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The process-wide engine every `nn::Conv2d` and bench loop shares.
+    pub fn global() -> &'static Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        GLOBAL.get_or_init(Engine::new)
+    }
+
+    /// Registered backend names, in registration order.
+    pub fn algorithms(&self) -> Vec<&'static str> {
+        self.registry.iter().map(|a| a.name()).collect()
+    }
+
+    /// Look a backend up by name.
+    pub fn algorithm(&self, name: &str) -> Result<Arc<dyn ConvAlgorithm>, ConvError> {
+        self.registry
+            .iter()
+            .find(|a| a.name() == name)
+            .cloned()
+            .ok_or_else(|| ConvError::UnknownAlgorithm { name: name.into() })
+    }
+
+    /// The workspace pool backing GEMM-class scratch buffers.
+    pub fn arena(&self) -> &WorkspacePool {
+        &self.arena
+    }
+
+    /// §5.7 heuristic: fused Winograd wherever it applies, GEMM otherwise.
+    pub fn heuristic_choice(&self, s: &ConvShape) -> &'static str {
+        if self.registry[0].supports(s) {
+            self.registry[0].name() // "im2col-winograd"
+        } else {
+            "im2col-gemm-nhwc"
+        }
+    }
+
+    /// The autotune winner pinned for `s`, if one has been measured.
+    pub fn pinned_choice(&self, s: &ConvShape) -> Option<&'static str> {
+        self.pinned.lock().unwrap().get(s).copied()
+    }
+
+    /// The backend a handle's policy resolves to for `s` — without running
+    /// anything. Autotune resolves to its pin, or the heuristic choice when
+    /// no measurement has happened yet.
+    pub fn resolve(&self, policy: &SelectionPolicy, s: &ConvShape) -> Result<Arc<dyn ConvAlgorithm>, ConvError> {
+        let name = match policy {
+            SelectionPolicy::Heuristic => self.heuristic_choice(s),
+            SelectionPolicy::Autotune => self.pinned_choice(s).unwrap_or_else(|| self.heuristic_choice(s)),
+            SelectionPolicy::Force(name) => return self.algorithm(name),
+        };
+        self.algorithm(name)
+    }
+
+    /// Fetch a cached plan, or build and cache one.
+    pub fn plan(
+        &self,
+        algo: &Arc<dyn ConvAlgorithm>,
+        w: &Tensor4<f32>,
+        s: &ConvShape,
+        filter: FilterId,
+        deconv: bool,
+    ) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        let _plan_span = obs::span(obs::Stage::EnginePlan);
+        let key = PlanKey {
+            algo: algo.name(),
+            shape: *s,
+            filter,
+            deconv,
+        };
+        if let Some(p) = self.cache.lock().unwrap().get(&key) {
+            return Ok(p);
+        }
+        // Build outside the lock — planning transforms the whole filter.
+        let plan = algo.plan(w, s, deconv)?;
+        self.cache.lock().unwrap().insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Forward convolution through a handle's policy, with plan caching.
+    pub fn conv(
+        &self,
+        h: &Handle,
+        x: &Tensor4<f32>,
+        w: &Tensor4<f32>,
+        s: &ConvShape,
+        epilogue: &Epilogue,
+    ) -> Result<Tensor4<f32>, ConvError> {
+        if let SelectionPolicy::Autotune = h.policy {
+            if self.pinned_choice(s).is_none() {
+                return self.autotune(h, x, w, s, epilogue);
+            }
+        }
+        let algo = self.resolve(&h.policy, s)?;
+        self.conv_with(&algo, h.filter_id(), x, w, s, epilogue)
+    }
+
+    /// Forward convolution through a specific backend (cache still applies).
+    pub fn conv_with(
+        &self,
+        algo: &Arc<dyn ConvAlgorithm>,
+        filter: FilterId,
+        x: &Tensor4<f32>,
+        w: &Tensor4<f32>,
+        s: &ConvShape,
+        epilogue: &Epilogue,
+    ) -> Result<Tensor4<f32>, ConvError> {
+        let plan = self.plan(algo, w, s, filter, false)?;
+        let _run = obs::span(obs::Stage::EngineRun);
+        plan.run(x, epilogue, &self.arena)
+    }
+
+    /// Backward-data through a handle's policy. Shapes the fused deconv can
+    /// run (unit stride) use it; everything else — and every backend with
+    /// no deconv path — falls back to `direct` (§5.7).
+    pub fn backward_data(
+        &self,
+        h: &Handle,
+        dy: &Tensor4<f32>,
+        w: &Tensor4<f32>,
+        s: &ConvShape,
+    ) -> Result<Tensor4<f32>, ConvError> {
+        let forward = self.resolve(&h.policy, s)?;
+        let algo = if forward.name() == "im2col-winograd" && forward.supports(s) {
+            forward
+        } else {
+            self.algorithm("direct")?
+        };
+        let plan = self.plan(&algo, w, s, h.filter_id(), true)?;
+        let _run = obs::span(obs::Stage::EngineRun);
+        plan.run(dy, &Epilogue::None, &self.arena)
+    }
+
+    /// Measure every eligible backend once on `(x, w, s)`, pin the winner,
+    /// and return its output. Called on autotune's first sight of a shape.
+    fn autotune(
+        &self,
+        h: &Handle,
+        x: &Tensor4<f32>,
+        w: &Tensor4<f32>,
+        s: &ConvShape,
+        epilogue: &Epilogue,
+    ) -> Result<Tensor4<f32>, ConvError> {
+        type Timed = (u128, Arc<dyn ConvAlgorithm>, Arc<dyn ConvPlan>, Tensor4<f32>);
+        let mut best: Option<Timed> = None;
+        for algo in &self.registry {
+            if !algo.supports(s) {
+                continue;
+            }
+            let Ok(plan) = algo.plan(w, s, false) else { continue };
+            let t0 = Instant::now();
+            let Ok(y) = plan.run(x, epilogue, &self.arena) else {
+                continue;
+            };
+            let dt = t0.elapsed().as_nanos();
+            if best.as_ref().is_none_or(|(b, _, _, _)| dt < *b) {
+                best = Some((dt, Arc::clone(algo), plan, y));
+            }
+        }
+        let (_, algo, plan, y) = best.ok_or(ConvError::NoEligibleAlgorithm { shape: *s })?;
+        self.pinned.lock().unwrap().insert(*s, algo.name());
+        // Seed the cache with the winner's plan so the next call is a hit.
+        self.cache.lock().unwrap().insert(
+            PlanKey {
+                algo: algo.name(),
+                shape: *s,
+                filter: h.filter_id(),
+                deconv: false,
+            },
+            plan,
+        );
+        Ok(y)
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        let cache = self.cache.lock().unwrap();
+        let (plan_hits, plan_misses, plan_evictions) = cache.counts();
+        EngineStats {
+            plan_hits,
+            plan_misses,
+            plan_evictions,
+            plans_cached: cache.len(),
+            plan_resident_bytes: cache.resident_bytes(),
+            arena: self.arena.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensors(s: &ConvShape) -> (Tensor4<f32>, Tensor4<f32>) {
+        (
+            Tensor4::<f32>::random(s.x_dims(), 1, -1.0, 1.0),
+            Tensor4::<f32>::random(s.w_dims(), 2, -1.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn registry_names_match_constant() {
+        assert_eq!(Engine::global().algorithms(), BACKEND_NAMES.to_vec());
+    }
+
+    #[test]
+    fn unknown_algorithm_is_an_error() {
+        let Err(e) = Engine::global().algorithm("nope") else {
+            panic!("lookup of an unregistered name must fail");
+        };
+        assert!(matches!(e, ConvError::UnknownAlgorithm { .. }));
+    }
+
+    #[test]
+    fn repeat_forwards_hit_the_plan_cache() {
+        let eng = Engine::new();
+        let h = Handle::new(SelectionPolicy::Heuristic);
+        let s = ConvShape::square(1, 8, 4, 6, 3);
+        let (x, w) = tensors(&s);
+        let y1 = eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+        let y2 = eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice(), "cached plan must be bit-identical");
+        let st = eng.stats();
+        assert_eq!(st.plan_misses, 1);
+        assert_eq!(st.plan_hits, 1);
+        assert!(st.plan_resident_bytes > 0);
+    }
+
+    #[test]
+    fn invalidate_retires_cached_plans() {
+        let eng = Engine::new();
+        let h = Handle::new(SelectionPolicy::Heuristic);
+        let s = ConvShape::square(1, 8, 3, 4, 3);
+        let (x, mut w) = tensors(&s);
+        let y1 = eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+        // Mutate weights without telling the engine: the stale bank answers.
+        let w2 = {
+            w.as_mut_slice().iter_mut().for_each(|v| *v *= 2.0);
+            w
+        };
+        let stale = eng.conv(&h, &x, &w2, &s, &Epilogue::None).unwrap();
+        assert_eq!(
+            stale.as_slice(),
+            y1.as_slice(),
+            "without invalidate the old plan serves"
+        );
+        h.invalidate();
+        let fresh = eng.conv(&h, &x, &w2, &s, &Epilogue::None).unwrap();
+        assert_ne!(fresh.as_slice(), y1.as_slice(), "invalidate must rebuild the bank");
+    }
+
+    #[test]
+    fn bad_input_shape_degrades_gracefully() {
+        let eng = Engine::new();
+        let h = Handle::default();
+        let s = ConvShape::square(1, 8, 3, 4, 3);
+        let (_, w) = tensors(&s);
+        let wrong = Tensor4::<f32>::zeros([1, 7, 8, 3]);
+        let e = eng.conv(&h, &wrong, &w, &s, &Epilogue::None).unwrap_err();
+        assert!(matches!(e, ConvError::ShapeMismatch { what: "input", .. }), "{e}");
+    }
+
+    #[test]
+    fn strided_backward_data_falls_back_to_direct() {
+        let eng = Engine::new();
+        let h = Handle::default();
+        let s = ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 9, 3, 4, 3)
+        };
+        let (x, w) = tensors(&s);
+        let dy = Tensor4::<f32>::random(s.y_dims(), 3, -1.0, 1.0);
+        let dx = eng.backward_data(&h, &dy, &w, &s).unwrap();
+        assert_eq!(dx.dims(), s.x_dims());
+        // Adjoint identity ⟨conv(x), dy⟩ = ⟨x, dx⟩ pins correctness.
+        let y = iwino_baselines::direct_conv(&x, &w, &s);
+        let lhs: f64 = y
+            .as_slice()
+            .iter()
+            .zip(dy.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(dx.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Shared conformance net: every registered backend, driven purely through
+//! the registry, must agree with the f64 direct reference on every shape it
+//! claims to support (the ISSUE-4 acceptance gate).
+
+use iwino_core::Epilogue;
+use iwino_engine::{Engine, FilterId, BACKEND_NAMES};
+use iwino_tensor::{ConvShape, Tensor4};
+
+fn shapes() -> Vec<ConvShape> {
+    vec![
+        // Unit-stride 3×3 — every backend is eligible here.
+        ConvShape::square(2, 10, 3, 5, 3),
+        // Unit-stride, wider filter: excludes winograd2d.
+        ConvShape::square(1, 12, 4, 3, 5),
+        // Even filter width.
+        ConvShape::square(1, 9, 2, 4, 2),
+        // No padding.
+        ConvShape::unit(1, 7, 11, 3, 4, 3, 3, 0, 0),
+        // Strided: only the GEMM-class + direct backends remain.
+        ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 11, 3, 4, 3)
+        },
+    ]
+}
+
+#[test]
+fn every_backend_matches_f64_direct_reference() {
+    let eng = Engine::new();
+    let mut covered = vec![0usize; BACKEND_NAMES.len()];
+    for (si, s) in shapes().iter().enumerate() {
+        let x = Tensor4::<f32>::random(s.x_dims(), 100 + si as u64, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 200 + si as u64, -1.0, 1.0);
+        let want = iwino_baselines::direct_conv_f64_ref(&x, &w, s);
+        for (bi, name) in BACKEND_NAMES.iter().enumerate() {
+            let algo = eng.algorithm(name).unwrap();
+            if !algo.supports(s) {
+                continue;
+            }
+            let filter = FilterId {
+                owner: 1,
+                epoch: si as u64,
+            };
+            let y = eng
+                .conv_with(&algo, filter, &x, &w, s, &Epilogue::None)
+                .unwrap_or_else(|e| panic!("{name} on {s:?}: {e}"));
+            let err = iwino_tensor::max_mixed_error(&y, &want);
+            assert!(err < 1e-3, "{name} on {s:?}: max error {err}");
+            covered[bi] += 1;
+        }
+    }
+    // Every registered backend must have been exercised at least once —
+    // a backend whose `supports` rejects everything would silently pass.
+    for (name, n) in BACKEND_NAMES.iter().zip(&covered) {
+        assert!(*n > 0, "backend {name} was never exercised");
+    }
+}
+
+#[test]
+fn fused_epilogue_matches_post_applied_reference() {
+    // The winograd backend fuses the epilogue into the row pass; the others
+    // apply it after. Both must produce the same function.
+    let eng = Engine::new();
+    let s = ConvShape::square(1, 8, 3, 6, 3);
+    let x = Tensor4::<f32>::random(s.x_dims(), 7, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(s.w_dims(), 8, -1.0, 1.0);
+    let bias: Vec<f32> = (0..s.oc).map(|i| i as f32 * 0.25 - 0.5).collect();
+    let epi = Epilogue::BiasLeakyRelu(bias.clone(), 0.1);
+    let mut outs = Vec::new();
+    for name in ["im2col-winograd", "im2col-gemm-nhwc", "direct"] {
+        let algo = eng.algorithm(name).unwrap();
+        let y = eng
+            .conv_with(&algo, FilterId { owner: 9, epoch: 0 }, &x, &w, &s, &epi)
+            .unwrap();
+        outs.push(y);
+    }
+    for pair in outs.windows(2) {
+        let err = iwino_tensor::max_mixed_error(&pair[0], &pair[1]);
+        assert!(err < 1e-4, "epilogue disagreement: {err}");
+    }
+}
+
+#[test]
+fn deconv_through_engine_matches_direct_backward() {
+    let eng = Engine::new();
+    let h = iwino_engine::Handle::default();
+    let s = ConvShape::square(1, 9, 4, 3, 3);
+    let w = Tensor4::<f32>::random(s.w_dims(), 31, -1.0, 1.0);
+    let dy = Tensor4::<f32>::random(s.y_dims(), 32, -1.0, 1.0);
+    let dx = eng.backward_data(&h, &dy, &w, &s).unwrap();
+    let want = iwino_baselines::direct_backward_data(&dy, &w, &s);
+    let err = iwino_tensor::max_mixed_error(&dx, &want);
+    assert!(err < 1e-3, "{err}");
+}

@@ -1,0 +1,132 @@
+//! Selection-policy golden tests (ISSUE-4 satellite): the heuristic must
+//! mirror §5.7, and autotune's measure-once pin must be stable across
+//! repeated lookups — including after its cached plan is evicted.
+
+use iwino_core::Epilogue;
+use iwino_engine::{Engine, FilterId, Handle, SelectionPolicy};
+use iwino_tensor::{ConvShape, Tensor4};
+
+#[test]
+fn heuristic_picks_winograd_for_unit_stride_r2_to_9() {
+    let eng = Engine::new();
+    for r in 2..=9 {
+        let s = ConvShape::square(1, 16, 4, 8, r);
+        assert!(s.is_unit_stride());
+        assert_eq!(
+            eng.heuristic_choice(&s),
+            "im2col-winograd",
+            "unit-stride r={r} must select the fused path (§5.7)"
+        );
+    }
+}
+
+#[test]
+fn heuristic_picks_gemm_class_for_strides_at_least_2() {
+    let eng = Engine::new();
+    for stride in 2..=4 {
+        let s = ConvShape {
+            sh: stride,
+            sw: stride,
+            ..ConvShape::square(1, 17, 4, 8, 3)
+        };
+        assert_eq!(
+            eng.heuristic_choice(&s),
+            "im2col-gemm-nhwc",
+            "stride {stride} must fall back to GEMM (§5.7)"
+        );
+    }
+}
+
+#[test]
+fn heuristic_resolution_matches_what_conv_runs() {
+    // `resolve` (the no-run query) and `conv` (the dispatcher) must agree.
+    let eng = Engine::new();
+    let h = Handle::new(SelectionPolicy::Heuristic);
+    let s = ConvShape::square(1, 8, 3, 4, 3);
+    let algo = eng.resolve(&h.policy, &s).unwrap();
+    assert_eq!(algo.name(), "im2col-winograd");
+    let x = Tensor4::<f32>::random(s.x_dims(), 1, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(s.w_dims(), 2, -1.0, 1.0);
+    let via_policy = eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+    let direct = eng
+        .conv_with(&algo, h.filter_id(), &x, &w, &s, &Epilogue::None)
+        .unwrap();
+    assert_eq!(via_policy.as_slice(), direct.as_slice());
+}
+
+#[test]
+fn force_policy_always_uses_the_named_backend() {
+    let eng = Engine::new();
+    let h = Handle::new(SelectionPolicy::Force("direct".into()));
+    let s = ConvShape::square(1, 8, 3, 4, 3); // winograd-eligible shape
+    assert_eq!(eng.resolve(&h.policy, &s).unwrap().name(), "direct");
+}
+
+#[test]
+fn autotune_pin_is_stable_across_repeated_lookups_and_eviction() {
+    let eng = Engine::new();
+    let h = Handle::new(SelectionPolicy::Autotune);
+    let s = ConvShape::square(1, 10, 3, 4, 3);
+    let x = Tensor4::<f32>::random(s.x_dims(), 5, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(s.w_dims(), 6, -1.0, 1.0);
+
+    assert!(eng.pinned_choice(&s).is_none(), "no pin before first sight");
+    let y0 = eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+    let winner = eng.pinned_choice(&s).expect("first call must pin a winner");
+
+    // Repeated lookups: the pin never changes, outputs stay identical.
+    for _ in 0..5 {
+        let y = eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+        assert_eq!(y.as_slice(), y0.as_slice());
+        assert_eq!(eng.pinned_choice(&s), Some(winner));
+    }
+
+    // Flood the plan cache with other shapes until the pinned shape's plan
+    // is evicted; the pin must survive and the refilled plan must agree.
+    let flood = eng.algorithm("direct").unwrap();
+    let evictions_before = eng.stats().plan_evictions;
+    for i in 0..80 {
+        let fs = ConvShape::square(1, 6 + i % 13, 1 + i % 3, 1 + (i + 1) % 3, 3);
+        let fx = Tensor4::<f32>::random(fs.x_dims(), 1000 + i as u64, -1.0, 1.0);
+        let fw = Tensor4::<f32>::random(fs.w_dims(), 2000 + i as u64, -1.0, 1.0);
+        eng.conv_with(
+            &flood,
+            FilterId {
+                owner: 7777,
+                epoch: i as u64,
+            },
+            &fx,
+            &fw,
+            &fs,
+            &Epilogue::None,
+        )
+        .unwrap();
+    }
+    assert!(
+        eng.stats().plan_evictions > evictions_before,
+        "flood must actually evict (cache bound exercised)"
+    );
+    assert_eq!(eng.pinned_choice(&s), Some(winner), "pin survives plan eviction");
+    let y = eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+    assert_eq!(y.as_slice(), y0.as_slice(), "refilled plan matches the original");
+    assert_eq!(eng.pinned_choice(&s), Some(winner), "refill must not re-measure");
+}
+
+#[test]
+fn autotune_on_strided_shape_pins_a_gemm_class_backend() {
+    let eng = Engine::new();
+    let h = Handle::new(SelectionPolicy::Autotune);
+    let s = ConvShape {
+        sh: 2,
+        sw: 2,
+        ..ConvShape::square(1, 9, 3, 4, 3)
+    };
+    let x = Tensor4::<f32>::random(s.x_dims(), 8, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(s.w_dims(), 9, -1.0, 1.0);
+    eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
+    let winner = eng.pinned_choice(&s).unwrap();
+    assert!(
+        ["im2col-gemm-nhwc", "im2col-gemm-nchw", "direct"].contains(&winner),
+        "strided shape pinned {winner}, but only GEMM-class backends are eligible"
+    );
+}

@@ -1,23 +1,31 @@
-//! The convolution layer with selectable backend.
+//! The convolution layer, dispatched through the unified `iwino-engine`.
 //!
-//! * [`Backend::ImcolWinograd`] — unit-stride convolutions run the paper's
-//!   algorithm (`iwino_core::conv2d`); the backward-data pass runs the
-//!   fused-rotation deconvolution (`iwino_core::deconv2d`); non-unit-stride
-//!   convolutions fall back to GEMM exactly as §5.7 describes
-//!   ("Im2col-Winograd is employed for unit-stride convolution and
+//! The layer holds an [`iwino_engine::Handle`] whose selection policy maps
+//! from the historical [`Backend`] enum (kept as a thin constructor alias):
+//!
+//! * [`Backend::ImcolWinograd`] — the engine's §5.7 heuristic: unit-stride
+//!   convolutions run the paper's fused kernels, the backward-data pass the
+//!   fused-rotation deconvolution, and non-unit-stride shapes fall back to
+//!   GEMM ("Im2col-Winograd is employed for unit-stride convolution and
 //!   deconvolution, while other algorithms handle the non-unit-stride
 //!   cases").
-//! * [`Backend::Gemm`] — every pass goes through im2col+GEMM / direct
-//!   paths: the "PyTorch" control arm of Experiment 3.
+//! * [`Backend::Gemm`] — forces the `im2col-gemm-nhwc` registry backend:
+//!   the "PyTorch" control arm of Experiment 3.
+//!
+//! Because plans are cached per `(shape, filter-epoch)` in the engine,
+//! repeated same-shape forwards (the serving scenario) reuse the
+//! transformed-filter bank instead of rebuilding it per call; weight
+//! updates invalidate the cache through [`Layer::params`], the single
+//! mutation path the optimisers use.
 //!
 //! The backward-filter pass is `iwino_core::filter_grad` for both backends
 //! (the paper does not Winograd this pass either).
 
 use crate::init::kaiming_uniform;
 use crate::layer::{Layer, Param};
-use iwino_baselines::{im2col_conv_nhwc, Im2colPlan};
-use iwino_parallel as par;
+use iwino_engine::{Engine, Handle, SelectionPolicy};
 use iwino_tensor::{ConvShape, Tensor4};
+use std::sync::Arc;
 
 /// Which convolution engine drives the layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +34,15 @@ pub enum Backend {
     ImcolWinograd,
     /// im2col + GEMM everywhere ("PyTorch" arm).
     Gemm,
+}
+
+impl Backend {
+    fn policy(self) -> SelectionPolicy {
+        match self {
+            Backend::ImcolWinograd => SelectionPolicy::Heuristic,
+            Backend::Gemm => SelectionPolicy::Force("im2col-gemm-nhwc".into()),
+        }
+    }
 }
 
 /// 2-D convolution layer, NHWC activations, `OC×FH×FW×IC` weights.
@@ -37,9 +54,15 @@ pub struct Conv2d {
     pub stride: usize,
     pub pad: usize,
     pub backend: Backend,
+    handle: Handle,
     weight: Param,
     bias: Option<Param>,
-    cached_x: Option<Tensor4<f32>>,
+    /// `OC×FH×FW×IC` view of `weight.value`, built once per weight epoch
+    /// (the old code cloned the flat weights into a tensor on every call).
+    weight_t: Option<Tensor4<f32>>,
+    /// Bias epilogue, likewise built once per weight epoch.
+    epilogue: Option<iwino_core::Epilogue>,
+    cached_x: Option<Arc<Tensor4<f32>>>,
     cached_shape: Option<ConvShape>,
 }
 
@@ -67,8 +90,11 @@ impl Conv2d {
             stride,
             pad,
             backend,
+            handle: Handle::new(backend.policy()),
             weight,
             bias,
+            weight_t: None,
+            epilogue: None,
             cached_x: None,
             cached_shape: None,
         }
@@ -92,44 +118,57 @@ impl Conv2d {
         }
     }
 
-    fn weight_tensor(&self) -> Tensor4<f32> {
-        Tensor4::from_vec([self.oc, self.fh, self.fw, self.ic], self.weight.value.clone())
+    /// Materialise the weight tensor in `OC×FH×FW×IC`, built lazily once per
+    /// weight epoch. Split from the access (`self.weight_t.as_ref()`) so the
+    /// caller can borrow `self.handle` alongside it.
+    fn ensure_weight_tensor(&mut self) {
+        if self.weight_t.is_none() {
+            self.weight_t = Some(Tensor4::from_vec(
+                [self.oc, self.fh, self.fw, self.ic],
+                self.weight.value.clone(),
+            ));
+        }
+    }
+
+    fn bias_epilogue(&mut self) -> &iwino_core::Epilogue {
+        if self.epilogue.is_none() {
+            self.epilogue = Some(match &self.bias {
+                Some(b) => iwino_core::Epilogue::Bias(b.value.clone()),
+                None => iwino_core::Epilogue::None,
+            });
+        }
+        self.epilogue.as_ref().unwrap()
     }
 
     /// Whether this layer's forward runs the Winograd kernels.
     pub fn uses_winograd(&self) -> bool {
         self.backend == Backend::ImcolWinograd && self.stride == 1
     }
+
+    /// The engine handle driving this layer's dispatch (selection policy +
+    /// plan-cache identity).
+    pub fn engine_handle(&self) -> &Handle {
+        &self.handle
+    }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor4<f32>, train: bool) -> Tensor4<f32> {
         let s = self.shape_for(x);
-        let w = self.weight_tensor();
-        let mut y = if self.uses_winograd() {
-            // Bias is fused into the Winograd row pass (cache-hot epilogue).
-            let epilogue = match &self.bias {
-                Some(b) => iwino_core::Epilogue::Bias(b.value.clone()),
-                None => iwino_core::Epilogue::None,
-            };
-            iwino_core::conv2d_fused(x, &w, &s, &iwino_core::ConvOptions::default(), &epilogue)
-        } else {
-            let plan = Im2colPlan::new(&s);
-            im2col_conv_nhwc(x, &w, &plan)
-        };
-        if !self.uses_winograd() {
-            if let Some(b) = &self.bias {
-                let oc = self.oc;
-                let bs = &b.value;
-                for px in y.as_mut_slice().chunks_exact_mut(oc) {
-                    for (v, &bv) in px.iter_mut().zip(bs) {
-                        *v += bv;
-                    }
-                }
-            }
-        }
+        let name = self.name();
+        self.bias_epilogue();
+        let epilogue = self.epilogue.clone().unwrap();
+        self.ensure_weight_tensor();
+        let w = self.weight_t.as_ref().unwrap();
+        // Bias/activation are fused into the Winograd row pass (cache-hot
+        // epilogue); GEMM-class backends apply the identical arithmetic
+        // after their row GEMMs, inside the engine.
+        let y = Engine::global()
+            .conv(&self.handle, x, w, &s, &epilogue)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         if train {
-            self.cached_x = Some(x.clone());
+            // Shared, not deep-copied: backward only reads the activation.
+            self.cached_x = Some(Arc::new(x.clone()));
             self.cached_shape = Some(s);
         }
         y
@@ -138,7 +177,7 @@ impl Layer for Conv2d {
     fn backward(&mut self, dy: &Tensor4<f32>) -> Tensor4<f32> {
         let x = self.cached_x.take().expect("backward without forward");
         let s = self.cached_shape.take().unwrap();
-        let w = self.weight_tensor();
+        let name = self.name();
         // dW (shared by both backends; §6.3.2's "computing filter gradients").
         let dw = iwino_core::filter_grad(&x, dy, &s);
         self.weight
@@ -154,15 +193,22 @@ impl Layer for Conv2d {
                 }
             }
         }
-        // dX.
-        if self.uses_winograd() {
-            iwino_core::deconv2d(dy, &w, &s)
-        } else {
-            backward_data_direct(dy, &w, &s)
-        }
+        // dX: the engine routes unit-stride winograd-selected shapes through
+        // the fused deconvolution and everything else through direct.
+        self.ensure_weight_tensor();
+        let w = self.weight_t.as_ref().unwrap();
+        Engine::global()
+            .backward_data(&self.handle, dy, w, &s)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
+        // Every weight mutation (optimiser step, weight decay, load) flows
+        // through these references, so retire the per-epoch caches and the
+        // engine's plans built from the old values.
+        self.handle.invalidate();
+        self.weight_t = None;
+        self.epilogue = None;
         let mut out = vec![&mut self.weight];
         if let Some(b) = &mut self.bias {
             out.push(b);
@@ -182,59 +228,9 @@ impl Layer for Conv2d {
     }
 }
 
-/// Direct backward-data for arbitrary stride: scatter-free gather form —
-/// `dx[b, iy, ix, ic] = Σ_{oc, fh, fw} dy[b, oy, ox, oc] · w[oc, fh, fw, ic]`
-/// over the `(oy, ox)` that map onto `(iy, ix)`.
-pub fn backward_data_direct(dy: &Tensor4<f32>, w: &Tensor4<f32>, s: &ConvShape) -> Tensor4<f32> {
-    let (oh, ow) = (s.oh(), s.ow());
-    let mut dx = Tensor4::<f32>::zeros(s.x_dims());
-    let dys = dy.as_slice();
-    let ws = w.as_slice();
-    let row_elems = s.iw * s.ic;
-    let parts = par::SliceParts::new(dx.as_mut_slice(), row_elems);
-    par::parallel_for(s.n * s.ih, &|row| {
-        let out = parts.take(row);
-        let b = row / s.ih;
-        let iy = row % s.ih;
-        let dy_img = &dys[b * oh * ow * s.oc..(b + 1) * oh * ow * s.oc];
-        for fh in 0..s.fh {
-            // iy = oy·sh + fh − ph  ⟹  oy = (iy + ph − fh) / sh.
-            let num = iy as isize + s.ph as isize - fh as isize;
-            if num < 0 || !(num as usize).is_multiple_of(s.sh) {
-                continue;
-            }
-            let oy = num as usize / s.sh;
-            if oy >= oh {
-                continue;
-            }
-            let dy_row = &dy_img[oy * ow * s.oc..(oy + 1) * ow * s.oc];
-            for ix in 0..s.iw {
-                let dst = &mut out[ix * s.ic..(ix + 1) * s.ic];
-                for fw in 0..s.fw {
-                    let num = ix as isize + s.pw as isize - fw as isize;
-                    if num < 0 || !(num as usize).is_multiple_of(s.sw) {
-                        continue;
-                    }
-                    let ox = num as usize / s.sw;
-                    if ox >= ow {
-                        continue;
-                    }
-                    let dy_px = &dy_row[ox * s.oc..(ox + 1) * s.oc];
-                    for (o, &g) in dy_px.iter().enumerate() {
-                        if g == 0.0 {
-                            continue;
-                        }
-                        let wrow = &ws[((o * s.fh + fh) * s.fw + fw) * s.ic..((o * s.fh + fh) * s.fw + fw + 1) * s.ic];
-                        for (d, &wv) in dst.iter_mut().zip(wrow) {
-                            *d += g * wv;
-                        }
-                    }
-                }
-            }
-        }
-    });
-    dx
-}
+/// Direct backward-data for arbitrary stride; lives in `iwino-baselines`
+/// now (re-exported here under its historical name for compatibility).
+pub use iwino_baselines::direct_backward_data as backward_data_direct;
 
 #[cfg(test)]
 mod tests {
@@ -305,21 +301,23 @@ mod tests {
         let idx = 7usize;
         let analytic = layer.weight.grad[idx] as f64;
         let orig = layer.weight.value[idx];
-        layer.weight.value[idx] = orig + eps;
+        // Mutate through params() — the official mutation path — so the
+        // engine's cached plans are invalidated like an optimiser step.
+        layer.params()[0].value[idx] = orig + eps;
         let lp: f64 = layer
             .forward(&x, false)
             .as_slice()
             .iter()
             .map(|&v| (v as f64).powi(2) / 2.0)
             .sum();
-        layer.weight.value[idx] = orig - eps;
+        layer.params()[0].value[idx] = orig - eps;
         let lm: f64 = layer
             .forward(&x, false)
             .as_slice()
             .iter()
             .map(|&v| (v as f64).powi(2) / 2.0)
             .sum();
-        layer.weight.value[idx] = orig;
+        layer.params()[0].value[idx] = orig;
         let fd = (lp - lm) / (2.0 * eps as f64);
         assert!(
             (fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
@@ -343,6 +341,17 @@ mod tests {
         }
         let e = max_mixed_error(&gw.1, &gx.1);
         assert!(e < 1e-3, "{e}");
+    }
+
+    #[test]
+    fn training_cache_is_shared_not_deep_copied() {
+        let mut layer = Conv2d::new(2, 4, 3, 1, 1, false, Backend::ImcolWinograd, 62);
+        let x = Tensor4::<f32>::random([1, 6, 6, 2], 63, -1.0, 1.0);
+        let _ = layer.forward(&x, true);
+        assert_eq!(layer.cached_bytes(), x.len() * 4);
+        let dy = Tensor4::<f32>::zeros([1, 6, 6, 4]);
+        let _ = layer.backward(&dy);
+        assert_eq!(layer.cached_bytes(), 0, "backward consumes the cache");
     }
 
     #[test]

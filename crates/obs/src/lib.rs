@@ -32,7 +32,9 @@ pub use json::Json;
 pub use report::{MetricsReport, SCHEMA_VERSION};
 
 /// Pipeline stages attributed by [`span`]. `Total` covers a whole
-/// convolution call; the others nest inside it.
+/// convolution call; the others nest inside it. `EnginePlan`/`EngineRun`
+/// are umbrella stages around engine dispatch — like `Total`, kernel
+/// stages nest inside them, so they are excluded from [`Snapshot::attributed_ns`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Stage {
     FilterTransform,
@@ -42,11 +44,13 @@ pub enum Stage {
     GemmRemainder,
     Epilogue,
     Baseline,
+    EnginePlan,
+    EngineRun,
     Total,
 }
 
 impl Stage {
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 10] = [
         Stage::FilterTransform,
         Stage::InputTransform,
         Stage::OuterProduct,
@@ -54,6 +58,8 @@ impl Stage {
         Stage::GemmRemainder,
         Stage::Epilogue,
         Stage::Baseline,
+        Stage::EnginePlan,
+        Stage::EngineRun,
         Stage::Total,
     ];
 
@@ -66,8 +72,16 @@ impl Stage {
             Stage::GemmRemainder => "gemm_remainder",
             Stage::Epilogue => "epilogue",
             Stage::Baseline => "baseline",
+            Stage::EnginePlan => "engine_plan",
+            Stage::EngineRun => "engine_run",
             Stage::Total => "total",
         }
+    }
+
+    /// Umbrella stages (`Total`, `EnginePlan`, `EngineRun`) wrap other
+    /// recorded spans; counting them in a sum would double-attribute time.
+    pub fn is_umbrella(self) -> bool {
+        matches!(self, Stage::Total | Stage::EnginePlan | Stage::EngineRun)
     }
 }
 
@@ -88,10 +102,16 @@ pub enum Counter {
     PlanCalls,
     PlanGammaSegments,
     PlanGemmSegments,
+    EnginePlanHits,
+    EnginePlanMisses,
+    EnginePlanEvictions,
+    ArenaHits,
+    ArenaMisses,
+    ArenaBytesHighWater,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 15] = [
         Counter::Flops,
         Counter::BytesLoaded,
         Counter::BytesStored,
@@ -101,6 +121,12 @@ impl Counter {
         Counter::PlanCalls,
         Counter::PlanGammaSegments,
         Counter::PlanGemmSegments,
+        Counter::EnginePlanHits,
+        Counter::EnginePlanMisses,
+        Counter::EnginePlanEvictions,
+        Counter::ArenaHits,
+        Counter::ArenaMisses,
+        Counter::ArenaBytesHighWater,
     ];
 
     pub fn name(self) -> &'static str {
@@ -114,7 +140,19 @@ impl Counter {
             Counter::PlanCalls => "plan_calls",
             Counter::PlanGammaSegments => "plan_gamma_segments",
             Counter::PlanGemmSegments => "plan_gemm_segments",
+            Counter::EnginePlanHits => "engine_plan_hits",
+            Counter::EnginePlanMisses => "engine_plan_misses",
+            Counter::EnginePlanEvictions => "engine_plan_evictions",
+            Counter::ArenaHits => "arena_hits",
+            Counter::ArenaMisses => "arena_misses",
+            Counter::ArenaBytesHighWater => "arena_bytes_high_water",
         }
+    }
+
+    /// High-water counters record a maximum, not a running sum — both
+    /// [`maximize`] (per slot) and [`snapshot`] (across slots) take the max.
+    pub fn is_high_water(self) -> bool {
+        matches!(self, Counter::ArenaBytesHighWater)
     }
 }
 
@@ -257,6 +295,23 @@ pub fn add(counter: Counter, n: u64) {
     }
 }
 
+/// Raise a high-water counter to at least `v`. No-op while disabled.
+/// Intended for [`Counter::is_high_water`] counters such as
+/// `ArenaBytesHighWater`; [`snapshot`] max-aggregates those across slots.
+#[inline(always)]
+pub fn maximize(counter: Counter, v: u64) {
+    if enabled() {
+        SLOT.with(|slot| {
+            // ORDERING: Relaxed — fetch_max keeps each slot's value the
+            // running maximum of its own updates; cross-slot aggregation
+            // happens in [`snapshot`] after the workload quiesces, with the
+            // happens-before supplied by the registry mutex (same argument
+            // as [`Span::drop`]).
+            slot.counters[counter as usize].fetch_max(v, Ordering::Relaxed);
+        });
+    }
+}
+
 /// Per-lane thread-pool statistics. Lane 0 is the submitting caller, which
 /// participates in every job (see `iwino-parallel`).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -364,16 +419,17 @@ impl Snapshot {
         self.counters[counter as usize]
     }
 
-    /// Sum of the in-kernel stage timers (everything except `Total`).
+    /// Sum of the in-kernel stage timers (everything except the umbrella
+    /// stages — `Total`, `EnginePlan`, `EngineRun` — which wrap them).
     pub fn attributed_ns(&self) -> u64 {
         Stage::ALL
             .iter()
-            .filter(|&&s| !matches!(s, Stage::Total))
+            .filter(|&&s| !s.is_umbrella())
             .map(|&s| self.stage_ns(s))
             .sum()
     }
 
-    /// Share of `stage` within the attributed (non-`Total`) time.
+    /// Share of `stage` within the attributed (non-umbrella) time.
     pub fn stage_share(&self, stage: Stage) -> f64 {
         let denom = self.attributed_ns();
         if denom == 0 {
@@ -401,7 +457,13 @@ pub fn snapshot() -> Snapshot {
             snap.stage_hits[i] += a.load(Ordering::Relaxed); // ORDERING: as above
         }
         for (i, a) in slot.counters.iter().enumerate() {
-            snap.counters[i] += a.load(Ordering::Relaxed); // ORDERING: as above
+            let v = a.load(Ordering::Relaxed); // ORDERING: as above
+            if Counter::ALL[i].is_high_water() {
+                // A per-slot maximum aggregates across slots by max, not sum.
+                snap.counters[i] = snap.counters[i].max(v);
+            } else {
+                snap.counters[i] += v;
+            }
         }
     }
     snap
@@ -498,6 +560,38 @@ mod tests {
             .map(|&s| snap.stage_share(s))
             .sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_water_counter_takes_max_not_sum() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        maximize(Counter::ArenaBytesHighWater, 4096);
+        maximize(Counter::ArenaBytesHighWater, 1024); // lower: no effect
+        std::thread::spawn(|| maximize(Counter::ArenaBytesHighWater, 2048))
+            .join()
+            .unwrap();
+        let snap = snapshot();
+        set_enabled(false);
+        // Summed across slots this would read 4096 + 2048; a high-water
+        // mark must report the single largest value.
+        assert_eq!(snap.counter(Counter::ArenaBytesHighWater), 4096);
+    }
+
+    #[test]
+    fn umbrella_stages_excluded_from_attribution() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        add_stage_ns(Stage::OuterProduct, 700);
+        add_stage_ns(Stage::EnginePlan, 10_000);
+        add_stage_ns(Stage::EngineRun, 20_000);
+        add_stage_ns(Stage::Total, 30_000);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.attributed_ns(), 700);
+        assert_eq!(snap.stage_hits(Stage::EnginePlan), 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 /// Im2col-Winograd itself handles the unit-stride case; non-unit strides are
 /// carried so the GEMM fallback (and the `nn` crate's down-sampling layers)
 /// share this type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ConvShape {
     pub n: usize,
     pub ih: usize,

@@ -28,6 +28,12 @@ echo "== property tests (fixed PROPTEST_CASES budget) =="
 # deeper here than in the quick workspace pass, and reproducible.
 PROPTEST_CASES=64 cargo test --offline -q --test gamma_conformance
 
+echo "== engine smoke (every registry backend vs the f64 reference) =="
+# Drives all of BACKEND_NAMES by name through iwino-engine, checks each
+# against direct_conv_f64_ref, and prints plan-cache/arena stats. Exits
+# nonzero if any backend fails to plan, run, or agree with the reference.
+cargo run --offline --release -p iwino-bench --bin repro -- engine
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -7,6 +7,9 @@
 //! * [`core`] — the paper's algorithm: `Γα(n, r)` convolution,
 //!   deconvolution, filter gradients, the boundary planner, and the §4.2
 //!   ND extension;
+//! * [`engine`] — the dispatch surface: algorithm registry, per-shape plan
+//!   cache (transformed-filter banks built once), arena-backed workspace
+//!   pool, and the §5.7 selection policy;
 //! * [`baselines`] — direct / im2col-GEMM / fused 2-D Winograd comparators;
 //! * [`transforms`] — exact Cook–Toom transform generation;
 //! * [`tensor`] — NHWC tensors and shapes;
@@ -58,6 +61,7 @@
 
 pub use iwino_baselines as baselines;
 pub use iwino_core as core;
+pub use iwino_engine as engine;
 pub use iwino_gpu_sim as gpu_sim;
 pub use iwino_nn as nn;
 pub use iwino_obs as obs;
