@@ -1,9 +1,11 @@
 //! Pass 2 — the `unsafe` audit.
 //!
 //! Three rules, mirroring the workspace's safety story (`crates/parallel`
-//! is the single crate allowed to hold `unsafe`, because the scoped
-//! thread-pool lifetime erasure and the disjoint-slice splitter cannot be
-//! expressed in safe Rust without rayon):
+//! and `crates/simd` are the only crates allowed to hold `unsafe`:
+//! parallel because the scoped thread-pool lifetime erasure and the
+//! disjoint-slice splitter cannot be expressed in safe Rust without rayon,
+//! simd because explicit AVX2/NEON intrinsics are `unsafe fn` behind
+//! `#[target_feature]` and raw-pointer microkernel loops):
 //!
 //! 1. the token `unsafe` may appear only in [`UNSAFE_ALLOWLIST`] files;
 //! 2. every line containing `unsafe` in an allowlisted file must carry a
@@ -17,7 +19,12 @@ use crate::diag::{Finding, Pass};
 use crate::scan::{documented, has_word, ScannedFile};
 
 /// The only files in which `unsafe` is tolerated (workspace-relative).
-pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/parallel/src/lib.rs", "crates/parallel/src/slice_parts.rs"];
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/parallel/src/lib.rs",
+    "crates/parallel/src/slice_parts.rs",
+    "crates/simd/src/avx2.rs",
+    "crates/simd/src/neon.rs",
+];
 
 /// How many preceding *code* lines a `// SAFETY:` (or `// ORDERING:`)
 /// marker may sit above its site (comment and blank lines are free — see
@@ -28,7 +35,7 @@ pub const DOC_WINDOW: usize = 3;
 
 /// Crates whose root is exempt from the `#![forbid(unsafe_code)]`
 /// requirement — exactly the crates owning allowlisted unsafe files.
-const FORBID_EXEMPT_PREFIXES: &[&str] = &["crates/parallel/"];
+const FORBID_EXEMPT_PREFIXES: &[&str] = &["crates/parallel/", "crates/simd/"];
 
 /// Rules 1 and 2: allowlist membership and `// SAFETY:` adjacency.
 pub fn audit_unsafe(files: &[ScannedFile]) -> Vec<Finding> {
@@ -44,7 +51,7 @@ pub fn audit_unsafe(files: &[ScannedFile]) -> Vec<Finding> {
                     Pass::UnsafeAudit,
                     &file.rel_path,
                     idx + 1,
-                    "`unsafe` outside the allowlist (crates/parallel is the only crate permitted to use it)",
+                    "`unsafe` outside the allowlist (only crates/parallel and crates/simd may use it)",
                 ));
             } else if !documented(&file.lines, idx, "SAFETY:", DOC_WINDOW) {
                 findings.push(Finding::new(

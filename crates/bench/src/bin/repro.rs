@@ -51,6 +51,12 @@ impl Mode {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    // `--force-scalar`: pin the Γ microkernel dispatch to the scalar
+    // fallback (equivalent to IWINO_FORCE_SCALAR=1) before any kernel runs,
+    // for A/B runs and for reproducing results from non-SIMD hosts.
+    if args.iter().any(|a| a == "--force-scalar") {
+        iwino_simd::set_force_scalar(true);
+    }
     let mode = Mode {
         quick: !args.iter().any(|a| a == "--full"),
         measure: !args.iter().any(|a| a == "--sim-only"),
@@ -109,7 +115,8 @@ fn main() {
             eprintln!(
                 "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|engine|train-cifar|\
                  train-imagenet|ablation-banks|ablation-boundary|ablation-variants|ablation-transforms|all> \
-                 [--full] [--sim-only] [--engine] [--metrics <path.json>] [--out <path.json>]"
+                 [--full] [--sim-only] [--engine] [--force-scalar] [--metrics <path.json>] [--out <path.json>] \
+                 [--baseline <path.json>] [--force]"
             );
             if cmd != "help" {
                 std::process::exit(2);
@@ -274,6 +281,12 @@ fn validate_model(mode: &Mode) {
     println!("\n==== validate-model: measured CPU stage shares vs gpu-sim op-count model ====");
     println!("(measured = iwino-obs stage timers, normalised over the five pipeline stages;");
     println!(" predicted = iwino_gpu_sim::model::predicted_stage_shares)");
+    let d = iwino_simd::dispatch_info();
+    println!(
+        "(microkernels: {}{} — shares are only comparable across runs with the same ISA)",
+        d.isa,
+        if d.forced_scalar { " [forced]" } else { "" }
+    );
     let cases: &[(&str, GammaSpec, iwino_tensor::ConvShape)] = &[
         (
             "Γ8(6,3), exact cover",
@@ -326,6 +339,29 @@ fn validate_model(mode: &Mode) {
 // Stage-rate benchmark: the BENCH_*.json performance trajectory
 // ---------------------------------------------------------------------------
 
+/// The pretty-printed dispatch section shared by bench-stages documents.
+fn dispatch_json() -> Json {
+    let d = iwino_simd::dispatch_info();
+    Json::obj(vec![
+        ("isa", Json::from(d.isa)),
+        ("lane_width", Json::from(d.lane_width)),
+        ("forced_scalar", Json::from(d.forced_scalar)),
+        (
+            "features",
+            Json::Arr(d.features.iter().map(|&f| Json::from(f)).collect()),
+        ),
+    ])
+}
+
+/// Pull the `"isa"` value out of a bench-stages JSON document. The
+/// workspace deliberately has no JSON parser (iwino-obs only writes), so
+/// this scans for the literal `"isa": "<name>"` the pretty-printer emits —
+/// the top-level dispatch record comes first, before any per-case fields.
+fn scan_isa(doc: &str) -> Option<&str> {
+    let at = doc.find("\"isa\": \"")? + "\"isa\": \"".len();
+    doc[at..].split('"').next()
+}
+
 fn bench_stages(args: &[String], mode: &Mode) {
     let via_engine = args.iter().any(|a| a == "--engine");
     println!("\n==== bench-stages: per-stage effective GFLOP/s ====");
@@ -342,6 +378,14 @@ fn bench_stages(args: &[String], mode: &Mode) {
         .filter(|p| !p.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "repro_results/stage_bench.json".to_string());
+    let d = iwino_simd::dispatch_info();
+    println!(
+        "(microkernels: {}{}, lane width {}; features: {})",
+        d.isa,
+        if d.forced_scalar { " [forced]" } else { "" },
+        d.lane_width,
+        d.features.join(", ")
+    );
     let reps = if mode.quick { 5 } else { 20 };
     let mut doc = Vec::new();
     for case in stage_bench_cases() {
@@ -360,10 +404,57 @@ fn bench_stages(args: &[String], mode: &Mode) {
         println!("end-to-end: {:.2} Gflop/s over {} reps", r.gflops, r.reps);
         doc.push(r.to_json());
     }
-    let json = Json::obj(vec![("schema_version", Json::from(1u64)), ("cases", Json::Arr(doc))]);
+    // Schema v2: v1 had only `cases`; v2 adds the top-level `dispatch`
+    // record so trajectory comparisons can detect cross-ISA diffs.
+    let json = Json::obj(vec![
+        ("schema_version", Json::from(2u64)),
+        ("dispatch", dispatch_json()),
+        ("cases", Json::Arr(doc)),
+    ]);
     match fs::write(&out, json.pretty()) {
         Ok(()) => println!("\n[saved {out}]"),
         Err(e) => eprintln!("\n[failed to write {out}: {e}]"),
+    }
+    // `--baseline <file>`: guard a cross-commit comparison. Stage rates
+    // are only meaningful against a baseline measured on the same
+    // microkernel ISA; refuse anything else unless `--force`d.
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
+    if let Some(base_path) = baseline {
+        let ours = iwino_simd::dispatch_info().isa;
+        match fs::read_to_string(&base_path).as_deref().map(scan_isa) {
+            Ok(Some(base_isa)) if base_isa == ours => {
+                println!("[baseline {base_path}: same ISA ({ours}) — stage rates comparable]");
+            }
+            Ok(Some(base_isa)) => {
+                eprintln!(
+                    "error: baseline {base_path} was measured on '{base_isa}' but this run dispatched \
+                     '{ours}'; cross-ISA stage rates are not comparable (pass --force to override)"
+                );
+                if !args.iter().any(|a| a == "--force") {
+                    std::process::exit(2);
+                }
+                println!("[--force: comparing across ISAs anyway]");
+            }
+            Ok(None) => {
+                eprintln!(
+                    "error: baseline {base_path} has no dispatch record (schema v1?); \
+                     cannot verify ISA parity (pass --force to override)"
+                );
+                if !args.iter().any(|a| a == "--force") {
+                    std::process::exit(2);
+                }
+                println!("[--force: comparing against unverifiable baseline anyway]");
+            }
+            Err(e) => {
+                eprintln!("error: cannot read baseline {base_path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 }
 

@@ -408,6 +408,10 @@ pub struct StageBenchResult {
     /// Whether the reps ran through the engine's plan cache (filter
     /// transformed once at warm-up) instead of re-planning per call.
     pub via_engine: bool,
+    /// Microkernel ISA dispatched for this run (`iwino_simd::dispatch_info`).
+    /// Stage rates from different ISAs are not comparable; `repro
+    /// bench-stages --baseline` refuses the diff unless `--force`d.
+    pub isa: String,
     pub stages: Vec<StageRate>,
 }
 
@@ -421,6 +425,7 @@ impl StageBenchResult {
             ("wall_ns", Json::from(self.wall_ns)),
             ("gflops", Json::from(self.gflops)),
             ("via_engine", Json::from(self.via_engine)),
+            ("isa", Json::from(self.isa.as_str())),
             (
                 "stages",
                 Json::Obj(
@@ -541,6 +546,7 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize, via
         wall_ns,
         gflops: if wall_ns > 0 { flops / wall_ns as f64 } else { 0.0 },
         via_engine,
+        isa: iwino_simd::dispatch_info().isa.to_string(),
         stages,
     }
 }

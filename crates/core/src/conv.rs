@@ -13,6 +13,7 @@ use crate::kernel::{cached_kernel, direct_row_segment, GammaKernel, RowJob, Scra
 use crate::plan::{default_kernel_prefs, GammaSpec, KernelChoice, SegmentPlan};
 use iwino_obs as obs;
 use iwino_parallel as par;
+use iwino_simd as simd;
 use iwino_tensor::{ConvShape, Tensor4};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -334,6 +335,18 @@ impl PreparedConv {
         // The paper's GFLOP/s convention: count the FLOPs of the standard
         // convolution producing the same output, whatever kernel runs.
         obs::add(obs::Counter::Flops, s.flops() as u64);
+        if obs::enabled() {
+            // Stamp the metrics document with the dispatched microkernel ISA
+            // so cross-run comparisons can detect (and refuse) cross-ISA
+            // diffs. One cheap struct clone per recorded run.
+            let d = simd::dispatch_info();
+            obs::set_dispatch_report(obs::DispatchReport {
+                isa: d.isa.to_string(),
+                lane_width: d.lane_width,
+                forced_scalar: d.forced_scalar,
+                features: d.features.iter().map(|f| f.to_string()).collect(),
+            });
+        }
 
         let mut y = Tensor4::<f32>::zeros(s.y_dims());
         let xs = x.as_slice();
@@ -359,10 +372,23 @@ impl PreparedConv {
         };
 
         let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
+        // Per-row cost model in abstract vector-op units, aware of the
+        // dispatched lane width: the outer-product FMA work vectorises along
+        // OC at `vw` lanes while the im2col gather stays per-channel scalar
+        // loads, so widening the ISA shrinks the FMA term relative to the
+        // gather term and shifts how much border rows (fewer in-bounds
+        // filter rows) are discounted. The fixed term covers the
+        // output transform + epilogue, which run once per row regardless of
+        // how many filter rows are in bounds.
+        let vw = simd::kernels().lane_width;
+        let fma_per_fh = (s.ic * s.oc).div_ceil(vw) as u64;
+        let gather_per_fh = s.ic as u64;
+        let fixed = s.oc.div_ceil(vw) as u64 + 1;
+        let row_weight = move |row: usize| in_bounds_fh(row % oh) as u64 * (fma_per_fh + gather_per_fh) + fixed;
         // Cost-aware row ranges (~equal total cost per piece) instead of one
         // task per row: boundary rows stop dragging the tail, and the
         // scratch borrow is amortised over the whole range.
-        par::global().run_chunked_weighted(s.n * oh, &|row| in_bounds_fh(row % oh) as u64, &|range| {
+        par::global().run_chunked_weighted(s.n * oh, &row_weight, &|range| {
             SCRATCH.with(|scratch| {
                 let mut scratch = scratch.borrow_mut();
                 for row in range {

@@ -12,8 +12,9 @@
 //!   chunks, and multiplied into the `α`-state accumulators by a
 //!   register-blocked FMA microkernel that runs along the contiguous `oc`
 //!   axis of the transformed filter — the CPU analogue of the 8×(8×8)
-//!   outer products, with the accumulators held in `[f32; W]` stack arrays
-//!   across the whole channel lane (see `fma_tile` and its block helpers);
+//!   outer products, dispatched at runtime to an explicit AVX2/NEON
+//!   implementation or the scalar fallback via `iwino_simd::kernels()`
+//!   (see `fma_tile`; all paths are bit-for-bit identical);
 //! * accumulation stays in the Winograd domain across `fh` **and** `ic` —
 //!   the defining trick of Im2col-Winograd — so a single output transform
 //!   per tile finishes the block (Algorithm 1's `transformOutput`).
@@ -30,8 +31,9 @@
 //!   `512/(α+2r)`.
 
 use crate::filter::TransformedFilter;
-use crate::plan::{BK, LANE};
+use crate::plan::BK;
 use iwino_obs as obs;
+use iwino_simd as simd;
 use iwino_transforms::{PairedTransform, WinogradTransform};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -50,7 +52,8 @@ pub enum Variant {
 
 // `BK` (channel panel) and `LANE` (microkernel vector width) live in
 // `crate::plan` so the planner, the kernels, and the tests agree on the
-// lane-width invariant (`BK % LANE == 0`).
+// lane-width invariant (`BK % LANE == 0`); the microkernels themselves
+// live in `iwino-simd` behind its runtime dispatch table.
 
 /// A ready-to-run `Γα(n, r)` kernel: transform matrices in f32 with the
 /// §5.3 pairing plans, plus the block geometry.
@@ -100,7 +103,8 @@ pub struct RowJob<'a> {
 pub struct Scratch {
     /// Gathered input strip/tiles: `α` (or strip length) rows × BK channels.
     gather: Vec<f32>,
-    /// Transformed input tile: `α × BK`.
+    /// Transformed input tiles: `2 × α × BK` (the tile loops pair tiles so
+    /// the outer product reuses each filter-panel pass across two tiles).
     tx: Vec<f32>,
     /// Winograd-domain accumulators: `BM × α × BN`.
     acc: Vec<f32>,
@@ -215,7 +219,7 @@ impl GammaKernel {
             acc: acc_buf,
             ytile,
         } = scratch;
-        tx.resize(alpha * BK, 0.0);
+        tx.resize(2 * alpha * BK, 0.0);
         acc_buf.resize(bm * alpha * bn, 0.0);
         ytile.resize(n * bn, 0.0);
 
@@ -297,8 +301,23 @@ impl GammaKernel {
         let alpha = self.alpha;
         let bn = self.bn;
         s.gather.resize(alpha * BK, 0.0);
+        // Tiles run in pairs: both tiles' gathered+transformed inputs are
+        // staged in `s.tx` (`2 × α × BK`), then one paired FMA pass streams
+        // the filter panel once for both (see `fma_tile2`). An odd trailing
+        // tile falls back to the single-tile path.
         if !rec {
-            for t in 0..tb {
+            let mut t = 0;
+            while t + 2 <= tb {
+                for k in 0..2 {
+                    let px0 = (seg_start + (t0 + t + k) * self.n) as isize - job.pw as isize;
+                    gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, alpha, s.gather);
+                    self.dt
+                        .apply_f32_strided(s.gather, BK, &mut s.tx[k * alpha * BK..], BK, icb);
+                }
+                fma_tile2(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+                t += 2;
+            }
+            if t < tb {
                 let px0 = (seg_start + (t0 + t) * self.n) as isize - job.pw as isize;
                 gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, alpha, s.gather);
                 self.dt.apply_f32_strided(s.gather, BK, s.tx, BK, icb);
@@ -311,7 +330,22 @@ impl GammaKernel {
         // traffic off the per-tile path.
         let mut it_ns = 0u64;
         let mut op_ns = 0u64;
-        for t in 0..tb {
+        let mut t = 0;
+        while t + 2 <= tb {
+            let start = Instant::now();
+            for k in 0..2 {
+                let px0 = (seg_start + (t0 + t + k) * self.n) as isize - job.pw as isize;
+                gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, alpha, s.gather);
+                self.dt
+                    .apply_f32_strided(s.gather, BK, &mut s.tx[k * alpha * BK..], BK, icb);
+            }
+            let mid = Instant::now();
+            fma_tile2(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+            it_ns += (mid - start).as_nanos() as u64;
+            op_ns += mid.elapsed().as_nanos() as u64;
+            t += 2;
+        }
+        if t < tb {
             let px0 = (seg_start + (t0 + t) * self.n) as isize - job.pw as isize;
             let start = Instant::now();
             gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, alpha, s.gather);
@@ -357,9 +391,21 @@ impl GammaKernel {
         let strip_len = (tb - 1) * self.n + alpha;
         s.gather.resize(strip_len * BK, 0.0);
         let px0 = (seg_start + t0 * self.n) as isize - job.pw as isize;
+        // Tiles pair up exactly as in the standard block (shared-strip
+        // gather, then paired Dᵀ + one panel pass for two tiles).
         if !rec {
             gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, strip_len, s.gather);
-            for t in 0..tb {
+            let mut t = 0;
+            while t + 2 <= tb {
+                for k in 0..2 {
+                    let from = &s.gather[(t + k) * self.n * BK..];
+                    self.dt
+                        .apply_f32_strided(from, BK, &mut s.tx[k * alpha * BK..], BK, icb);
+                }
+                fma_tile2(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+                t += 2;
+            }
+            if t < tb {
                 let from = &s.gather[t * self.n * BK..];
                 self.dt.apply_f32_strided(from, BK, s.tx, BK, icb);
                 fma_tile(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
@@ -373,7 +419,21 @@ impl GammaKernel {
         let start = Instant::now();
         gather_positions(x_row, job.iw, job.ic, ic0, icb, px0, strip_len, s.gather);
         it_ns += start.elapsed().as_nanos() as u64;
-        for t in 0..tb {
+        let mut t = 0;
+        while t + 2 <= tb {
+            let start = Instant::now();
+            for k in 0..2 {
+                let from = &s.gather[(t + k) * self.n * BK..];
+                self.dt
+                    .apply_f32_strided(from, BK, &mut s.tx[k * alpha * BK..], BK, icb);
+            }
+            let mid = Instant::now();
+            fma_tile2(acc, t, alpha, bn, s.tx, icb, tw, plane, ic0, oc0, ocb);
+            it_ns += (mid - start).as_nanos() as u64;
+            op_ns += mid.elapsed().as_nanos() as u64;
+            t += 2;
+        }
+        if t < tb {
             let from = &s.gather[t * self.n * BK..];
             let start = Instant::now();
             self.dt.apply_f32_strided(from, BK, s.tx, BK, icb);
@@ -421,11 +481,14 @@ fn gather_positions(
 
 /// The element-wise multiply stage for one tile: for every state `s`, FMA
 /// the transformed input scalars against the filter's contiguous `IC×OC`
-/// panel — the paper's outer-product unit. Output channels are
-/// register-blocked (4·LANE, then LANE, then a scalar-width tail) so each
-/// block's accumulators stay in registers across the whole channel lane;
-/// per output element the `ic`-order summation is identical to a plain
-/// nested loop, keeping variants bitwise-comparable.
+/// panel — the paper's outer-product unit. The per-state row runs on the
+/// dispatched `iwino-simd` microkernel (AVX2/NEON/scalar, all bit-for-bit
+/// identical): output channels are register-blocked down to a masked tail
+/// and per output element the `ic`-order summation is identical to a plain
+/// nested loop, keeping variants and ISAs bitwise-comparable. When scalar
+/// is dispatched the (inlinable) fallback is called directly instead of
+/// through the table's function pointer, so the pre-dispatch codegen — and
+/// its performance — is preserved exactly.
 #[allow(clippy::too_many_arguments)]
 fn fma_tile(
     acc: &mut [f32],
@@ -441,57 +504,62 @@ fn fma_tile(
     ocb: usize,
 ) {
     let oc = tw.oc;
+    let mk = simd::kernels();
+    let use_scalar = mk.isa == simd::Isa::Scalar;
     for s in 0..alpha {
         let base = (t * alpha + s) * bn;
         let arow = &mut acc[base..base + ocb];
         let txs = &tx[s * BK..s * BK + icb];
         let panel = &tw.panel(plane, s)[ic0 * oc..];
-        let mut o = 0usize;
-        while o + 4 * LANE <= ocb {
-            fma_block::<{ 4 * LANE }>(&mut arow[o..o + 4 * LANE], txs, panel, oc, oc0 + o);
-            o += 4 * LANE;
-        }
-        while o + LANE <= ocb {
-            fma_block::<LANE>(&mut arow[o..o + LANE], txs, panel, oc, oc0 + o);
-            o += LANE;
-        }
-        if o < ocb {
-            fma_tail(&mut arow[o..], txs, panel, oc, oc0 + o);
+        if use_scalar {
+            simd::scalar::outer_product_row(arow, txs, panel, oc, oc0);
+        } else {
+            (mk.outer_product_row)(arow, txs, panel, oc, oc0);
         }
     }
 }
 
-/// One register block of the outer product: `arow[k] += Σ_i txs[i] ·
-/// panel[i·oc + o0 + k]` for `k < W`. The `W` accumulators live in an
-/// `[f32; W]` stack array loaded once and stored once, so the filter rows
-/// stream through while the partial sums never round-trip to memory.
-#[inline]
-fn fma_block<const W: usize>(arow: &mut [f32], txs: &[f32], panel: &[f32], oc: usize, o0: usize) {
-    let mut accv = [0.0f32; W];
-    accv.copy_from_slice(arow);
-    for (i, &v) in txs.iter().enumerate() {
-        let wrow = &panel[i * oc + o0..i * oc + o0 + W];
-        for (a, &w) in accv.iter_mut().zip(wrow) {
-            *a += v * w;
+/// Paired-tile variant of [`fma_tile`]: tiles `t` and `t + 1` accumulated
+/// in one pass over each state's filter panel. The panel stream is the
+/// outer product's dominant memory traffic (`ocb` floats per channel vs 1
+/// for the tx stream), so reusing each panel row across two tiles halves
+/// the stage's bandwidth demand — the difference between an L2-bound and
+/// an FP-bound AVX2 kernel at `ocb = 64`. `tx` holds both tiles'
+/// transformed inputs (`2 × α × BK`, tile `t` first). Per output element
+/// the accumulation order is exactly [`fma_tile`]'s, so pairing is
+/// bitwise-invisible.
+#[allow(clippy::too_many_arguments)]
+fn fma_tile2(
+    acc: &mut [f32],
+    t: usize,
+    alpha: usize,
+    bn: usize,
+    tx: &[f32],
+    icb: usize,
+    tw: &TransformedFilter,
+    plane: usize,
+    ic0: usize,
+    oc0: usize,
+    ocb: usize,
+) {
+    let oc = tw.oc;
+    let mk = simd::kernels();
+    let use_scalar = mk.isa == simd::Isa::Scalar;
+    // Disjoint accumulator views for the two tiles (`α·bn` apart).
+    let (acc0, acc1) = acc.split_at_mut((t + 1) * alpha * bn);
+    for s in 0..alpha {
+        let base = (t * alpha + s) * bn;
+        let arow0 = &mut acc0[base..base + ocb];
+        let arow1 = &mut acc1[s * bn..s * bn + ocb];
+        let txs0 = &tx[s * BK..s * BK + icb];
+        let txs1 = &tx[(alpha + s) * BK..(alpha + s) * BK + icb];
+        let panel = &tw.panel(plane, s)[ic0 * oc..];
+        if use_scalar {
+            simd::scalar::outer_product_row2(arow0, arow1, txs0, txs1, panel, oc, oc0);
+        } else {
+            (mk.outer_product_row2)(arow0, arow1, txs0, txs1, panel, oc, oc0);
         }
     }
-    arow.copy_from_slice(&accv);
-}
-
-/// Remainder lane: the final `ocb % LANE` output channels, masked to the
-/// live prefix of one `[f32; LANE]` accumulator.
-fn fma_tail(arow: &mut [f32], txs: &[f32], panel: &[f32], oc: usize, o0: usize) {
-    let w = arow.len();
-    debug_assert!(w < LANE);
-    let mut accv = [0.0f32; LANE];
-    accv[..w].copy_from_slice(arow);
-    for (i, &v) in txs.iter().enumerate() {
-        let wrow = &panel[i * oc + o0..i * oc + o0 + w];
-        for (a, &s) in accv.iter_mut().zip(wrow) {
-            *a += v * s;
-        }
-    }
-    arow.copy_from_slice(&accv[..w]);
 }
 
 /// Direct (GEMM-style) computation of a row segment, used for the boundary

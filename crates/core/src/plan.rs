@@ -416,9 +416,12 @@ mod tests {
     #[test]
     fn lane_width_invariant() {
         // The planner's channel panel is a whole number of microkernel
-        // lanes, and the transforms crate unrolls to the same lane width.
+        // lanes, and the transforms + SIMD crates block to the same lane
+        // width (the dispatch table's widest vector is one LANE of f32).
         assert_eq!(BK % LANE, 0);
         assert_eq!(LANE, iwino_transforms::LANE);
+        assert_eq!(LANE, iwino_simd::LANE);
+        assert!(iwino_simd::kernels().lane_width <= LANE);
     }
 
     #[test]

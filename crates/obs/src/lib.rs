@@ -12,6 +12,8 @@
 //!   from which GFLOP/s and arithmetic intensity are derived per run;
 //! * [`PoolReport`] — per-worker thread-pool utilization, filled in by
 //!   `iwino-parallel`;
+//! * [`DispatchReport`] — detected CPU features and the dispatched
+//!   microkernel ISA, filled in by `iwino-core` from `iwino-simd`;
 //! * [`MetricsReport`] — a JSON-serializable snapshot of all of the above.
 //!
 //! Everything is gated on a single process-wide [`enabled`] flag (one
@@ -201,6 +203,11 @@ fn pool_slot() -> &'static Mutex<Option<PoolReport>> {
     POOL.get_or_init(|| Mutex::new(None))
 }
 
+fn dispatch_slot() -> &'static Mutex<Option<DispatchReport>> {
+    static DISPATCH: OnceLock<Mutex<Option<DispatchReport>>> = OnceLock::new();
+    DISPATCH.get_or_init(|| Mutex::new(None))
+}
+
 thread_local! {
     static SLOT: Arc<Slot> = {
         let slot = Arc::new(Slot::new());
@@ -226,13 +233,14 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Zero every slot on every thread and drop any stored pool report.
-/// Call between runs to attribute metrics to a single workload.
+/// Zero every slot on every thread and drop any stored pool/dispatch
+/// report. Call between runs to attribute metrics to a single workload.
 pub fn reset() {
     for slot in registry().lock().unwrap().iter() {
         slot.reset();
     }
     *pool_slot().lock().unwrap() = None;
+    *dispatch_slot().lock().unwrap() = None;
 }
 
 /// Scoped timer: accumulates elapsed nanoseconds into `stage` for the
@@ -397,6 +405,48 @@ pub fn pool_report() -> Option<PoolReport> {
     pool_slot().lock().unwrap().clone()
 }
 
+/// Which microkernel path a measured run actually executed. Produced by
+/// `iwino-core` from `iwino_simd::dispatch_info()` while recording is on,
+/// stored here so a [`MetricsReport`] can pick it up without a dependency
+/// cycle (the same pattern as [`PoolReport`]). Consumers use it to refuse
+/// apples-to-oranges comparisons between runs dispatched to different ISAs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DispatchReport {
+    /// Dispatched ISA name (`"avx2+fma"`, `"neon"`, `"scalar"`).
+    pub isa: String,
+    /// f32 elements per explicit vector op of the dispatched path.
+    pub lane_width: usize,
+    /// Whether a force-scalar override (env or programmatic) was active.
+    pub forced_scalar: bool,
+    /// CPU features detected on the host, independent of dispatch.
+    pub features: Vec<String>,
+}
+
+impl DispatchReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("isa", Json::from(self.isa.as_str())),
+            ("lane_width", Json::from(self.lane_width)),
+            ("forced_scalar", Json::from(self.forced_scalar)),
+            (
+                "features",
+                Json::Arr(self.features.iter().map(|f| Json::from(f.as_str())).collect()),
+            ),
+        ])
+    }
+}
+
+/// Store the dispatch report for the current run (later stores replace
+/// earlier ones; the dispatched path can only change via an explicit
+/// force-scalar toggle, so last-write-wins describes the run).
+pub fn set_dispatch_report(report: DispatchReport) {
+    *dispatch_slot().lock().unwrap() = Some(report);
+}
+
+pub fn dispatch_report() -> Option<DispatchReport> {
+    dispatch_slot().lock().unwrap().clone()
+}
+
 /// Point-in-time aggregate of every thread's slot.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -404,6 +454,7 @@ pub struct Snapshot {
     stage_hits: [u64; N_STAGES],
     counters: [u64; N_COUNTERS],
     pub pool: Option<PoolReport>,
+    pub dispatch: Option<DispatchReport>,
 }
 
 impl Snapshot {
@@ -443,6 +494,7 @@ impl Snapshot {
 pub fn snapshot() -> Snapshot {
     let mut snap = Snapshot {
         pool: pool_report(),
+        dispatch: dispatch_report(),
         ..Snapshot::default()
     };
     for slot in registry().lock().unwrap().iter() {
@@ -524,7 +576,7 @@ mod tests {
     }
 
     #[test]
-    fn reset_zeroes_and_clears_pool() {
+    fn reset_zeroes_and_clears_pool_and_dispatch() {
         let _g = guard();
         set_enabled(true);
         reset();
@@ -534,11 +586,19 @@ mod tests {
             jobs: 1,
             workers: vec![],
         });
+        set_dispatch_report(DispatchReport {
+            isa: "avx2+fma".to_string(),
+            lane_width: 8,
+            forced_scalar: false,
+            features: vec!["avx2".to_string()],
+        });
+        assert_eq!(snapshot().dispatch.as_ref().map(|d| d.lane_width), Some(8));
         reset();
         let snap = snapshot();
         set_enabled(false);
         assert_eq!(snap.counter(Counter::BytesLoaded), 0);
         assert!(snap.pool.is_none());
+        assert!(snap.dispatch.is_none());
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! Structured metrics export: one JSON document per measured run.
 //!
-//! Schema (version 2). Version 2 adds the `"kind"` discriminator so
+//! Schema (version 3). Version 2 added the `"kind"` discriminator so
 //! consumers can tell a metrics document from the static-analysis report
 //! the `analyzer` crate emits with the same `schema_version` ("metrics"
-//! here, "analysis" there):
+//! here, "analysis" there); version 3 adds the `"dispatch"` section
+//! recording detected CPU features and the dispatched microkernel ISA, so
+//! comparisons can refuse to diff runs from different ISAs:
 //!
 //! ```text
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "kind": "metrics",
 //!   "label": "<workload name>",
 //!   "wall_ns": <u64>,                    // end-to-end wall time
@@ -16,7 +18,9 @@
 //!   "derived": { "gflops", "arithmetic_intensity", "bytes_total", ... },
 //!   "pool": { "threads", "jobs", "caller_share", "utilization",
 //!             "workers": [{"lane", "is_caller_lane", "chunks",
-//!                          "busy_ns", "idle_ns"}, ...] } | null
+//!                          "busy_ns", "idle_ns"}, ...] } | null,
+//!   "dispatch": { "isa", "lane_width", "forced_scalar",
+//!                 "features": ["sse2", ...] } | null
 //! }
 //! ```
 //!
@@ -30,7 +34,7 @@ use std::path::Path;
 
 /// Version of the JSON layout emitted by [`MetricsReport::to_json`] (and
 /// shared by the analyzer's `"kind": "analysis"` documents).
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A captured, self-describing metrics document.
 #[derive(Clone, Debug)]
@@ -127,6 +131,7 @@ impl MetricsReport {
             ("counters", Json::Obj(counters)),
             ("derived", derived),
             ("pool", snap.pool.as_ref().map_or(Json::Null, |p| p.to_json())),
+            ("dispatch", snap.dispatch.as_ref().map_or(Json::Null, |d| d.to_json())),
         ])
     }
 
@@ -155,6 +160,12 @@ mod tests {
             add(Counter::RuseTiles, 4);
             add_stage_ns(Stage::OuterProduct, 750);
             add_stage_ns(Stage::InputTransform, 250);
+            crate::set_dispatch_report(crate::DispatchReport {
+                isa: "avx2+fma".to_string(),
+                lane_width: 8,
+                forced_scalar: false,
+                features: vec!["avx2".to_string(), "fma".to_string()],
+            });
             let snap = crate::snapshot();
             set_enabled(false);
             snap
@@ -170,12 +181,28 @@ mod tests {
         assert!((report.stage_gflops(Stage::OuterProduct) - 2_000_000.0 / 750.0).abs() < 1e-9);
         assert_eq!(report.stage_gflops(Stage::Epilogue), 0.0);
         let json = report.to_json().pretty();
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"kind\": \"metrics\""));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"outer_product\""));
         assert!(json.contains("\"ruse_tile_fraction\": 0.4"));
+        // Version 3: the dispatch section identifies the microkernel path.
+        assert!(json.contains("\"isa\": \"avx2+fma\""));
+        assert!(json.contains("\"lane_width\": 8"));
+        assert!(json.contains("\"forced_scalar\": false"));
         // Stages with zero hits are omitted.
         assert!(!json.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn report_without_dispatch_serializes_null() {
+        let report = MetricsReport {
+            label: "empty".to_string(),
+            wall_ns: 1,
+            snapshot: Snapshot::default(),
+        };
+        let json = report.to_json().pretty();
+        assert!(json.contains("\"dispatch\": null"));
+        assert!(json.contains("\"pool\": null"));
     }
 }

@@ -15,6 +15,7 @@
 //! used by the `ablation-transforms` experiment.
 
 use crate::Matrix;
+use iwino_simd as simd;
 
 /// Vector lane width of the strided executors: 8 f32 = one 256-bit register.
 /// Must equal `iwino_core::plan::LANE` (checked by a test there); the kernels
@@ -33,6 +34,15 @@ const MAX_COLS: usize = 64;
 /// vectorised inner loop — at [`LANE`]-sized chunks that overhead is paid
 /// once per 256-bit op and dominates the transform.
 const CHUNK: usize = 8 * LANE;
+
+// The chunk geometry is shared with the dispatched microkernels: a
+// `transform_step` entry accepts any width up to the SIMD crate's chunk,
+// and both crates must agree on the lane width the blocks are cut to.
+const _: () = assert!(
+    CHUNK == simd::TRANSFORM_CHUNK,
+    "paired executor chunk must match iwino-simd"
+);
+const _: () = assert!(LANE == simd::LANE, "paired executor lane width must match iwino-simd");
 
 /// One step of a paired transform plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -162,8 +172,10 @@ impl PairedTransform {
     /// access-continuity argument of §3/§4.2. Channels are swept in
     /// [`CHUNK`]-wide blocks (8 SIMD lanes) held in stack accumulators — no
     /// heap traffic on this hot path — with one remainder block for
-    /// `width % CHUNK`; within a block the coefficient loop is outermost so
-    /// its zero-skip branch amortises over a long vectorised inner loop.
+    /// `width % CHUNK`; each block runs on the runtime-dispatched
+    /// `iwino_simd` `transform_step` microkernel (AVX2/NEON/scalar, all
+    /// bit-for-bit identical), in which the coefficient loop is outermost
+    /// so its zero-skip branch amortises over a long vectorised inner loop.
     /// Per output element the summation order is identical to the scalar
     /// executor: even/odd partial sums in column order, then `e + o` /
     /// `e − o`.
@@ -177,6 +189,12 @@ impl PairedTransform {
              every Γα(n,r) kernel has α ≤ 16",
             self.cols
         );
+        // One dispatch lookup per call; the per-chunk work below runs on
+        // the selected microkernel. When scalar is dispatched the
+        // (inlinable) fallback is called directly rather than through the
+        // table's function pointer, preserving pre-dispatch codegen.
+        let mk = simd::kernels();
+        let use_scalar = mk.isa == simd::Isa::Scalar;
         let mut mbuf = [0.0f32; MAX_COLS];
         for c0 in (0..width).step_by(CHUNK) {
             let w = CHUNK.min(width - c0);
@@ -188,52 +206,12 @@ impl PairedTransform {
                     *m = self.coeff(row, j) as f32;
                 }
                 let paired = matches!(*step, PlanStep::Pair { .. });
-                Self::step_chunk(&mbuf[..self.cols], paired, x, x_stride, out, out_stride, row, c0, w);
+                if use_scalar {
+                    simd::scalar::transform_step(&mbuf[..self.cols], paired, x, x_stride, out, out_stride, row, c0, w);
+                } else {
+                    (mk.transform_step)(&mbuf[..self.cols], paired, x, x_stride, out, out_stride, row, c0, w);
+                }
             }
-        }
-    }
-
-    /// One channel block of one plan step: channels `[c0, c0 + w)`,
-    /// `w ≤ CHUNK`. The accumulators are `[f32; CHUNK]` stack arrays; each
-    /// non-zero coefficient contributes one `w`-long FMA pass that rustc
-    /// autovectorises into [`LANE`]-wide ops.
-    #[allow(clippy::too_many_arguments)]
-    #[inline]
-    fn step_chunk(
-        coeffs: &[f32],
-        paired: bool,
-        x: &[f32],
-        x_stride: usize,
-        out: &mut [f32],
-        out_stride: usize,
-        row: usize,
-        c0: usize,
-        w: usize,
-    ) {
-        debug_assert!((1..=CHUNK).contains(&w));
-        let mut even = [0.0f32; CHUNK];
-        let mut odd = [0.0f32; CHUNK];
-        for (j, &m) in coeffs.iter().enumerate() {
-            if m == 0.0 {
-                continue;
-            }
-            let src = &x[j * x_stride + c0..j * x_stride + c0 + w];
-            let dst = if paired && j % 2 != 0 { &mut odd } else { &mut even };
-            for (d, &s) in dst[..w].iter_mut().zip(src) {
-                *d += m * s;
-            }
-        }
-        let o0 = &mut out[row * out_stride + c0..row * out_stride + c0 + w];
-        if !paired {
-            o0.copy_from_slice(&even[..w]);
-            return;
-        }
-        for (c, o) in o0.iter_mut().enumerate() {
-            *o = even[c] + odd[c];
-        }
-        let o1 = &mut out[(row + 1) * out_stride + c0..(row + 1) * out_stride + c0 + w];
-        for (c, o) in o1.iter_mut().enumerate() {
-            *o = even[c] - odd[c];
         }
     }
 

@@ -19,8 +19,15 @@ echo "== cargo build --release =="
 # e.g. target/release/repro could go stale and drive old code.
 cargo build --offline --release --workspace
 
-echo "== cargo test -q (workspace) =="
+echo "== cargo test -q (workspace, native dispatch) =="
 cargo test --offline --workspace -q
+
+echo "== cargo test -q (workspace, forced-scalar dispatch) =="
+# Second lane with IWINO_FORCE_SCALAR=1: every test must also pass with the
+# iwino-simd dispatch pinned to the scalar fallback, proving the scalar
+# path stays correct and the SIMD/scalar bit-exactness net is not
+# vacuously green on SIMD hosts.
+IWINO_FORCE_SCALAR=1 cargo test --offline --workspace -q
 
 echo "== property tests (fixed PROPTEST_CASES budget) =="
 # The Γ conformance net honours PROPTEST_CASES (vendored/proptest); pin an

@@ -15,6 +15,8 @@
 //! * [`tensor`] — NHWC tensors and shapes;
 //! * [`gpu_sim`] — the RTX 3060 Ti / RTX 4090 cost model;
 //! * [`nn`] — the CNN training framework of Experiment 3;
+//! * [`simd`] — runtime-dispatched AVX2/NEON/scalar microkernels for the
+//!   Γ hot path (all paths bit-for-bit identical);
 //! * [`parallel`] / [`rational`] — infrastructure.
 //!
 //! # Convolution in five lines
@@ -67,6 +69,7 @@ pub use iwino_nn as nn;
 pub use iwino_obs as obs;
 pub use iwino_parallel as parallel;
 pub use iwino_rational as rational;
+pub use iwino_simd as simd;
 pub use iwino_tensor as tensor;
 pub use iwino_transforms as transforms;
 

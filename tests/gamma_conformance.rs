@@ -9,12 +9,21 @@
 //! so exact covers, ±1 raggedness, and the GEMM remainder segment all come
 //! up. Agreement is checked against the f64 direct reference.
 //!
+//! A second net pins the `iwino-simd` dispatch contract: the natively
+//! dispatched microkernels (AVX2/NEON) must produce **bitwise identical**
+//! outputs to the forced-scalar fallback for every `(n, r)` kernel and
+//! every outer-product tail width `oc % LANE ∈ 0..LANE`. On hosts whose
+//! native dispatch *is* scalar these tests pass trivially — the SIMD paths
+//! are then covered by CI's AVX2 runners.
+//!
 //! The case budget honours `PROPTEST_CASES` (see `scripts/check.sh`).
 
 use im2col_winograd::baselines::direct_conv_f64_ref;
 use im2col_winograd::prelude::*;
+use im2col_winograd::simd;
 use im2col_winograd::tensor::{max_mixed_error, ErrorStats};
 use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
 
 /// Channel counts that are all coprime-ish with the lane width 8: each one
 /// forces the remainder lane, and 17 also runs two full lanes first.
@@ -73,7 +82,120 @@ fn check_family(alpha: usize, variant: Variant, ici: usize, oci: usize, oww: usi
     }
 }
 
+/// Serialises tests that toggle the process-global microkernel dispatch,
+/// and restores the environment-driven default when the guard drops.
+fn dispatch_guard() -> (MutexGuard<'static, ()>, RestoreDispatch) {
+    static LOCK: Mutex<()> = Mutex::new(());
+    (LOCK.lock().unwrap_or_else(|e| e.into_inner()), RestoreDispatch)
+}
+
+struct RestoreDispatch;
+impl Drop for RestoreDispatch {
+    fn drop(&mut self) {
+        simd::clear_force_override();
+    }
+}
+
+/// One forced-kernel conv with the current dispatch, as raw f32 bits.
+#[allow(clippy::too_many_arguments)]
+fn conv_bits(
+    alpha: usize,
+    n: usize,
+    r: usize,
+    variant: Variant,
+    ic: usize,
+    oc: usize,
+    ow: usize,
+    seed: u64,
+) -> Vec<u32> {
+    let s = ConvShape::square(1, ow, ic, oc, r);
+    let x = Tensor4::<f32>::random(s.x_dims(), seed, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(s.w_dims(), seed ^ 0x9e3779b97f4a7c15, -1.0, 1.0);
+    let opts = ConvOptions {
+        force_kernels: Some(vec![GammaSpec::new(alpha, n, r, variant)]),
+        ..Default::default()
+    };
+    conv2d_opts(&x, &w, &s, &opts)
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Assert native-dispatch output is bitwise identical to forced-scalar.
+#[allow(clippy::too_many_arguments)]
+fn check_bitwise(alpha: usize, n: usize, r: usize, variant: Variant, ic: usize, oc: usize, ow: usize, seed: u64) {
+    let _g = dispatch_guard();
+    simd::set_force_scalar(false);
+    let native = conv_bits(alpha, n, r, variant, ic, oc, ow, seed);
+    simd::set_force_scalar(true);
+    let scalar = conv_bits(alpha, n, r, variant, ic, oc, ow, seed);
+    assert!(
+        native == scalar,
+        "Γ{alpha}(n={n}, r={r}, {variant:?}) ic={ic} oc={oc} ow={ow}: {} output is not \
+         bit-for-bit identical to forced-scalar",
+        simd::native_isa().name()
+    );
+}
+
+/// Every `(n, r)` kernel × every outer-product tail width: `oc = 8 + t`
+/// makes the per-row microkernel run one full lane plus a `t`-wide masked
+/// tail (`t = 0` is the exact-lanes case), and `ow = n + 1` makes the
+/// segment planner emit both a Γ tile and a ragged boundary.
+#[test]
+fn simd_matches_scalar_bitwise_every_kernel_and_tail() {
+    for alpha in [4usize, 8, 16] {
+        for (n, r) in combos(alpha) {
+            for tail in 0..8usize {
+                check_bitwise(alpha, n, r, Variant::Standard, 5, 8 + tail, n + 1, 7 + tail as u64);
+            }
+        }
+    }
+}
+
+/// The ruse and C64 variants share the dispatched microkernels; pin their
+/// bit-exactness too, on remainder-lane channel counts.
+#[test]
+fn simd_matches_scalar_bitwise_variants() {
+    for (n, r) in combos(8) {
+        check_bitwise(8, n, r, Variant::Ruse, 7, 13, 2 * n, 101);
+    }
+    for (n, r) in combos(16) {
+        check_bitwise(16, n, r, Variant::C64, 7, 13, 2 * n, 103);
+    }
+}
+
+/// The programmatic override and the dispatch report agree end to end
+/// through the umbrella crate.
+#[test]
+fn dispatch_override_is_visible_in_dispatch_info() {
+    let _g = dispatch_guard();
+    simd::set_force_scalar(true);
+    let forced = simd::dispatch_info();
+    assert_eq!(forced.isa, "scalar");
+    assert!(forced.forced_scalar);
+    assert_eq!(forced.lane_width, 1);
+    simd::set_force_scalar(false);
+    let native = simd::dispatch_info();
+    assert_eq!(native.isa, simd::native_isa().name());
+    assert!(!native.forced_scalar);
+}
+
 proptest! {
+    #[test]
+    fn simd_matches_scalar_bitwise_sampled_shapes(
+        ici in 0usize..5, oci in 0usize..5, oww in 0usize..64, seed in 0u64..1_000_000
+    ) {
+        // Random shapes over every family, mirroring the accuracy net: the
+        // SIMD/scalar equivalence must hold wherever the kernels do.
+        for alpha in [4usize, 8, 16] {
+            for (n, r) in combos(alpha) {
+                let ow = n + oww % (2 * n + 1);
+                check_bitwise(alpha, n, r, Variant::Standard, ODD_CHANNELS[ici], ODD_CHANNELS[oci], ow, seed);
+            }
+        }
+    }
+
     #[test]
     fn gamma4_standard_remainder_lanes(ici in 0usize..5, oci in 0usize..5, oww in 0usize..64, seed in 0u64..1_000_000) {
         check_family(4, Variant::Standard, ici, oci, oww, seed);
