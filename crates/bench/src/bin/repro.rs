@@ -88,6 +88,8 @@ fn main() {
         "fig10" => fig10(&mode),
         "validate-model" => validate_model(&mode),
         "bench-stages" => bench_stages(&args, &mode),
+        "bench-compare" => bench_compare(&args),
+        "trace" => trace_cmd(&args),
         "engine" => engine(&mode),
         "train-cifar" => train_cifar(&mode),
         "train-imagenet" => train_imagenet(&mode),
@@ -113,10 +115,13 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|engine|train-cifar|\
-                 train-imagenet|ablation-banks|ablation-boundary|ablation-variants|ablation-transforms|all> \
+                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|bench-compare|trace|\
+                 engine|train-cifar|train-imagenet|ablation-banks|ablation-boundary|ablation-variants|\
+                 ablation-transforms|all> \
                  [--full] [--sim-only] [--engine] [--force-scalar] [--metrics <path.json>] [--out <path.json>] \
-                 [--baseline <path.json>] [--force]"
+                 [--baseline <path.json>] [--force]\n\
+                 \n  repro trace [<case-label>] [--out trace.json] [--reps N]   flight-recorder capture\
+                 \n  repro bench-compare <baseline.json> <after.json> [--max-regression <pct>] [--force]"
             );
             if cmd != "help" {
                 std::process::exit(2);
@@ -353,13 +358,31 @@ fn dispatch_json() -> Json {
     ])
 }
 
-/// Pull the `"isa"` value out of a bench-stages JSON document. The
-/// workspace deliberately has no JSON parser (iwino-obs only writes), so
-/// this scans for the literal `"isa": "<name>"` the pretty-printer emits —
-/// the top-level dispatch record comes first, before any per-case fields.
-fn scan_isa(doc: &str) -> Option<&str> {
-    let at = doc.find("\"isa\": \"")? + "\"isa\": \"".len();
-    doc[at..].split('"').next()
+/// Positional (non-flag) arguments after the subcommand, skipping the
+/// values consumed by value-carrying flags.
+fn positional_args(args: &[String]) -> Vec<String> {
+    let mut pos = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" | "--out" | "--baseline" | "--reps" | "--max-regression" => i += 2,
+            a if a.starts_with("--") => i += 1,
+            a => {
+                pos.push(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    pos
+}
+
+/// The value of a `--flag <value>` pair, when present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|v| !v.starts_with("--"))
+        .map(String::as_str)
 }
 
 fn bench_stages(args: &[String], mode: &Mode) {
@@ -371,13 +394,9 @@ fn bench_stages(args: &[String], mode: &Mode) {
         println!("(--engine: reps run plan-cached through iwino-engine; the filter transform");
         println!(" is paid once at warm-up, so it drops out of the measured profile)");
     }
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .filter(|p| !p.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "repro_results/stage_bench.json".to_string());
+    let out = flag_value(args, "--out")
+        .unwrap_or("repro_results/stage_bench.json")
+        .to_string();
     let d = iwino_simd::dispatch_info();
     println!(
         "(microkernels: {}{}, lane width {}; features: {})",
@@ -391,23 +410,30 @@ fn bench_stages(args: &[String], mode: &Mode) {
     for case in stage_bench_cases() {
         let r = bench_stage_rates(&case, reps, via_engine);
         println!("\n-- {} ({}, ofms {}) --", r.label, r.kernel, r.shape);
-        println!("{:<18} {:>14} {:>8} {:>12}", "stage", "ns", "share", "gflops");
+        println!(
+            "{:<18} {:>14} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            "stage", "ns", "share", "gflops", "p50", "p90", "p99"
+        );
         for s in &r.stages {
             println!(
-                "{:<18} {:>14} {:>7.1}% {:>12.2}",
+                "{:<18} {:>14} {:>7.1}% {:>12.2} {:>10} {:>10} {:>10}",
                 s.stage,
                 s.ns,
                 100.0 * s.share,
-                s.gflops
+                s.gflops,
+                s.p50_ns,
+                s.p90_ns,
+                s.p99_ns
             );
         }
         println!("end-to-end: {:.2} Gflop/s over {} reps", r.gflops, r.reps);
         doc.push(r.to_json());
     }
-    // Schema v2: v1 had only `cases`; v2 adds the top-level `dispatch`
-    // record so trajectory comparisons can detect cross-ISA diffs.
+    // Schema v3: v2 added the top-level `dispatch` record (cross-ISA diff
+    // detection); v3 adds per-stage latency percentiles (p50/p90/p99 ns
+    // from the obs log2 histograms). `repro bench-compare` reads v1-v3.
     let json = Json::obj(vec![
-        ("schema_version", Json::from(2u64)),
+        ("schema_version", Json::from(3u64)),
         ("dispatch", dispatch_json()),
         ("cases", Json::Arr(doc)),
     ]);
@@ -418,15 +444,16 @@ fn bench_stages(args: &[String], mode: &Mode) {
     // `--baseline <file>`: guard a cross-commit comparison. Stage rates
     // are only meaningful against a baseline measured on the same
     // microkernel ISA; refuse anything else unless `--force`d.
-    let baseline = args
-        .iter()
-        .position(|a| a == "--baseline")
-        .and_then(|i| args.get(i + 1))
-        .filter(|p| !p.starts_with("--"))
-        .cloned();
-    if let Some(base_path) = baseline {
+    if let Some(base_path) = flag_value(args, "--baseline") {
         let ours = iwino_simd::dispatch_info().isa;
-        match fs::read_to_string(&base_path).as_deref().map(scan_isa) {
+        let parsed = match fs::read_to_string(base_path) {
+            Ok(text) => iwino_bench::parse_bench_doc(&text),
+            Err(e) => {
+                eprintln!("error: cannot read baseline {base_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match parsed.map(|d| d.isa) {
             Ok(Some(base_isa)) if base_isa == ours => {
                 println!("[baseline {base_path}: same ISA ({ours}) — stage rates comparable]");
             }
@@ -451,11 +478,143 @@ fn bench_stages(args: &[String], mode: &Mode) {
                 println!("[--force: comparing against unverifiable baseline anyway]");
             }
             Err(e) => {
-                eprintln!("error: cannot read baseline {base_path}: {e}");
+                eprintln!("error: baseline {base_path}: {e}");
                 std::process::exit(2);
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Perf-regression gate: bench-compare over two bench-stages documents
+// ---------------------------------------------------------------------------
+
+/// `repro bench-compare <baseline.json> <after.json>`: exit 0 when every
+/// case's end-to-end rate holds within `--max-regression` percent of the
+/// baseline, 1 on a regression (or a dropped case), 2 on unusable input
+/// (unreadable/malformed files, or un`--force`d ISA mismatch).
+fn bench_compare(args: &[String]) {
+    let pos = positional_args(args);
+    let [base_path, after_path] = pos.as_slice() else {
+        eprintln!("usage: repro bench-compare <baseline.json> <after.json> [--max-regression <pct>] [--force]");
+        std::process::exit(2);
+    };
+    let max_pct: f64 = match flag_value(args, "--max-regression").map(str::parse) {
+        None => 5.0,
+        Some(Ok(p)) if p >= 0.0 => p,
+        Some(_) => {
+            eprintln!("error: --max-regression takes a non-negative percentage");
+            std::process::exit(2);
+        }
+    };
+    let load = |path: &str| match fs::read_to_string(path) {
+        Ok(text) => iwino_bench::parse_bench_doc(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let base = load(base_path);
+    let after = load(after_path);
+    println!("\n==== bench-compare: {base_path} → {after_path} (budget {max_pct}%) ====");
+    if let Err(msg) = iwino_bench::isa_parity(&base, &after) {
+        if args.iter().any(|a| a == "--force") {
+            println!("[--force: {msg} — comparing anyway]");
+        } else {
+            eprintln!("error: {msg} (pass --force to override)");
+            std::process::exit(2);
+        }
+    }
+    let report = iwino_bench::compare(&base, &after, max_pct);
+    println!(
+        "{:<32} {:>12} {:>12} {:>8}  verdict",
+        "case", "base Gflop/s", "after", "ratio"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<32} {:>12.2} {:>12.2} {:>7.3}x  {}",
+            c.label,
+            c.base_gflops,
+            c.after_gflops,
+            c.ratio,
+            if c.regressed { "REGRESSED" } else { "ok" }
+        );
+        // Stage-level shifts are diagnostic context, not gated: attribution
+        // is noisier than the end-to-end wall clock.
+        let shifts: Vec<String> = c.stage_ratios.iter().map(|(s, r)| format!("{s} {r:.2}x")).collect();
+        if !shifts.is_empty() {
+            println!("    stages: {}", shifts.join(", "));
+        }
+    }
+    for label in &report.missing_after {
+        println!(
+            "{label:<32} {:>12} {:>12} {:>8}  MISSING from after-document",
+            "-", "-", "-"
+        );
+    }
+    if report.passed() {
+        println!("\nPASS: no case regressed more than {max_pct}%");
+    } else {
+        let n = report.regressions().count() + report.missing_after.len();
+        eprintln!("\nFAIL: {n} case(s) regressed past the {max_pct}% budget");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: Chrome Trace export of a stage-bench case
+// ---------------------------------------------------------------------------
+
+/// `repro trace [<case-label>]`: fly the recorder over one stage-bench case
+/// (default: the Fig-8 Γ8(6,3) headline case) and write a Chrome Trace
+/// Event document for Perfetto (<https://ui.perfetto.dev>).
+fn trace_cmd(args: &[String]) {
+    let cases = stage_bench_cases();
+    let pos = positional_args(args);
+    let case = match pos.first() {
+        None => &cases[0],
+        Some(label) => cases.iter().find(|c| &c.label == label).unwrap_or_else(|| {
+            let known: Vec<&str> = cases.iter().map(|c| c.label.as_str()).collect();
+            eprintln!("error: unknown trace case '{label}'; available: {}", known.join(", "));
+            std::process::exit(2);
+        }),
+    };
+    let reps: usize = match flag_value(args, "--reps").map(str::parse) {
+        None => 3,
+        Some(Ok(r)) => r,
+        Some(Err(_)) => {
+            eprintln!("error: --reps takes an integer");
+            std::process::exit(2);
+        }
+    };
+    let out = flag_value(args, "--out").unwrap_or("repro_results/trace.json");
+    println!(
+        "\n==== trace: {} ({}, ofms {:?}) ====",
+        case.label, case.spec, case.shape
+    );
+    println!("(rep 1 shows the engine_plan span — filter transform included; later reps");
+    println!(" are plan-cache hits whose worker chunks land on each pool lane's ring)");
+    let doc = iwino_bench::record_trace(case, reps);
+    let summary = iwino_bench::validate_chrome_trace(&doc).unwrap_or_else(|e| {
+        eprintln!("internal error: exported trace failed validation: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = fs::write(out, doc.pretty()) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "[saved {out}: {} events across {} threads, {} dropped — open in https://ui.perfetto.dev \
+         or chrome://tracing]",
+        summary.events, summary.tids, summary.dropped
+    );
+    if summary.dropped > 0 {
+        println!("(dropped events mean the per-thread ring filled; the recorder never overwrites)");
+    }
+    iwino_obs::reset_trace();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,278 @@
+//! `repro bench-compare`: the perf-regression gate over two `bench-stages`
+//! JSON documents.
+//!
+//! The gate is the *end-to-end* rate: a case regresses when its achieved
+//! Gflop/s in the after-document falls more than `max_regression_pct` below
+//! the baseline's, or when a baseline case is missing entirely (a silently
+//! dropped case must not read as a pass). Per-stage rate shifts are
+//! reported alongside for diagnosis but never gate on their own — stage
+//! attribution is noisier than the end-to-end wall clock, and a stage can
+//! legitimately slow down while the pipeline it feeds speeds up.
+//!
+//! Cross-ISA refusal rides along from PR 5: stage and end-to-end rates are
+//! only comparable between runs that dispatched the same microkernel ISA,
+//! so [`isa_parity`] rejects mismatched (or unverifiable schema-v1)
+//! document pairs unless the caller `--force`s the diff.
+
+use iwino_obs::Json;
+
+/// A parsed `bench-stages` document (any schema version ≥ 1).
+#[derive(Clone, Debug)]
+pub struct BenchDoc {
+    pub schema_version: u64,
+    /// Microkernel ISA of the run. `None` for schema-v1 documents, which
+    /// predate the dispatch record and cannot prove ISA parity.
+    pub isa: Option<String>,
+    pub cases: Vec<BenchCase>,
+}
+
+/// One benchmark case of a [`BenchDoc`].
+#[derive(Clone, Debug)]
+pub struct BenchCase {
+    pub label: String,
+    /// End-to-end achieved Gflop/s — the gated quantity.
+    pub gflops: f64,
+    /// Per-stage effective rates, in document order (informational).
+    pub stages: Vec<(String, f64)>,
+}
+
+impl BenchDoc {
+    fn case(&self, label: &str) -> Option<&BenchCase> {
+        self.cases.iter().find(|c| c.label == label)
+    }
+}
+
+/// Parse a `bench-stages` document. Tolerant across schema versions: v1
+/// has no `dispatch` record, v3 adds per-stage percentiles this reader
+/// simply does not touch.
+pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema_version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    let isa = doc
+        .get("dispatch")
+        .and_then(|d| d.get("isa"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let cases_json = doc.get("cases").and_then(Json::as_arr).ok_or("missing cases array")?;
+    let mut cases = Vec::with_capacity(cases_json.len());
+    for c in cases_json {
+        let label = c
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("case without a label")?
+            .to_string();
+        let gflops = c
+            .get("gflops")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("case {label}: missing gflops"))?;
+        let stages = c
+            .get("stages")
+            .and_then(Json::as_obj)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|(name, v)| Some((name.clone(), v.get("gflops").and_then(Json::as_f64)?)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        cases.push(BenchCase { label, gflops, stages });
+    }
+    Ok(BenchDoc {
+        schema_version,
+        isa,
+        cases,
+    })
+}
+
+/// Check that two documents were measured on the same microkernel ISA.
+/// `Err` carries the refusal message; the caller decides whether `--force`
+/// overrides it.
+pub fn isa_parity(base: &BenchDoc, after: &BenchDoc) -> Result<(), String> {
+    match (&base.isa, &after.isa) {
+        (Some(b), Some(a)) if b == a => Ok(()),
+        (Some(b), Some(a)) => Err(format!(
+            "baseline dispatched '{b}' but the after-document dispatched '{a}'; \
+             cross-ISA rates are not comparable"
+        )),
+        (None, _) => Err(format!(
+            "baseline has no dispatch record (schema v{}); cannot verify ISA parity",
+            base.schema_version
+        )),
+        (_, None) => Err(format!(
+            "after-document has no dispatch record (schema v{}); cannot verify ISA parity",
+            after.schema_version
+        )),
+    }
+}
+
+/// One case's baseline-vs-after outcome.
+#[derive(Clone, Debug)]
+pub struct CaseDelta {
+    pub label: String,
+    pub base_gflops: f64,
+    pub after_gflops: f64,
+    /// after / baseline end-to-end rate (> 1.0 is a speedup).
+    pub ratio: f64,
+    pub regressed: bool,
+    /// Per-stage after/baseline rate ratios for stages present on both
+    /// sides (informational — never gated).
+    pub stage_ratios: Vec<(String, f64)>,
+}
+
+/// Outcome of [`compare`]: per-case deltas plus baseline cases the
+/// after-document dropped (each of which fails the gate).
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    pub max_regression_pct: f64,
+    pub cases: Vec<CaseDelta>,
+    pub missing_after: Vec<String>,
+}
+
+impl CompareReport {
+    pub fn regressions(&self) -> impl Iterator<Item = &CaseDelta> {
+        self.cases.iter().filter(|c| c.regressed)
+    }
+
+    /// True when no case regressed past the threshold and none vanished.
+    pub fn passed(&self) -> bool {
+        self.missing_after.is_empty() && self.regressions().next().is_none()
+    }
+}
+
+/// Diff `after` against `base`, flagging every case whose end-to-end rate
+/// fell more than `max_regression_pct` percent.
+pub fn compare(base: &BenchDoc, after: &BenchDoc, max_regression_pct: f64) -> CompareReport {
+    let floor = 1.0 - max_regression_pct / 100.0;
+    let mut cases = Vec::new();
+    let mut missing_after = Vec::new();
+    for b in &base.cases {
+        let Some(a) = after.case(&b.label) else {
+            missing_after.push(b.label.clone());
+            continue;
+        };
+        let ratio = if b.gflops > 0.0 {
+            a.gflops / b.gflops
+        } else {
+            f64::INFINITY
+        };
+        let stage_ratios = b
+            .stages
+            .iter()
+            .filter_map(|(name, bg)| {
+                let (_, ag) = a.stages.iter().find(|(n, _)| n == name)?;
+                (*bg > 0.0).then(|| (name.clone(), ag / bg))
+            })
+            .collect();
+        cases.push(CaseDelta {
+            label: b.label.clone(),
+            base_gflops: b.gflops,
+            after_gflops: a.gflops,
+            ratio,
+            regressed: ratio < floor,
+            stage_ratios,
+        });
+    }
+    CompareReport {
+        max_regression_pct,
+        cases,
+        missing_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed PR-5 trajectory pair at the repo root — the exact
+    /// files `scripts/check.sh` feeds to `repro bench-compare`.
+    fn committed_pair() -> (BenchDoc, BenchDoc) {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let read = |name: &str| std::fs::read_to_string(format!("{root}/{name}")).unwrap();
+        (
+            parse_bench_doc(&read("BENCH_pr5_baseline.json")).unwrap(),
+            parse_bench_doc(&read("BENCH_pr5_after.json")).unwrap(),
+        )
+    }
+
+    fn doc(cases: &[(&str, f64)]) -> BenchDoc {
+        BenchDoc {
+            schema_version: 3,
+            isa: Some("avx2+fma".into()),
+            cases: cases
+                .iter()
+                .map(|&(label, gflops)| BenchCase {
+                    label: label.into(),
+                    gflops,
+                    stages: vec![("outer_product".into(), gflops * 1.5)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn committed_trajectory_pair_parses_and_passes() {
+        let (base, after) = committed_pair();
+        assert_eq!(base.schema_version, 1);
+        assert!(base.isa.is_none(), "v1 predates the dispatch record");
+        assert_eq!(after.schema_version, 2);
+        assert_eq!(after.isa.as_deref(), Some("avx2+fma"));
+        assert_eq!(base.cases.len(), after.cases.len());
+        assert!(base.cases.iter().all(|c| !c.stages.is_empty()));
+        // PR 5's SIMD microkernels sped every case up; the forward diff is
+        // green even at a tight threshold…
+        let report = compare(&base, &after, 5.0);
+        assert!(report.passed(), "{report:?}");
+        assert!(report.cases.iter().all(|c| c.ratio > 1.0));
+        // …and the reversed diff is the artificial regression: undoing a
+        // ~1.5× speedup trips any sane threshold.
+        let reversed = compare(&after, &base, 10.0);
+        assert!(!reversed.passed());
+        assert!(reversed.regressions().count() >= 1);
+    }
+
+    #[test]
+    fn isa_parity_requires_matching_dispatch_records() {
+        let (base, after) = committed_pair();
+        assert!(isa_parity(&base, &after).unwrap_err().contains("schema v1"));
+        assert!(isa_parity(&after, &after).is_ok());
+        let mut neon = after.clone();
+        neon.isa = Some("neon".into());
+        assert!(isa_parity(&after, &neon).unwrap_err().contains("not comparable"));
+    }
+
+    #[test]
+    fn threshold_separates_noise_from_regression() {
+        let base = doc(&[("a", 100.0), ("b", 50.0)]);
+        // 3% down on one case: inside a 5% budget, outside a 2% one.
+        let after = doc(&[("a", 97.0), ("b", 55.0)]);
+        assert!(compare(&base, &after, 5.0).passed());
+        let tight = compare(&base, &after, 2.0);
+        assert!(!tight.passed());
+        let bad: Vec<&str> = tight.regressions().map(|c| c.label.as_str()).collect();
+        assert_eq!(bad, ["a"]);
+        let delta = &tight.cases[0];
+        assert!((delta.ratio - 0.97).abs() < 1e-12);
+        assert_eq!(delta.stage_ratios.len(), 1, "common stages are diffed too");
+    }
+
+    #[test]
+    fn dropped_case_fails_the_gate() {
+        let base = doc(&[("a", 100.0), ("b", 50.0)]);
+        let after = doc(&[("a", 120.0)]);
+        let report = compare(&base, &after, 5.0);
+        assert!(!report.passed());
+        assert_eq!(report.missing_after, ["b"]);
+        assert_eq!(report.regressions().count(), 0, "the surviving case is fine");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        assert!(parse_bench_doc("{").unwrap_err().contains("not valid JSON"));
+        assert!(parse_bench_doc("{}").unwrap_err().contains("schema_version"));
+        let no_gflops = r#"{"schema_version": 3, "cases": [{"label": "x"}]}"#;
+        assert!(parse_bench_doc(no_gflops).unwrap_err().contains("missing gflops"));
+    }
+}

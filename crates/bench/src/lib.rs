@@ -16,6 +16,10 @@
 //! repro ablation-transforms       §5.3 simplified-transformation ablation
 //! repro bench-stages [--out p] [--engine]  per-stage effective GFLOP/s (the BENCH_*.json perf
 //!                                 trajectory; --engine runs plan-cached reps through the engine)
+//! repro bench-compare <base> <after> [--max-regression pct]  perf-regression gate over two
+//!                                 bench-stages documents (exit 1 on regression)
+//! repro trace [<case>] [--out p]  flight-recorder capture of a stage-bench case as Chrome
+//!                                 Trace JSON (load in Perfetto / chrome://tracing)
 //! repro engine                    registry smoke: every backend vs the f64 reference + cache stats
 //! repro all [--quick]             everything above
 //! ```
@@ -26,8 +30,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod figures;
 pub mod runner;
+pub mod tracer;
 
+pub use compare::{compare, isa_parity, parse_bench_doc, BenchCase, BenchDoc, CaseDelta, CompareReport};
 pub use figures::{scale_batch, stage_bench_cases, AccuracyTable, Ofms, Panel, StageBenchCase, FIG8, FIG9, TABLE3};
 pub use runner::*;
+pub use tracer::{record_trace, validate_chrome_trace, TraceSummary};

@@ -393,6 +393,12 @@ pub struct StageRate {
     pub ns: u64,
     pub share: f64,
     pub gflops: f64,
+    /// Per-span latency percentiles from the obs log2 histogram (upper
+    /// bucket bounds, so p50 ≤ p90 ≤ p99 by construction). The mean hides
+    /// the tail; these are what the serving-latency story is about.
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
 }
 
 /// Outcome of one [`StageBenchCase`](crate::figures::StageBenchCase).
@@ -438,6 +444,9 @@ impl StageBenchResult {
                                     ("ns", Json::from(s.ns)),
                                     ("share", Json::from(s.share)),
                                     ("gflops", Json::from(s.gflops)),
+                                    ("p50_ns", Json::from(s.p50_ns)),
+                                    ("p90_ns", Json::from(s.p90_ns)),
+                                    ("p99_ns", Json::from(s.p99_ns)),
                                 ]),
                             )
                         })
@@ -525,6 +534,7 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize, via
         .filter(|&&s| snap.stage_ns(s) > 0)
         .map(|&s| {
             let ns = snap.stage_ns(s);
+            let hist = snap.histogram(iwino_obs::HistSite::Stage(s));
             StageRate {
                 stage: s.name(),
                 ns,
@@ -534,6 +544,9 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize, via
                     0.0
                 },
                 gflops: flops / ns as f64,
+                p50_ns: hist.p50_ns(),
+                p90_ns: hist.p90_ns(),
+                p99_ns: hist.p99_ns(),
             }
         })
         .collect();
@@ -777,6 +790,12 @@ mod tests {
             engined.stages
         );
         assert!(engined.via_engine && !per_call.via_engine);
+        // Every reported stage must carry ordered, populated percentiles
+        // (the schema-v3 addition bench-compare readers may rely on).
+        for s in per_call.stages.iter().chain(&engined.stages) {
+            assert!(s.p50_ns > 0, "{}: histogram never recorded", s.stage);
+            assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns, "{s:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! `repro trace`: fly the flight recorder over one stage-bench case and
+//! export the Chrome Trace Event document Perfetto renders as a per-worker
+//! timeline.
+//!
+//! The capture drives the case through a private [`Engine`] so the timeline
+//! shows the deployment shape of a run: one `engine_plan` span (with the
+//! filter transform inside) on the calling thread for the first rep, then
+//! plan-cache-hit `engine_run` spans whose `worker_chunk` / `gamma_segment`
+//! events land on each pool lane's own ring.
+//!
+//! [`validate_chrome_trace`] is the schema check shared by the binary and
+//! the `trace_validity` integration test: structural validity (every event
+//! carries `name`/`ph`/`pid`/`tid`, phases are only `B`/`E`/`M`) plus the
+//! recorder's own invariant — per-thread `B`/`E` events nest and balance,
+//! which the ring's reservation rule guarantees even under overflow.
+
+use crate::figures::StageBenchCase;
+use iwino_core::Epilogue;
+use iwino_engine::{ConvAlgorithm, Engine, Handle, WinogradBackend};
+use iwino_obs::{self as obs, Json};
+use iwino_tensor::Tensor4;
+use std::sync::Arc;
+
+/// What [`validate_chrome_trace`] measured while checking the document.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSummary {
+    /// `B`/`E` events (metadata records excluded).
+    pub events: usize,
+    /// Distinct threads that recorded at least one span.
+    pub tids: usize,
+    /// Events refused because a ring was full, per the embedded trace_meta.
+    pub dropped: u64,
+}
+
+/// Run `case` for `reps` calls with the flight recorder on and return the
+/// exported Chrome Trace document. The recorder is reset first so the
+/// timeline holds exactly this capture, and disabled again afterwards.
+pub fn record_trace(case: &StageBenchCase, reps: usize) -> Json {
+    let shape = &case.shape;
+    let x = Tensor4::<f32>::random(shape.x_dims(), 61, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 62, -1.0, 1.0);
+    let opts = iwino_core::ConvOptions {
+        force_kernels: Some(vec![case.spec]),
+        ..Default::default()
+    };
+    // A private engine: the first traced rep deliberately shows the plan
+    // build, so it must not find a plan some earlier run already cached.
+    let eng = Engine::new();
+    let algo: Arc<dyn ConvAlgorithm> = Arc::new(WinogradBackend::with_options(opts));
+    let handle = Handle::default();
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::reset_trace();
+    obs::set_trace_enabled(true);
+    obs::set_trace_thread_label("repro-main");
+    for _ in 0..reps.max(1) {
+        drop(
+            eng.conv_with(&algo, handle.filter_id(), &x, &w, shape, &Epilogue::None)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.label)),
+        );
+    }
+    obs::set_trace_enabled(false);
+    obs::set_enabled(was_enabled);
+    obs::export_chrome_trace()
+}
+
+/// Check that `doc` is a structurally valid Chrome Trace Event document
+/// with balanced, properly nested begin/end pairs on every thread.
+pub fn validate_chrome_trace(doc: &Json) -> Result<TraceSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = std::collections::BTreeMap::new();
+    let mut span_events = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        e.get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        match ph {
+            "M" => continue, // metadata (thread names) carries no ts
+            "B" | "E" => {
+                let ts = e
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing ts"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!("event {i}: bad ts {ts}"));
+                }
+                if name == "unknown" {
+                    return Err(format!("event {i}: stage id did not decode"));
+                }
+                span_events += 1;
+                let stack = stacks.entry(tid).or_default();
+                if ph == "B" {
+                    stack.push(name.to_string());
+                } else if stack.pop().as_deref() != Some(name) {
+                    return Err(format!("event {i}: E '{name}' without matching B on tid {tid}"));
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    let tids = stacks.len();
+    for (tid, stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid} left unclosed spans: {stack:?}"));
+        }
+    }
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("trace_meta"))
+        .and_then(|m| m.get("trace_events_dropped"))
+        .and_then(Json::as_u64)
+        .ok_or("missing otherData.trace_meta.trace_events_dropped")?;
+    Ok(TraceSummary {
+        events: span_events,
+        tids,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let cases = [
+            (r#"{"displayTimeUnit": "ms"}"#, "traceEvents"),
+            (
+                r#"{"traceEvents": [{"name": "x", "ph": "B", "pid": 1, "tid": 7, "ts": 1.0}]}"#,
+                "unclosed",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "x", "ph": "E", "pid": 1, "tid": 7, "ts": 1.0}]}"#,
+                "without matching B",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 7, "ts": 1.0}]}"#,
+                "unexpected ph",
+            ),
+            (
+                r#"{"traceEvents": [{"ph": "B", "pid": 1, "tid": 7, "ts": 1.0}]}"#,
+                "missing name",
+            ),
+        ];
+        for (text, want) in cases {
+            let err = validate_chrome_trace(&Json::parse(text).unwrap()).unwrap_err();
+            assert!(err.contains(want), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn validator_accepts_a_minimal_balanced_document() {
+        let text = r#"{
+            "traceEvents": [
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": 7, "args": {"name": "w0"}},
+                {"name": "total", "ph": "B", "pid": 1, "tid": 7, "ts": 0.5},
+                {"name": "worker_chunk", "ph": "B", "pid": 1, "tid": 9, "ts": 1.0},
+                {"name": "worker_chunk", "ph": "E", "pid": 1, "tid": 9, "ts": 2.0},
+                {"name": "total", "ph": "E", "pid": 1, "tid": 7, "ts": 3.0}
+            ],
+            "otherData": {"trace_meta": {"trace_events_dropped": 0}}
+        }"#;
+        let s = validate_chrome_trace(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(s.events, 4);
+        assert_eq!(s.tids, 2);
+        assert_eq!(s.dropped, 0);
+    }
+}

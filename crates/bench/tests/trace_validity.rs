@@ -1,0 +1,60 @@
+//! Acceptance gate for `repro trace`: the flight-recorder export for the
+//! Fig-8 Γ8(6,3) headline case must be a valid Chrome Trace Event document
+//! — it parses, every `B` has a matching `E` on its own thread, and (on a
+//! multi-lane pool) the worker chunks land on distinct per-worker tids.
+//!
+//! This binary holds a single test: the flight-recorder gate and rings are
+//! process-global, and the capture must not interleave with other traced
+//! work.
+
+use iwino_bench::{record_trace, stage_bench_cases, validate_chrome_trace};
+use iwino_obs::Json;
+
+#[test]
+fn fig8_gamma8_trace_exports_valid_chrome_trace_json() {
+    let cases = stage_bench_cases();
+    let case = &cases[0];
+    assert_eq!(
+        case.label, "g8_6_3_fig8_96x96x64_exact",
+        "the Fig-8 headline case moved"
+    );
+    let doc = record_trace(case, 2);
+
+    // Round-trip through the serialized form: validate what the file would
+    // actually hold, not the in-memory tree.
+    let text = doc.pretty();
+    let parsed = Json::parse(&text).expect("exported trace must be valid JSON");
+    let summary = validate_chrome_trace(&parsed).expect("exported trace must validate");
+    assert!(summary.events > 0, "a real run must record spans");
+    assert!(summary.events.is_multiple_of(2), "B/E events come in pairs");
+
+    // The timeline story: with more than one pool lane, chunk work is
+    // recorded on per-worker rings, so the document spans multiple tids
+    // (the caller participates too, hence >= 2, not == lanes).
+    if iwino_parallel::global().threads() > 1 {
+        assert!(
+            summary.tids > 1,
+            "a {}-lane pool must produce a multi-worker timeline, got {} tid(s)",
+            iwino_parallel::global().threads(),
+            summary.tids
+        );
+    }
+
+    // The capture is sized for the default ring; nothing may be refused.
+    assert_eq!(summary.dropped, 0, "this capture must fit the ring");
+
+    // The named pipeline stages of the Γ run all appear as events.
+    let names: std::collections::BTreeSet<&str> = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for want in ["engine_plan", "engine_run", "gamma_segment", "worker_chunk", "total"] {
+        assert!(names.contains(want), "missing {want} spans; saw {names:?}");
+    }
+
+    iwino_obs::reset_trace();
+}

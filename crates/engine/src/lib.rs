@@ -254,6 +254,11 @@ impl Engine {
         deconv: bool,
     ) -> Result<Arc<dyn ConvPlan>, ConvError> {
         let _plan_span = obs::span(obs::Stage::EnginePlan);
+        // Latency histograms split by outcome: a hit is a guarded map
+        // lookup, a miss additionally pays the full plan build — averaging
+        // the two together would hide exactly the tail the histograms exist
+        // to show. The clock is only read while recording.
+        let t0 = obs::enabled().then(Instant::now);
         let key = PlanKey {
             algo: algo.name(),
             shape: *s,
@@ -261,11 +266,17 @@ impl Engine {
             deconv,
         };
         if let Some(p) = self.cache.lock().unwrap().get(&key) {
+            if let Some(t0) = t0 {
+                obs::record_latency(obs::HistSite::EnginePlanHit, t0.elapsed().as_nanos() as u64);
+            }
             return Ok(p);
         }
         // Build outside the lock — planning transforms the whole filter.
         let plan = algo.plan(w, s, deconv)?;
         self.cache.lock().unwrap().insert(key, Arc::clone(&plan));
+        if let Some(t0) = t0 {
+            obs::record_latency(obs::HistSite::EnginePlanMiss, t0.elapsed().as_nanos() as u64);
+        }
         Ok(plan)
     }
 

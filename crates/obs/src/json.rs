@@ -1,10 +1,12 @@
-//! Minimal JSON document model with a pretty printer.
+//! Minimal JSON document model with a pretty printer and a parser.
 //!
 //! The observability layer must stay zero-dependency (it sits below every
 //! other crate in the workspace, and the build environment is offline), so
 //! metrics reports are serialized through this hand-rolled value type
-//! instead of serde. Only output is supported — nothing in the workspace
-//! parses JSON.
+//! instead of serde. [`Json::parse`] is the matching reader: `repro
+//! bench-compare` diffs committed bench documents and the trace-validity
+//! tests re-read exported timelines, so round-tripping through this type
+//! must be lossless for everything the workspace emits.
 
 use std::fmt::{self, Write as _};
 
@@ -26,6 +28,80 @@ impl Json {
     /// Object constructor taking `(key, value)` pairs in insertion order.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
         Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parse a complete JSON document. Numbers keep the same typing rule
+    /// the printer uses (non-negative integer → `UInt`, negative integer →
+    /// `Int`, everything else → `Num`), so parse ∘ pretty is the identity
+    /// on workspace-emitted documents. Trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Field lookup on an object (first match; `None` on other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, accepting any of the three number variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`; `None` for negatives and non-integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
     }
 
     /// Serialize with two-space indentation and a trailing newline,
@@ -102,6 +178,241 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Parse failure: byte offset into the input plus a short message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    pub offset: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursion guard: workspace documents nest a handful of levels; anything
+/// deeper is hostile or corrupt, and must not overflow the stack.
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: the low half must follow.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Multi-byte UTF-8 is copied through verbatim; the input
+                    // is a &str, so byte runs between escapes are valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input was a valid &str"));
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number span");
+        if !float {
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            // Integers beyond 64 bits degrade to f64, like serde_json.
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
     }
 }
 
@@ -207,5 +518,79 @@ mod tests {
         assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
         // Whole floats keep a decimal point so they read back as floats.
         assert_eq!(Json::Num(2.0).pretty(), "2.0\n");
+    }
+
+    #[test]
+    fn parse_round_trips_workspace_documents() {
+        let doc = Json::obj(vec![
+            ("name", Json::from("Γ8(6,3) \"exact\"")),
+            ("count", Json::from(18_446_744_073_709_551_615u64)),
+            ("delta", Json::from(-42i64)),
+            ("share", Json::from(0.125f64)),
+            ("whole", Json::from(3.0f64)),
+            ("flag", Json::from(true)),
+            ("missing", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::from(1u64), Json::from("x"), Json::Arr(vec![])]),
+            ),
+            ("nested", Json::obj(vec![("empty", Json::obj(vec![]))])),
+        ]);
+        let parsed = Json::parse(&doc.pretty()).expect("round trip");
+        assert_eq!(parsed, doc);
+        // Compact form (no pretty whitespace) parses identically.
+        assert_eq!(
+            Json::parse("{\"a\":[1,2 , 3]}")
+                .unwrap()
+                .get("a")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_numbers() {
+        let parsed = Json::parse("\"a\\\"b\\\\c\\n\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nA😀"));
+        assert_eq!(Json::parse("12").unwrap(), Json::UInt(12));
+        assert_eq!(Json::parse("-12").unwrap(), Json::Int(-12));
+        assert_eq!(Json::parse("1.5e3").unwrap(), Json::Num(1500.0));
+        assert_eq!(Json::parse("-0.25").unwrap(), Json::Num(-0.25));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1}x",
+            "\"\\q\"",
+            "\"\\ud800x\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err(), "depth limit must hold");
+    }
+
+    #[test]
+    fn accessors_select_by_type() {
+        let doc = Json::parse("{\"s\": \"x\", \"u\": 7, \"i\": -7, \"f\": 0.5, \"b\": false}").unwrap();
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("u").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("i").and_then(Json::as_u64), None);
+        assert_eq!(doc.get("i").and_then(Json::as_f64), Some(-7.0));
+        assert_eq!(doc.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("nope"), None);
+        assert!(doc.as_obj().is_some_and(|f| f.len() == 5));
     }
 }

@@ -10,16 +10,24 @@
 //!   allocation-free slots aggregated by a global registry;
 //! * [`add`] — monotonic counters (FLOPs, bytes, tiles, plan decisions)
 //!   from which GFLOP/s and arithmetic intensity are derived per run;
+//! * [`record_latency`] — log2-bucketed latency histograms per stage and
+//!   per engine plan-cache outcome, with p50/p90/p99 at snapshot time
+//!   (see [`hist`]);
+//! * [`trace_span`] / [`export_chrome_trace`] — a flight recorder of
+//!   begin/end events in bounded per-thread rings, exported as a
+//!   Perfetto-loadable Chrome Trace timeline (see [`trace`]);
 //! * [`PoolReport`] — per-worker thread-pool utilization, filled in by
 //!   `iwino-parallel`;
 //! * [`DispatchReport`] — detected CPU features and the dispatched
 //!   microkernel ISA, filled in by `iwino-core` from `iwino-simd`;
 //! * [`MetricsReport`] — a JSON-serializable snapshot of all of the above.
 //!
-//! Everything is gated on a single process-wide [`enabled`] flag (one
-//! relaxed atomic load). When the flag is off — the default — instrumented
-//! code pays only that load plus a predictable branch; the overhead guard
-//! in `tests/overhead.rs` pins this to within 5% of uninstrumented code.
+//! Timers, counters and histograms are gated on a process-wide [`enabled`]
+//! flag; the flight recorder has its own [`trace_enabled`] gate. Each gate
+//! is one relaxed atomic load, and with both off — the default —
+//! instrumented code pays only those loads plus predictable branches; the
+//! overhead guard in `tests/overhead.rs` pins this to within 5% of
+//! uninstrumented code.
 
 #![forbid(unsafe_code)]
 
@@ -27,16 +35,28 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod hist;
 mod json;
 mod report;
+pub mod trace;
 
-pub use json::Json;
+pub use hist::{bucket_index, bucket_le_ns, HistSite, HistogramSummary, N_HIST_BUCKETS, N_HIST_SITES};
+pub use json::{Json, JsonParseError};
 pub use report::{MetricsReport, SCHEMA_VERSION};
+pub use trace::{
+    export_chrome_trace, reset_trace, set_trace_enabled, set_trace_ring_capacity, set_trace_thread_label, trace_begin,
+    trace_enabled, trace_end, trace_meta, trace_ring_capacity, trace_span, TraceMeta, TraceSpan,
+    DEFAULT_TRACE_RING_CAPACITY,
+};
 
 /// Pipeline stages attributed by [`span`]. `Total` covers a whole
 /// convolution call; the others nest inside it. `EnginePlan`/`EngineRun`
 /// are umbrella stages around engine dispatch — like `Total`, kernel
 /// stages nest inside them, so they are excluded from [`Snapshot::attributed_ns`].
+/// `ArenaCheckout`, `GammaSegment` and `WorkerChunk` are bookkeeping /
+/// timeline-granularity stages (arena scratch checkout, one Γ row segment,
+/// one claimed pool chunk); they exist mainly for the flight recorder and
+/// latency histograms and are likewise excluded from attribution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Stage {
     FilterTransform,
@@ -48,11 +68,17 @@ pub enum Stage {
     Baseline,
     EnginePlan,
     EngineRun,
+    ArenaCheckout,
+    GammaSegment,
+    WorkerChunk,
     Total,
 }
 
 impl Stage {
-    pub const ALL: [Stage; 10] = [
+    /// Every stage, in declaration (= discriminant) order; the flight
+    /// recorder packs `Stage as u64` into event words and decodes through
+    /// this array, so the two must stay aligned.
+    pub const ALL: [Stage; 13] = [
         Stage::FilterTransform,
         Stage::InputTransform,
         Stage::OuterProduct,
@@ -62,6 +88,9 @@ impl Stage {
         Stage::Baseline,
         Stage::EnginePlan,
         Stage::EngineRun,
+        Stage::ArenaCheckout,
+        Stage::GammaSegment,
+        Stage::WorkerChunk,
         Stage::Total,
     ];
 
@@ -76,14 +105,28 @@ impl Stage {
             Stage::Baseline => "baseline",
             Stage::EnginePlan => "engine_plan",
             Stage::EngineRun => "engine_run",
+            Stage::ArenaCheckout => "arena_checkout",
+            Stage::GammaSegment => "gamma_segment",
+            Stage::WorkerChunk => "worker_chunk",
             Stage::Total => "total",
         }
     }
 
-    /// Umbrella stages (`Total`, `EnginePlan`, `EngineRun`) wrap other
-    /// recorded spans; counting them in a sum would double-attribute time.
+    /// Stages excluded from [`Snapshot::attributed_ns`]: umbrella stages
+    /// (`Total`, `EnginePlan`, `EngineRun`) wrap other recorded spans, and
+    /// the bookkeeping stages (`ArenaCheckout`, `GammaSegment`,
+    /// `WorkerChunk`) overlap them — counting either kind in a sum would
+    /// double-attribute time.
     pub fn is_umbrella(self) -> bool {
-        matches!(self, Stage::Total | Stage::EnginePlan | Stage::EngineRun)
+        matches!(
+            self,
+            Stage::Total
+                | Stage::EnginePlan
+                | Stage::EngineRun
+                | Stage::ArenaCheckout
+                | Stage::GammaSegment
+                | Stage::WorkerChunk
+        )
     }
 }
 
@@ -158,8 +201,9 @@ impl Counter {
     }
 }
 
-const N_STAGES: usize = Stage::ALL.len();
+pub(crate) const N_STAGES: usize = Stage::ALL.len();
 const N_COUNTERS: usize = Counter::ALL.len();
+const N_HIST_CELLS: usize = N_HIST_SITES * N_HIST_BUCKETS;
 
 /// Per-thread accumulation slot. All fields are plain atomics so the
 /// registry can read them from any thread without locking the hot path.
@@ -167,6 +211,10 @@ struct Slot {
     stage_ns: [AtomicU64; N_STAGES],
     stage_hits: [AtomicU64; N_STAGES],
     counters: [AtomicU64; N_COUNTERS],
+    /// Latency histogram cells, `site-major` ([`HistSite::index`] ×
+    /// [`N_HIST_BUCKETS`]). Boxed: the table is ~600 atomics and only the
+    /// handful touched per run need to be hot.
+    hist: Box<[AtomicU64]>,
 }
 
 impl Slot {
@@ -178,15 +226,29 @@ impl Slot {
             stage_ns: [Self::ZERO; N_STAGES],
             stage_hits: [Self::ZERO; N_STAGES],
             counters: [Self::ZERO; N_COUNTERS],
+            hist: (0..N_HIST_CELLS).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    #[inline]
+    fn record_hist(&self, site: usize, ns: u64) {
+        // ORDERING: Relaxed — monotonic bucket counter, aggregated only
+        // after the workload quiesces (same argument as [`Span::drop`]).
+        self.hist[site * N_HIST_BUCKETS + bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
     fn reset(&self) {
         // ORDERING: Relaxed is enough — callers quiesce the workload before
         // resetting, and [`reset`] already holds the registry mutex, whose
         // release/acquire edge orders these stores against later snapshots.
-        for a in self.stage_ns.iter().chain(&self.stage_hits).chain(&self.counters) {
-            a.store(0, Ordering::Relaxed);
+        for a in self
+            .stage_ns
+            .iter()
+            .chain(&self.stage_hits)
+            .chain(&self.counters)
+            .chain(self.hist.iter())
+        {
+            a.store(0, Ordering::Relaxed); // ORDERING: as above
         }
     }
 }
@@ -243,43 +305,64 @@ pub fn reset() {
     *dispatch_slot().lock().unwrap() = None;
 }
 
-/// Scoped timer: accumulates elapsed nanoseconds into `stage` for the
-/// current thread when it drops. Construction is a no-op (`start: None`,
-/// no clock read) while [`enabled`] is false.
+/// Scoped timer: accumulates elapsed nanoseconds (total, hit count and a
+/// latency-histogram sample) into `stage` for the current thread when it
+/// drops, and — while [`trace_enabled`] — emits a begin/end event pair
+/// into the flight recorder. Construction is a no-op (no clock read) while
+/// both gates are off.
 #[must_use = "a span records on drop; binding it to `_` drops immediately"]
 pub struct Span {
-    start: Option<(Stage, Instant)>,
+    stage: Stage,
+    /// `Some` iff [`enabled`] was set at construction.
+    start: Option<Instant>,
+    /// Whether the begin event was admitted to this thread's trace ring;
+    /// exactly then must the end event be emitted (pairing invariant).
+    traced: bool,
 }
 
 #[inline(always)]
 pub fn span(stage: Stage) -> Span {
-    if enabled() {
-        Span {
-            start: Some((stage, Instant::now())),
-        }
-    } else {
-        Span { start: None }
+    let recording = enabled();
+    if !recording && !trace::trace_enabled() {
+        return Span {
+            stage,
+            start: None,
+            traced: false,
+        };
+    }
+    // The begin event is admitted (or refused, if the ring is full) before
+    // the clock read so the trace timestamp brackets the timed region.
+    let traced = trace::trace_begin(stage);
+    Span {
+        stage,
+        start: recording.then(Instant::now),
+        traced,
     }
 }
 
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
-        if let Some((stage, start)) = self.start {
+        if self.traced {
+            trace::trace_end(self.stage);
+        }
+        if let Some(start) = self.start {
             let ns = start.elapsed().as_nanos() as u64;
             SLOT.with(|slot| {
                 // ORDERING: Relaxed — monotonic accumulators read only by
                 // [`snapshot`] after the workload joins (mutex + thread-join
                 // edges provide the happens-before; the atomics just make
                 // cross-thread reads non-UB).
-                slot.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
-                slot.stage_hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+                slot.stage_ns[self.stage as usize].fetch_add(ns, Ordering::Relaxed);
+                slot.stage_hits[self.stage as usize].fetch_add(1, Ordering::Relaxed);
+                slot.record_hist(self.stage as usize, ns);
             });
         }
     }
 }
 
-/// Add directly-measured nanoseconds to a stage (one hit).
+/// Add directly-measured nanoseconds to a stage (one hit, one histogram
+/// sample).
 pub fn add_stage_ns(stage: Stage, ns: u64) {
     if enabled() {
         SLOT.with(|slot| {
@@ -287,7 +370,18 @@ pub fn add_stage_ns(stage: Stage, ns: u64) {
             // [`Span::drop`].
             slot.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
             slot.stage_hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+            slot.record_hist(stage as usize, ns);
         });
+    }
+}
+
+/// Record one latency sample into a histogram site without touching the
+/// stage timers — the entry point for non-stage sites such as the engine
+/// plan-cache outcomes. No-op while disabled.
+#[inline]
+pub fn record_latency(site: HistSite, ns: u64) {
+    if enabled() {
+        SLOT.with(|slot| slot.record_hist(site.index(), ns));
     }
 }
 
@@ -453,8 +547,14 @@ pub struct Snapshot {
     stage_ns: [u64; N_STAGES],
     stage_hits: [u64; N_STAGES],
     counters: [u64; N_COUNTERS],
+    /// Flat histogram cells (site-major, [`N_HIST_BUCKETS`] per site);
+    /// empty in a `Default` snapshot, which reads as all-zero buckets.
+    hist: Vec<u64>,
     pub pool: Option<PoolReport>,
     pub dispatch: Option<DispatchReport>,
+    /// Flight-recorder state at snapshot time, so a metrics document says
+    /// whether (and how completely) a trace accompanies it.
+    pub trace: TraceMeta,
 }
 
 impl Snapshot {
@@ -488,6 +588,16 @@ impl Snapshot {
         }
         self.stage_ns(stage) as f64 / denom as f64
     }
+
+    /// Latency histogram for one site (all-zero if nothing was recorded).
+    pub fn histogram(&self, site: HistSite) -> HistogramSummary {
+        let mut buckets = [0u64; N_HIST_BUCKETS];
+        let base = site.index() * N_HIST_BUCKETS;
+        if let Some(cells) = self.hist.get(base..base + N_HIST_BUCKETS) {
+            buckets.copy_from_slice(cells);
+        }
+        HistogramSummary::from_buckets(buckets)
+    }
 }
 
 /// Aggregate every registered thread slot into a [`Snapshot`].
@@ -495,6 +605,8 @@ pub fn snapshot() -> Snapshot {
     let mut snap = Snapshot {
         pool: pool_report(),
         dispatch: dispatch_report(),
+        trace: trace::trace_meta(),
+        hist: vec![0; N_HIST_CELLS],
         ..Snapshot::default()
     };
     for slot in registry().lock().unwrap().iter() {
@@ -516,6 +628,9 @@ pub fn snapshot() -> Snapshot {
             } else {
                 snap.counters[i] += v;
             }
+        }
+        for (i, a) in slot.hist.iter().enumerate() {
+            snap.hist[i] += a.load(Ordering::Relaxed); // ORDERING: as above
         }
     }
     snap
@@ -652,6 +767,51 @@ mod tests {
         set_enabled(false);
         assert_eq!(snap.attributed_ns(), 700);
         assert_eq!(snap.stage_hits(Stage::EnginePlan), 1);
+    }
+
+    #[test]
+    fn latency_histograms_aggregate_across_threads() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        // A span, a direct stage add and an explicit plan-cache sample all
+        // land in their sites; a cross-thread sample sums into the same
+        // snapshot histogram.
+        add_stage_ns(Stage::OuterProduct, 700); // bucket le 1023
+        {
+            let _s = span(Stage::OuterProduct);
+        }
+        record_latency(HistSite::EnginePlanMiss, 5_000);
+        std::thread::spawn(|| add_stage_ns(Stage::OuterProduct, 900))
+            .join()
+            .unwrap();
+        let snap = snapshot();
+        set_enabled(false);
+        let h = snap.histogram(HistSite::Stage(Stage::OuterProduct));
+        assert_eq!(h.count, 3);
+        assert!(h.buckets[bucket_index(700)] >= 2);
+        assert_eq!(snap.histogram(HistSite::EnginePlanMiss).count, 1);
+        assert_eq!(
+            snap.histogram(HistSite::EnginePlanMiss).p50_ns(),
+            bucket_le_ns(bucket_index(5_000))
+        );
+        assert_eq!(snap.histogram(HistSite::Stage(Stage::Epilogue)).count, 0);
+        // Histogram counts mirror stage hits for stage sites.
+        assert_eq!(snap.stage_hits(Stage::OuterProduct), 3);
+        // A default snapshot (no cells) reads as empty, not a panic.
+        assert_eq!(Snapshot::default().histogram(HistSite::EnginePlanHit).count, 0);
+    }
+
+    #[test]
+    fn disabled_records_no_histograms() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        record_latency(HistSite::EnginePlanHit, 123);
+        add_stage_ns(Stage::OuterProduct, 456);
+        let snap = snapshot();
+        assert_eq!(snap.histogram(HistSite::EnginePlanHit).count, 0);
+        assert_eq!(snap.histogram(HistSite::Stage(Stage::OuterProduct)).count, 0);
     }
 
     #[test]

@@ -1,40 +1,48 @@
 //! Structured metrics export: one JSON document per measured run.
 //!
-//! Schema (version 3). Version 2 added the `"kind"` discriminator so
+//! Schema (version 4). Version 2 added the `"kind"` discriminator so
 //! consumers can tell a metrics document from the static-analysis report
 //! the `analyzer` crate emits with the same `schema_version` ("metrics"
-//! here, "analysis" there); version 3 adds the `"dispatch"` section
+//! here, "analysis" there); version 3 added the `"dispatch"` section
 //! recording detected CPU features and the dispatched microkernel ISA, so
-//! comparisons can refuse to diff runs from different ISAs:
+//! comparisons can refuse to diff runs from different ISAs; version 4 adds
+//! the `"histograms"` section (log2-bucketed latency distributions with
+//! p50/p90/p99 per stage and per engine plan-cache outcome) and the
+//! `"trace_meta"` section describing the flight recorder's state:
 //!
 //! ```text
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "kind": "metrics",
 //!   "label": "<workload name>",
 //!   "wall_ns": <u64>,                    // end-to-end wall time
 //!   "stages": { "<stage>": {"ns", "hits", "share", "gflops"} , ... },
 //!   "counters": { "<counter>": <u64>, ... },
+//!   "histograms": { "<site>": {"count", "p50_ns", "p90_ns", "p99_ns",
+//!                              "buckets": [{"le_ns", "count"}, ...]}, ... },
 //!   "derived": { "gflops", "arithmetic_intensity", "bytes_total", ... },
 //!   "pool": { "threads", "jobs", "caller_share", "utilization",
 //!             "workers": [{"lane", "is_caller_lane", "chunks",
 //!                          "busy_ns", "idle_ns"}, ...] } | null,
 //!   "dispatch": { "isa", "lane_width", "forced_scalar",
-//!                 "features": ["sse2", ...] } | null
+//!                 "features": ["sse2", ...] } | null,
+//!   "trace_meta": { "enabled", "ring_capacity", "threads", "events",
+//!                   "trace_events_dropped" }
 //! }
 //! ```
 //!
-//! Stages with zero hits are omitted from `"stages"` so quick runs stay
-//! readable; `"share"` is the stage's fraction of attributed (non-total)
-//! time.
+//! Stages with zero hits (and histogram sites with zero samples) are
+//! omitted so quick runs stay readable; `"share"` is the stage's fraction
+//! of attributed (non-total) time, and histogram buckets list only the
+//! non-empty cells with their inclusive `le_ns` upper bound.
 
-use crate::{snapshot, Counter, Json, Snapshot, Stage};
+use crate::{snapshot, Counter, HistSite, Json, Snapshot, Stage};
 use std::io;
 use std::path::Path;
 
 /// Version of the JSON layout emitted by [`MetricsReport::to_json`] (and
 /// shared by the analyzer's `"kind": "analysis"` documents).
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A captured, self-describing metrics document.
 #[derive(Clone, Debug)]
@@ -107,6 +115,35 @@ impl MetricsReport {
             .iter()
             .map(|&c| (c.name().to_string(), Json::from(snap.counter(c))))
             .collect();
+        let histograms = HistSite::all()
+            .iter()
+            .map(|&site| (site, snap.histogram(site)))
+            .filter(|(_, h)| h.count > 0)
+            .map(|(site, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        Json::obj(vec![
+                            ("le_ns", Json::from(crate::bucket_le_ns(i))),
+                            ("count", Json::from(c)),
+                        ])
+                    })
+                    .collect();
+                (
+                    site.name().to_string(),
+                    Json::obj(vec![
+                        ("count", Json::from(h.count)),
+                        ("p50_ns", Json::from(h.p50_ns())),
+                        ("p90_ns", Json::from(h.p90_ns())),
+                        ("p99_ns", Json::from(h.p99_ns())),
+                        ("buckets", Json::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect();
         let bytes_total = snap.counter(Counter::BytesLoaded) + snap.counter(Counter::BytesStored);
         let derived = Json::obj(vec![
             ("gflops", Json::from(self.gflops())),
@@ -129,9 +166,11 @@ impl MetricsReport {
             ("wall_ns", Json::from(self.wall_ns)),
             ("stages", Json::Obj(stages)),
             ("counters", Json::Obj(counters)),
+            ("histograms", Json::Obj(histograms)),
             ("derived", derived),
             ("pool", snap.pool.as_ref().map_or(Json::Null, |p| p.to_json())),
             ("dispatch", snap.dispatch.as_ref().map_or(Json::Null, |d| d.to_json())),
+            ("trace_meta", snap.trace.to_json()),
         ])
     }
 
@@ -153,6 +192,9 @@ mod tests {
             let _g = crate::test_guard();
             set_enabled(true);
             reset();
+            // The trace rings are process-global too; zero their drop
+            // counters so the trace_meta assertions below are order-proof.
+            crate::reset_trace();
             add(Counter::Flops, 2_000_000);
             add(Counter::BytesLoaded, 800_000);
             add(Counter::BytesStored, 200_000);
@@ -181,7 +223,7 @@ mod tests {
         assert!((report.stage_gflops(Stage::OuterProduct) - 2_000_000.0 / 750.0).abs() < 1e-9);
         assert_eq!(report.stage_gflops(Stage::Epilogue), 0.0);
         let json = report.to_json().pretty();
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"kind\": \"metrics\""));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"outer_product\""));
@@ -192,6 +234,22 @@ mod tests {
         assert!(json.contains("\"forced_scalar\": false"));
         // Stages with zero hits are omitted.
         assert!(!json.contains("\"baseline\""));
+        // Version 4: histograms and trace metadata. The parsed form is
+        // easier to interrogate than substring checks.
+        let doc = Json::parse(&json).expect("report must emit valid JSON");
+        let hist = doc.get("histograms").expect("histograms section");
+        let op = hist.get("outer_product").expect("outer_product histogram");
+        assert_eq!(op.get("count").and_then(Json::as_u64), Some(1));
+        // One 750 ns sample: every quantile reports its bucket bound.
+        let bound = crate::bucket_le_ns(crate::bucket_index(750));
+        assert_eq!(op.get("p50_ns").and_then(Json::as_u64), Some(bound));
+        assert_eq!(op.get("p99_ns").and_then(Json::as_u64), Some(bound));
+        assert_eq!(op.get("buckets").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        // Zero-sample sites are omitted.
+        assert!(hist.get("engine_plan_hit").is_none());
+        let trace = doc.get("trace_meta").expect("trace_meta section");
+        assert_eq!(trace.get("trace_events_dropped").and_then(Json::as_u64), Some(0));
+        assert!(trace.get("ring_capacity").and_then(Json::as_u64).is_some());
     }
 
     #[test]
@@ -204,5 +262,9 @@ mod tests {
         let json = report.to_json().pretty();
         assert!(json.contains("\"dispatch\": null"));
         assert!(json.contains("\"pool\": null"));
+        // A default snapshot still carries the (all-zero) sections new in
+        // version 4, so consumers can rely on their presence.
+        assert!(json.contains("\"histograms\": {}"));
+        assert!(json.contains("\"trace_events_dropped\": 0"));
     }
 }

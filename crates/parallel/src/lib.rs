@@ -99,6 +99,10 @@ impl Job {
                 if start >= self.end {
                     break;
                 }
+                // Flight-recorder marker for the worker timeline: one
+                // begin/end pair per executed chunk, on this lane's own
+                // ring. A no-op (one relaxed load) unless tracing is on.
+                let _chunk_span = obs::trace_span(obs::Stage::WorkerChunk);
                 let stop = (start + self.chunk).min(self.end);
                 for i in start..stop {
                     task(i);
@@ -110,6 +114,7 @@ impl Job {
                 if start >= self.end {
                     break;
                 }
+                let _chunk_span = obs::trace_span(obs::Stage::WorkerChunk);
                 let stop = (start + self.chunk).min(self.end);
                 let t0 = Instant::now();
                 for i in start..stop {
@@ -216,8 +221,13 @@ impl ThreadPool {
             // pool section in their metrics reports.
             let record_serial = obs::enabled() && !IN_WORKER.with(|f| f.get());
             let t0 = record_serial.then(Instant::now);
-            for i in 0..n {
-                task(i);
+            {
+                // The serial path is one "chunk" on the caller lane; give it
+                // the same timeline marker the threaded path gets.
+                let _chunk_span = obs::trace_span(obs::Stage::WorkerChunk);
+                for i in 0..n {
+                    task(i);
+                }
             }
             if let Some(t0) = t0 {
                 let busy = t0.elapsed().as_nanos() as u64;
@@ -410,6 +420,10 @@ impl Drop for ThreadPool {
 
 fn worker_loop(shared: &Shared, lane: usize) {
     IN_WORKER.with(|f| f.set(true));
+    // Flight-recorder rings register lazily on the worker's first traced
+    // event, inheriting this thread's `iwino-worker-{lane}` name as the
+    // timeline label — no per-thread allocation unless tracing actually
+    // runs on this lane.
     let mut seen_epoch = 0u64;
     loop {
         let job = {

@@ -10,10 +10,21 @@
 //!   invocations, and one job is recorded per `run_*` call.
 //!
 //! Each test builds its own pool (never the global one), so the report
-//! totals are exact without cross-test serialisation.
+//! totals are exact; tests still serialize behind [`guard`] because the
+//! flight-recorder pairing test needs a quiesced process to export.
 
+use iwino_obs::Json;
 use iwino_parallel::ThreadPool;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The flight-recorder gate and rings are process-global; the pairing test
+/// below must export a quiesced trace, so every test in this binary
+/// serializes here (they would otherwise interleave worker-chunk events
+/// from concurrent pools into the exported timeline).
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Skewed cost model: most indices are cheap, every 31st is ~300× the base,
 /// and every 97th is ~30 000× — the shape that makes fixed-size chunking
@@ -76,6 +87,7 @@ fn check_exactly_once(
 
 #[test]
 fn weighted_skewed_costs_cover_all_indices() {
+    let _g = guard();
     for threads in [1usize, 2, 4, 32] {
         let pool = ThreadPool::new(threads);
         for n in [1usize, 7, 97, 1000] {
@@ -89,6 +101,7 @@ fn weighted_skewed_costs_cover_all_indices() {
 
 #[test]
 fn weighted_zero_and_uniform_costs() {
+    let _g = guard();
     let pool = ThreadPool::new(4);
     // Zero costs are clamped to one — the splitter must not divide by zero
     // or emit a single giant piece by mistake.
@@ -104,6 +117,7 @@ fn weighted_zero_and_uniform_costs() {
 
 #[test]
 fn weighted_one_expensive_index_among_many() {
+    let _g = guard();
     // The adversarial profile: index 0 costs as much as everything else
     // combined. The splitter must still cover every index exactly once and
     // must not hand the whole range to one piece.
@@ -117,6 +131,7 @@ fn weighted_one_expensive_index_among_many() {
 
 #[test]
 fn fixed_chunking_matches_weighted_coverage() {
+    let _g = guard();
     for threads in [1usize, 32] {
         let pool = ThreadPool::new(threads);
         for (n, min_chunk) in [(1000usize, 7usize), (97, 1), (5, 100)] {
@@ -130,6 +145,7 @@ fn fixed_chunking_matches_weighted_coverage() {
 
 #[test]
 fn single_thread_pool_runs_everything_on_caller() {
+    let _g = guard();
     let pool = ThreadPool::new(1);
     check_exactly_once(&pool, 300, |p, task| {
         p.run_chunked_weighted(300, &skewed_cost, task);
@@ -141,6 +157,7 @@ fn single_thread_pool_runs_everything_on_caller() {
 
 #[test]
 fn oversubscribed_pool_with_fewer_indices_than_lanes() {
+    let _g = guard();
     // 32 lanes, 9 indices: most lanes get nothing; nothing may be dropped
     // or duplicated and the report must still balance.
     let pool = ThreadPool::new(32);
@@ -151,10 +168,80 @@ fn oversubscribed_pool_with_fewer_indices_than_lanes() {
 
 #[test]
 fn empty_range_is_a_noop() {
+    let _g = guard();
     iwino_obs::set_enabled(true);
     let pool = ThreadPool::new(4);
     pool.reset_stats();
     pool.run_chunked_weighted(0, &|_| 1, &|_r| panic!("task must not run for n = 0"));
     pool.run_chunked(0, 8, &|_r| panic!("task must not run for n = 0"));
     assert_eq!(pool.report().jobs, 0);
+}
+
+#[test]
+fn trace_events_pair_up_across_skewed_workers() {
+    let _g = guard();
+    iwino_obs::set_enabled(true);
+    iwino_obs::reset_trace();
+    iwino_obs::set_trace_enabled(true);
+    let pool = ThreadPool::new(4);
+    pool.reset_stats();
+    // Deliberately skewed and slow enough that worker lanes get scheduled:
+    // the caller cannot race through every chunk before the workers wake.
+    for _ in 0..3 {
+        pool.run_chunked_weighted(64, &|i| if i.is_multiple_of(9) { 50 } else { 1 }, &|range| {
+            for _ in range {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+        });
+    }
+    iwino_obs::set_trace_enabled(false);
+    let doc = iwino_obs::export_chrome_trace();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+
+    // Per-tid begin/end pairing: every E must close the B on top of its
+    // thread's stack, and no stack may be left open — even though lanes
+    // start, claim and finish chunks at completely different times.
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = std::collections::BTreeMap::new();
+    let mut chunk_tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph");
+        if ph == "M" {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Json::as_u64).expect("tid");
+        let name = e.get("name").and_then(Json::as_str).expect("name").to_string();
+        match ph {
+            "B" => {
+                if name == "worker_chunk" {
+                    chunk_tids.insert(tid);
+                }
+                stacks.entry(tid).or_default().push(name);
+            }
+            "E" => assert_eq!(
+                stacks.get_mut(&tid).and_then(Vec::pop),
+                Some(name),
+                "E without matching B"
+            ),
+            other => panic!("unexpected ph {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} left unclosed events: {stack:?}");
+    }
+
+    // Every lane that executed chunks (per the pool's own accounting) must
+    // have produced worker-chunk events on its own ring — the per-worker
+    // registration the timeline story depends on.
+    let active_lanes = pool.report().workers.iter().filter(|w| w.chunks > 0).count();
+    assert!(active_lanes >= 1);
+    assert_eq!(
+        chunk_tids.len(),
+        active_lanes,
+        "each active lane must trace on its own ring"
+    );
+    assert!(iwino_obs::trace_meta().dropped == 0, "this workload fits the ring");
+    iwino_obs::reset_trace();
 }

@@ -35,6 +35,22 @@ echo "== property tests (fixed PROPTEST_CASES budget) =="
 # deeper here than in the quick workspace pass, and reproducible.
 PROPTEST_CASES=64 cargo test --offline -q --test gamma_conformance
 
+echo "== flight-recorder trace validity (native + forced-scalar dispatch) =="
+# Explicit acceptance run of the Chrome Trace gate on both dispatch lanes
+# (also part of the workspace passes above; named here so a trace-format
+# break is attributed immediately instead of surfacing as a generic test
+# failure).
+cargo test --offline -q -p iwino-bench --test trace_validity
+IWINO_FORCE_SCALAR=1 cargo test --offline -q -p iwino-bench --test trace_validity
+
+echo "== perf-regression gate (bench-compare over the committed PR-5 pair) =="
+# Diffs the committed stage-bench trajectory: the after-document must hold
+# every case within 10% of its baseline. --force because the v1 baseline
+# predates the dispatch record (cannot prove ISA parity); exits 1 on a
+# regression, which fails this gate.
+cargo run --offline --release -p iwino-bench --bin repro -- \
+  bench-compare BENCH_pr5_baseline.json BENCH_pr5_after.json --max-regression 10 --force
+
 echo "== engine smoke (every registry backend vs the f64 reference) =="
 # Drives all of BACKEND_NAMES by name through iwino-engine, checks each
 # against direct_conv_f64_ref, and prints plan-cache/arena stats. Exits
