@@ -45,7 +45,7 @@ fn real_workspace_is_clean() {
     assert_eq!(analysis.pairs_verified, 16);
     assert!(analysis.files_scanned > 50, "scanned {}", analysis.files_scanned);
     let json = analysis.to_json().pretty();
-    assert!(json.contains("\"schema_version\": 4"));
+    assert!(json.contains("\"schema_version\": 5"));
     assert!(json.contains("\"kind\": \"analysis\""));
     assert!(json.contains("\"clean\": true"));
     assert!(json.contains("\"transform_bounds\""));

@@ -89,6 +89,7 @@ fn main() {
         "validate-model" => validate_model(&mode),
         "bench-stages" => bench_stages(&args, &mode),
         "bench-compare" => bench_compare(&args),
+        "serve-bench" => serve_bench_cmd(&args),
         "trace" => trace_cmd(&args),
         "engine" => engine(&mode),
         "train-cifar" => train_cifar(&mode),
@@ -115,13 +116,15 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|bench-compare|trace|\
-                 engine|train-cifar|train-imagenet|ablation-banks|ablation-boundary|ablation-variants|\
+                "usage: repro <fig8|fig9|table2|table3|fig10|validate-model|bench-stages|bench-compare|serve-bench|\
+                 trace|engine|train-cifar|train-imagenet|ablation-banks|ablation-boundary|ablation-variants|\
                  ablation-transforms|all> \
                  [--full] [--sim-only] [--engine] [--force-scalar] [--metrics <path.json>] [--out <path.json>] \
                  [--baseline <path.json>] [--force]\n\
                  \n  repro trace [<case-label>] [--out trace.json] [--reps N]   flight-recorder capture\
-                 \n  repro bench-compare <baseline.json> <after.json> [--max-regression <pct>] [--force]"
+                 \n  repro bench-compare <baseline.json> <after.json> [--max-regression <pct>] [--force]\
+                 \n  repro serve-bench [--out serve.json] [--requests N] [--rate R] [--max-batch B] \
+                 [--workers W] [--no-coalesce]   open-loop serving load generator"
             );
             if cmd != "help" {
                 std::process::exit(2);
@@ -365,7 +368,8 @@ fn positional_args(args: &[String]) -> Vec<String> {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--metrics" | "--out" | "--baseline" | "--reps" | "--max-regression" => i += 2,
+            "--metrics" | "--out" | "--baseline" | "--reps" | "--max-regression" | "--requests" | "--rate"
+            | "--max-batch" | "--workers" | "--seed" => i += 2,
             a if a.starts_with("--") => i += 1,
             a => {
                 pos.push(a.to_string());
@@ -562,6 +566,101 @@ fn bench_compare(args: &[String]) {
         eprintln!("\nFAIL: {n} case(s) regressed past the {max_pct}% budget");
         std::process::exit(1);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Serving throughput/latency frontier: the BENCH_serve_*.json pair
+// ---------------------------------------------------------------------------
+
+/// `repro serve-bench`: drive `iwino-serve` with an open-loop Poisson load
+/// and export the throughput/latency frontier as a bench-compare-gatable
+/// document. `--no-coalesce` (or `--max-batch 1`) is the baseline arm of
+/// the committed `BENCH_serve_baseline/after.json` pair. Exits non-zero
+/// when the run violates the amortization contract (plan-cache misses must
+/// stay at one per bucket no matter how many requests are served).
+fn serve_bench_cmd(args: &[String]) {
+    let mut cfg = iwino_bench::ServeBenchConfig::default();
+    let parse_or_die = |flag: &str, v: Option<&str>| -> Option<f64> {
+        v.map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} takes a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    if let Some(n) = parse_or_die("--requests", flag_value(args, "--requests")) {
+        cfg.requests = n as usize;
+    }
+    if let Some(r) = parse_or_die("--rate", flag_value(args, "--rate")) {
+        cfg.rate = r;
+    }
+    if let Some(b) = parse_or_die("--max-batch", flag_value(args, "--max-batch")) {
+        cfg.max_batch = (b as usize).max(1);
+    }
+    if let Some(w) = parse_or_die("--workers", flag_value(args, "--workers")) {
+        cfg.workers = (w as usize).max(1);
+    }
+    if let Some(s) = parse_or_die("--seed", flag_value(args, "--seed")) {
+        cfg.seed = s as u64;
+    }
+    if args.iter().any(|a| a == "--no-coalesce") {
+        cfg.max_batch = 1;
+    }
+    let out = flag_value(args, "--out").unwrap_or("repro_results/serve_bench.json");
+    println!("\n==== serve-bench: open-loop serving frontier ====");
+    println!(
+        "({} requests at {:.0} req/s over {} buckets; max_batch {}, {} pool lanes{})",
+        cfg.requests,
+        cfg.rate,
+        iwino_bench::serve_bench_buckets().len(),
+        cfg.max_batch,
+        cfg.workers,
+        if cfg.max_batch == 1 { " — coalescing OFF" } else { "" }
+    );
+    let report = match iwino_bench::run_serve_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-bench FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:<24} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "bucket", "served", "batches", "coalesce", "p50 µs", "p99 µs", "Gflop/s"
+    );
+    for c in &report.cases {
+        println!(
+            "{:<24} {:>8} {:>8} {:>9.2}x {:>10.1} {:>10.1} {:>10.3}",
+            c.label,
+            c.served,
+            c.batches,
+            c.coalesce_factor,
+            c.p50_e2e_ns as f64 / 1e3,
+            c.p99_e2e_ns as f64 / 1e3,
+            c.gflops
+        );
+    }
+    println!(
+        "end-to-end: {} served in {:.1} ms — {:.0} req/s; plan cache {} hits / {} misses ({} buckets)",
+        report.served(),
+        report.wall_ns as f64 / 1e6,
+        report.throughput_rps,
+        report.plan_hits,
+        report.plan_misses,
+        report.buckets
+    );
+    match fs::write(out, report.to_json().pretty()) {
+        Ok(()) => println!("[saved {out}]"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(reason) = report.amortization_failure() {
+        eprintln!("serve-bench FAILED amortization self-check: {reason}");
+        std::process::exit(1);
+    }
+    println!("[amortization self-check: one plan miss per bucket, every admitted request served]");
 }
 
 // ---------------------------------------------------------------------------

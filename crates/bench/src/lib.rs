@@ -20,6 +20,10 @@
 //!                                 bench-stages documents (exit 1 on regression)
 //! repro trace [<case>] [--out p]  flight-recorder capture of a stage-bench case as Chrome
 //!                                 Trace JSON (load in Perfetto / chrome://tracing)
+//! repro serve-bench [--out p] [--requests N] [--rate R] [--max-batch B] [--workers W]
+//!                                 [--no-coalesce]  open-loop serving load generator; emits a
+//!                                 bench-compare-gatable throughput/latency document
+//!                                 (the BENCH_serve_* pair)
 //! repro engine                    registry smoke: every backend vs the f64 reference + cache stats
 //! repro all [--quick]             everything above
 //! ```
@@ -33,9 +37,11 @@
 pub mod compare;
 pub mod figures;
 pub mod runner;
+pub mod serve_bench;
 pub mod tracer;
 
 pub use compare::{compare, isa_parity, parse_bench_doc, BenchCase, BenchDoc, CaseDelta, CompareReport};
 pub use figures::{scale_batch, stage_bench_cases, AccuracyTable, Ofms, Panel, StageBenchCase, FIG8, FIG9, TABLE3};
 pub use runner::*;
+pub use serve_bench::{run_serve_bench, serve_bench_buckets, ServeBenchCase, ServeBenchConfig, ServeBenchReport};
 pub use tracer::{record_trace, validate_chrome_trace, TraceSummary};

@@ -1,0 +1,83 @@
+//! Schema and gate tests for `repro serve-bench`:
+//!
+//! * a tiny in-process run produces a document that round-trips through
+//!   the `bench-compare` parser with its dispatch record intact;
+//! * the committed `BENCH_serve_baseline.json` / `BENCH_serve_after.json`
+//!   pair passes the 10% gate in the committed direction and FAILS it
+//!   reversed — undoing the coalescer is a real regression the gate must
+//!   catch, exactly like the kernel-level `BENCH_pr5` pair.
+
+use iwino_bench::{compare, isa_parity, parse_bench_doc, run_serve_bench, ServeBenchConfig};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialize the tests in this binary (the in-process serve run spawns a
+/// server; see `crates/serve/tests/stress.rs` for the obs-serialization
+/// convention this follows).
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn committed(name: &str) -> String {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// The live document: valid JSON for the bench-compare reader, dispatch
+/// record matching this host's runtime dispatch, serving columns riding
+/// along without breaking the tolerant parser.
+#[test]
+fn serve_bench_document_round_trips_the_compare_parser() {
+    let _g = guard();
+    let report = run_serve_bench(&ServeBenchConfig {
+        requests: 18,
+        rate: 50_000.0,
+        max_batch: 4,
+        workers: 2,
+        seed: 11,
+    })
+    .unwrap();
+    let text = report.to_json().pretty();
+    let doc = parse_bench_doc(&text).unwrap();
+    assert_eq!(doc.schema_version, 3);
+    assert_eq!(
+        doc.isa.as_deref(),
+        Some(iwino_simd::dispatch_info().isa),
+        "the document must carry the dispatch record of the host that measured it"
+    );
+    assert_eq!(doc.cases.len(), report.cases.len());
+    for (parsed, live) in doc.cases.iter().zip(&report.cases) {
+        assert_eq!(parsed.label, live.label);
+        assert!((parsed.gflops - live.gflops).abs() < 1e-9);
+    }
+    // A self-comparison is a clean pass at any threshold.
+    assert!(compare(&doc, &doc, 0.0).passed());
+}
+
+/// The committed pair parses, agrees on ISA, and orders correctly:
+/// baseline (coalescing off) → after (coalescing on) passes the 10% gate.
+#[test]
+fn committed_pair_passes_the_gate_forward() {
+    let base = parse_bench_doc(&committed("BENCH_serve_baseline.json")).unwrap();
+    let after = parse_bench_doc(&committed("BENCH_serve_after.json")).unwrap();
+    isa_parity(&base, &after).unwrap();
+    assert_eq!(base.cases.len(), 3);
+    assert_eq!(after.cases.len(), 3);
+    let report = compare(&base, &after, 10.0);
+    assert!(report.passed(), "committed serve pair regressed: {:?}", report.cases);
+    // The coalescer is a measured *improvement*, not merely within budget.
+    for delta in &report.cases {
+        assert!(delta.ratio > 1.0, "case {} did not improve: {:?}", delta.label, delta);
+    }
+}
+
+/// Feeding the pair in reversed order — as if a change removed the
+/// coalescer — must fail the same gate.
+#[test]
+fn committed_pair_reversed_fails_the_gate() {
+    let base = parse_bench_doc(&committed("BENCH_serve_baseline.json")).unwrap();
+    let after = parse_bench_doc(&committed("BENCH_serve_after.json")).unwrap();
+    let reversed = compare(&after, &base, 10.0);
+    assert!(!reversed.passed(), "reversing the pair must trip the gate");
+    assert!(reversed.regressions().count() >= 1);
+}

@@ -185,9 +185,16 @@ impl Engine {
     /// isolated cache statistics construct their own; everything else uses
     /// [`Engine::global`].
     pub fn new() -> Engine {
+        Engine::with_plan_capacity(PLAN_CACHE_BOUND)
+    }
+
+    /// A fresh engine whose plan cache holds at most `bound` plans. The
+    /// serving layer sizes this to its bucket count so steady-state traffic
+    /// never evicts a resident plan; `bound` is clamped to at least one.
+    pub fn with_plan_capacity(bound: usize) -> Engine {
         Engine {
             registry: backends::all_backends(),
-            cache: Mutex::new(PlanCache::new(PLAN_CACHE_BOUND)),
+            cache: Mutex::new(PlanCache::new(bound.max(1))),
             arena: WorkspacePool::new(),
             pinned: Mutex::new(HashMap::new()),
         }

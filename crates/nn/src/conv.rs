@@ -150,6 +150,33 @@ impl Conv2d {
     pub fn engine_handle(&self) -> &Handle {
         &self.handle
     }
+
+    /// A materialised `OC×FH×FW×IC` copy of the current weights — the form
+    /// every engine backend consumes. The serving layer registers this as a
+    /// bucket's resident filter bank so trained layers can be deployed
+    /// without reaching into `Param` internals.
+    pub fn export_weights(&self) -> Tensor4<f32> {
+        Tensor4::from_vec([self.oc, self.fh, self.fw, self.ic], self.weight.value.clone())
+    }
+
+    /// The single-request convolution shape this layer induces for an
+    /// `n × ih × iw × ic` input — the shape key a serving bucket is
+    /// registered under.
+    pub fn serving_shape(&self, n: usize, ih: usize, iw: usize) -> ConvShape {
+        ConvShape {
+            n,
+            ih,
+            iw,
+            ic: self.ic,
+            oc: self.oc,
+            fh: self.fh,
+            fw: self.fw,
+            ph: self.pad,
+            pw: self.pad,
+            sh: self.stride,
+            sw: self.stride,
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -352,6 +379,24 @@ mod tests {
         let dy = Tensor4::<f32>::zeros([1, 6, 6, 4]);
         let _ = layer.backward(&dy);
         assert_eq!(layer.cached_bytes(), 0, "backward consumes the cache");
+    }
+
+    #[test]
+    fn export_matches_forward_weights_and_shape() {
+        let mut layer = Conv2d::new(3, 8, 3, 1, 1, false, Backend::ImcolWinograd, 70);
+        let w = layer.export_weights();
+        assert_eq!(w.dims(), [8, 3, 3, 3]);
+        let s = layer.serving_shape(1, 10, 10);
+        assert_eq!(s.x_dims(), [1, 10, 10, 3]);
+        assert_eq!(s.w_dims(), w.dims());
+        // The exported bank drives the same arithmetic the layer runs: a
+        // direct engine call with (w, s) reproduces the layer's forward.
+        let x = Tensor4::<f32>::random(s.x_dims(), 71, -1.0, 1.0);
+        let y_layer = layer.forward(&x, false);
+        let y_engine = Engine::global()
+            .conv(layer.engine_handle(), &x, &w, &s, &iwino_core::Epilogue::None)
+            .unwrap();
+        assert_eq!(y_layer.as_slice(), y_engine.as_slice());
     }
 
     #[test]

@@ -136,6 +136,11 @@ impl Stage {
 /// convolution producing the same output, so GFLOP/s stays comparable
 /// across algorithms (a Winograd kernel that does fewer real operations
 /// reports a higher achieved rate, exactly as in Figure 8/9).
+///
+/// The `Serve*` counters are fed by `iwino-serve` and obey the accounting
+/// identity `serve_admitted = serve_served + serve_rejected + serve_expired`
+/// once a server has drained: every request presented for admission is
+/// eventually answered exactly one way.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Counter {
     Flops,
@@ -153,10 +158,16 @@ pub enum Counter {
     ArenaHits,
     ArenaMisses,
     ArenaBytesHighWater,
+    ServeAdmitted,
+    ServeRejected,
+    ServeExpired,
+    ServeServed,
+    ServeBatches,
+    ServeQueueDepthHighWater,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Flops,
         Counter::BytesLoaded,
         Counter::BytesStored,
@@ -172,6 +183,12 @@ impl Counter {
         Counter::ArenaHits,
         Counter::ArenaMisses,
         Counter::ArenaBytesHighWater,
+        Counter::ServeAdmitted,
+        Counter::ServeRejected,
+        Counter::ServeExpired,
+        Counter::ServeServed,
+        Counter::ServeBatches,
+        Counter::ServeQueueDepthHighWater,
     ];
 
     pub fn name(self) -> &'static str {
@@ -191,13 +208,19 @@ impl Counter {
             Counter::ArenaHits => "arena_hits",
             Counter::ArenaMisses => "arena_misses",
             Counter::ArenaBytesHighWater => "arena_bytes_high_water",
+            Counter::ServeAdmitted => "serve_admitted",
+            Counter::ServeRejected => "serve_rejected",
+            Counter::ServeExpired => "serve_expired",
+            Counter::ServeServed => "serve_served",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeQueueDepthHighWater => "serve_queue_depth_high_water",
         }
     }
 
     /// High-water counters record a maximum, not a running sum — both
     /// [`maximize`] (per slot) and [`snapshot`] (across slots) take the max.
     pub fn is_high_water(self) -> bool {
-        matches!(self, Counter::ArenaBytesHighWater)
+        matches!(self, Counter::ArenaBytesHighWater | Counter::ServeQueueDepthHighWater)
     }
 }
 
@@ -270,6 +293,11 @@ fn dispatch_slot() -> &'static Mutex<Option<DispatchReport>> {
     DISPATCH.get_or_init(|| Mutex::new(None))
 }
 
+fn serve_slot() -> &'static Mutex<Option<ServeReport>> {
+    static SERVE: OnceLock<Mutex<Option<ServeReport>>> = OnceLock::new();
+    SERVE.get_or_init(|| Mutex::new(None))
+}
+
 thread_local! {
     static SLOT: Arc<Slot> = {
         let slot = Arc::new(Slot::new());
@@ -303,6 +331,7 @@ pub fn reset() {
     }
     *pool_slot().lock().unwrap() = None;
     *dispatch_slot().lock().unwrap() = None;
+    *serve_slot().lock().unwrap() = None;
 }
 
 /// Scoped timer: accumulates elapsed nanoseconds (total, hit count and a
@@ -541,6 +570,84 @@ pub fn dispatch_report() -> Option<DispatchReport> {
     dispatch_slot().lock().unwrap().clone()
 }
 
+/// One shape bucket's serving statistics. Produced by `iwino-serve`, stored
+/// here so a [`MetricsReport`] can pick it up without a dependency cycle
+/// (the same pattern as [`PoolReport`]). The quantiles come from the
+/// server's per-bucket log2 histograms (the [`hist`] machinery), so a
+/// metrics document shows each bucket's latency tail — the global
+/// [`HistSite::ServeE2e`] site only aggregates across buckets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeBucketReport {
+    pub label: String,
+    /// Requests presented for admission (including those bounced).
+    pub admitted: u64,
+    pub served: u64,
+    pub rejected: u64,
+    pub expired: u64,
+    /// Coalesced batches executed for this bucket.
+    pub batches: u64,
+    /// Largest batch the coalescer formed for this bucket.
+    pub max_batch: u64,
+    /// Deepest the bounded queue ever got.
+    pub queue_depth_high_water: u64,
+    pub p50_e2e_ns: u64,
+    pub p99_e2e_ns: u64,
+}
+
+impl ServeBucketReport {
+    /// Served requests per executed batch — the amortization the serving
+    /// layer exists to buy (1.0 means coalescing bought nothing).
+    pub fn coalesce_factor(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.served as f64 / self.batches as f64
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::from(self.label.as_str())),
+            ("admitted", Json::from(self.admitted)),
+            ("served", Json::from(self.served)),
+            ("rejected", Json::from(self.rejected)),
+            ("expired", Json::from(self.expired)),
+            ("batches", Json::from(self.batches)),
+            ("coalesce_factor", Json::from(self.coalesce_factor())),
+            ("max_batch", Json::from(self.max_batch)),
+            ("queue_depth_high_water", Json::from(self.queue_depth_high_water)),
+            ("p50_e2e_ns", Json::from(self.p50_e2e_ns)),
+            ("p99_e2e_ns", Json::from(self.p99_e2e_ns)),
+        ])
+    }
+}
+
+/// Per-bucket serving statistics for the whole server (see
+/// [`ServeBucketReport`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    pub buckets: Vec<ServeBucketReport>,
+}
+
+impl ServeReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "buckets",
+            Json::Arr(self.buckets.iter().map(ServeBucketReport::to_json).collect()),
+        )])
+    }
+}
+
+/// Store the cumulative serve report (called by `iwino-serve` after each
+/// drained batch while recording is on; later stores replace earlier ones
+/// because the report is cumulative).
+pub fn set_serve_report(report: ServeReport) {
+    *serve_slot().lock().unwrap() = Some(report);
+}
+
+pub fn serve_report() -> Option<ServeReport> {
+    serve_slot().lock().unwrap().clone()
+}
+
 /// Point-in-time aggregate of every thread's slot.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -552,6 +659,7 @@ pub struct Snapshot {
     hist: Vec<u64>,
     pub pool: Option<PoolReport>,
     pub dispatch: Option<DispatchReport>,
+    pub serve: Option<ServeReport>,
     /// Flight-recorder state at snapshot time, so a metrics document says
     /// whether (and how completely) a trace accompanies it.
     pub trace: TraceMeta,
@@ -605,6 +713,7 @@ pub fn snapshot() -> Snapshot {
     let mut snap = Snapshot {
         pool: pool_report(),
         dispatch: dispatch_report(),
+        serve: serve_report(),
         trace: trace::trace_meta(),
         hist: vec![0; N_HIST_CELLS],
         ..Snapshot::default()
@@ -707,13 +816,21 @@ mod tests {
             forced_scalar: false,
             features: vec!["avx2".to_string()],
         });
+        set_serve_report(ServeReport {
+            buckets: vec![ServeBucketReport {
+                label: "b0".to_string(),
+                ..ServeBucketReport::default()
+            }],
+        });
         assert_eq!(snapshot().dispatch.as_ref().map(|d| d.lane_width), Some(8));
+        assert_eq!(snapshot().serve.as_ref().map(|s| s.buckets.len()), Some(1));
         reset();
         let snap = snapshot();
         set_enabled(false);
         assert_eq!(snap.counter(Counter::BytesLoaded), 0);
         assert!(snap.pool.is_none());
         assert!(snap.dispatch.is_none());
+        assert!(snap.serve.is_none());
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! Structured metrics export: one JSON document per measured run.
 //!
-//! Schema (version 4). Version 2 added the `"kind"` discriminator so
+//! Schema (version 5). Version 2 added the `"kind"` discriminator so
 //! consumers can tell a metrics document from the static-analysis report
 //! the `analyzer` crate emits with the same `schema_version` ("metrics"
 //! here, "analysis" there); version 3 added the `"dispatch"` section
 //! recording detected CPU features and the dispatched microkernel ISA, so
-//! comparisons can refuse to diff runs from different ISAs; version 4 adds
+//! comparisons can refuse to diff runs from different ISAs; version 4 added
 //! the `"histograms"` section (log2-bucketed latency distributions with
 //! p50/p90/p99 per stage and per engine plan-cache outcome) and the
-//! `"trace_meta"` section describing the flight recorder's state:
+//! `"trace_meta"` section describing the flight recorder's state; version 5
+//! adds the `"serve"` section (per-bucket batch-serving statistics filled
+//! in by `iwino-serve`: admission accounting, coalesce factor, queue-depth
+//! high water, per-bucket p50/p99) plus the `serve_*` counters and the
+//! `serve_queue_wait` / `serve_batch` / `serve_e2e` histogram sites:
 //!
 //! ```text
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "kind": "metrics",
 //!   "label": "<workload name>",
 //!   "wall_ns": <u64>,                    // end-to-end wall time
@@ -26,6 +30,10 @@
 //!                          "busy_ns", "idle_ns"}, ...] } | null,
 //!   "dispatch": { "isa", "lane_width", "forced_scalar",
 //!                 "features": ["sse2", ...] } | null,
+//!   "serve": { "buckets": [{"label", "admitted", "served", "rejected",
+//!                           "expired", "batches", "coalesce_factor",
+//!                           "max_batch", "queue_depth_high_water",
+//!                           "p50_e2e_ns", "p99_e2e_ns"}, ...] } | null,
 //!   "trace_meta": { "enabled", "ring_capacity", "threads", "events",
 //!                   "trace_events_dropped" }
 //! }
@@ -42,7 +50,7 @@ use std::path::Path;
 
 /// Version of the JSON layout emitted by [`MetricsReport::to_json`] (and
 /// shared by the analyzer's `"kind": "analysis"` documents).
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// A captured, self-describing metrics document.
 #[derive(Clone, Debug)]
@@ -170,6 +178,7 @@ impl MetricsReport {
             ("derived", derived),
             ("pool", snap.pool.as_ref().map_or(Json::Null, |p| p.to_json())),
             ("dispatch", snap.dispatch.as_ref().map_or(Json::Null, |d| d.to_json())),
+            ("serve", snap.serve.as_ref().map_or(Json::Null, |s| s.to_json())),
             ("trace_meta", snap.trace.to_json()),
         ])
     }
@@ -223,7 +232,7 @@ mod tests {
         assert!((report.stage_gflops(Stage::OuterProduct) - 2_000_000.0 / 750.0).abs() < 1e-9);
         assert_eq!(report.stage_gflops(Stage::Epilogue), 0.0);
         let json = report.to_json().pretty();
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"kind\": \"metrics\""));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"outer_product\""));
@@ -262,9 +271,56 @@ mod tests {
         let json = report.to_json().pretty();
         assert!(json.contains("\"dispatch\": null"));
         assert!(json.contains("\"pool\": null"));
+        assert!(json.contains("\"serve\": null"));
         // A default snapshot still carries the (all-zero) sections new in
         // version 4, so consumers can rely on their presence.
         assert!(json.contains("\"histograms\": {}"));
         assert!(json.contains("\"trace_events_dropped\": 0"));
+    }
+
+    #[test]
+    fn serve_section_reports_buckets_with_coalesce_factor() {
+        // Version 5: the serve section is attached through the snapshot
+        // slot, the same way pool/dispatch reports are.
+        let snap = Snapshot {
+            serve: Some(crate::ServeReport {
+                buckets: vec![crate::ServeBucketReport {
+                    label: "conv3x3_32".to_string(),
+                    admitted: 100,
+                    served: 80,
+                    rejected: 12,
+                    expired: 8,
+                    batches: 20,
+                    max_batch: 8,
+                    queue_depth_high_water: 16,
+                    p50_e2e_ns: 1023,
+                    p99_e2e_ns: 8191,
+                }],
+            }),
+            ..Default::default()
+        };
+        let report = MetricsReport {
+            label: "serve".to_string(),
+            wall_ns: 1,
+            snapshot: snap,
+        };
+        let json = report.to_json().pretty();
+        let doc = Json::parse(&json).expect("valid JSON");
+        let buckets = doc
+            .get("serve")
+            .and_then(|s| s.get("buckets"))
+            .and_then(Json::as_arr)
+            .expect("serve.buckets");
+        assert_eq!(buckets.len(), 1);
+        let b = &buckets[0];
+        assert_eq!(b.get("label").and_then(Json::as_str), Some("conv3x3_32"));
+        assert_eq!(b.get("admitted").and_then(Json::as_u64), Some(100));
+        // 80 served over 20 batches: the coalescer packed 4 requests per
+        // forward on average.
+        assert_eq!(b.get("coalesce_factor").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(b.get("p99_e2e_ns").and_then(Json::as_u64), Some(8191));
+        // The accounting identity the serve counters promise.
+        let (adm, s, r, e) = (100u64, 80u64, 12u64, 8u64);
+        assert_eq!(adm, s + r + e);
     }
 }

@@ -168,13 +168,22 @@ impl ThreadPool {
     /// caller, which participates in every job). `threads == 1` never
     /// spawns and always runs serially.
     pub fn new(threads: usize) -> Self {
+        Self::with_name(threads, "iwino-worker")
+    }
+
+    /// Like [`ThreadPool::new`], but worker threads are named
+    /// `{prefix}-{lane}`. The flight recorder labels each trace ring with
+    /// its thread's name, so pools owned by different subsystems (e.g. the
+    /// serving layer's batch pool vs. the global conv pool) stay
+    /// distinguishable in exported timelines.
+    pub fn with_name(threads: usize, prefix: &str) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared::default());
         let workers = (1..threads)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
-                    .name(format!("iwino-worker-{w}"))
+                    .name(format!("{prefix}-{w}"))
                     .spawn(move || worker_loop(&shared, w))
                     .expect("spawn pool worker")
             })

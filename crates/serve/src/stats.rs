@@ -1,0 +1,213 @@
+//! Per-bucket serving statistics.
+//!
+//! Every bucket keeps its own lock-free counter block plus a log2 latency
+//! histogram of end-to-end request time (admission → response), built on
+//! the same [`bucket_index`] / [`HistogramSummary`] machinery the global
+//! obs histograms use. The bucket-local stats are recorded unconditionally
+//! — they are the server's own accounting and the source for
+//! [`ServerStats`] / the exported [`iwino_obs::ServeReport`] — while the
+//! *global* obs counters and histogram sites are additionally fed through
+//! the gated `iwino_obs::add` / `record_latency` entry points.
+//!
+//! The accounting identity every snapshot obeys once the server has
+//! drained: `admitted == served + rejected + expired`.
+
+use iwino_obs::hist::{bucket_index, HistogramSummary, N_HIST_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-bucket counters, updated by the admission path (submit)
+/// and the coalescer.
+#[derive(Debug)]
+pub(crate) struct BucketStats {
+    pub(crate) label: String,
+    admitted: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    batches: AtomicU64,
+    /// High-water: largest number of live requests in one coalesced batch.
+    max_batch: AtomicU64,
+    /// High-water: deepest the bucket queue has been.
+    queue_depth_high_water: AtomicU64,
+    /// Log2 histogram of end-to-end latency (admission → response) for
+    /// served requests.
+    e2e: [AtomicU64; N_HIST_BUCKETS],
+}
+
+impl BucketStats {
+    pub(crate) fn new(label: String) -> BucketStats {
+        BucketStats {
+            label,
+            admitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            queue_depth_high_water: AtomicU64::new(0),
+            e2e: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    // ORDERING: Relaxed throughout — these are monotonic event counters and
+    // high-water marks; no other data is published through them. Snapshots
+    // taken after the server quiesces (shutdown join, or a test's own
+    // barrier) observe the final values through the coalescer thread's
+    // join/lock synchronization, not through these atomics.
+
+    pub(crate) fn admit(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+    }
+
+    pub(crate) fn reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+    }
+
+    pub(crate) fn expire(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+    }
+
+    pub(crate) fn serve(&self, e2e_ns: u64) {
+        self.served.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        self.e2e[bucket_index(e2e_ns)].fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+    }
+
+    pub(crate) fn batch(&self, live: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        self.max_batch.fetch_max(live, Ordering::Relaxed); // ORDERING: as above
+    }
+
+    pub(crate) fn observe_depth(&self, depth: u64) {
+        self.queue_depth_high_water.fetch_max(depth, Ordering::Relaxed); // ORDERING: as above
+    }
+
+    pub(crate) fn snapshot(&self) -> BucketSnapshot {
+        let e2e = HistogramSummary::from_buckets(std::array::from_fn(|i| {
+            self.e2e[i].load(Ordering::Relaxed) // ORDERING: as above
+        }));
+        BucketSnapshot {
+            label: self.label.clone(),
+            admitted: self.admitted.load(Ordering::Relaxed), // ORDERING: as above
+            served: self.served.load(Ordering::Relaxed),     // ORDERING: as above
+            rejected: self.rejected.load(Ordering::Relaxed), // ORDERING: as above
+            expired: self.expired.load(Ordering::Relaxed),   // ORDERING: as above
+            batches: self.batches.load(Ordering::Relaxed),   // ORDERING: as above
+            max_batch: self.max_batch.load(Ordering::Relaxed), // ORDERING: as above
+            queue_depth_high_water: self.queue_depth_high_water.load(Ordering::Relaxed), // ORDERING: as above
+            e2e,
+        }
+    }
+}
+
+/// Point-in-time view of one bucket's counters.
+#[derive(Clone, Debug)]
+pub struct BucketSnapshot {
+    pub label: String,
+    pub admitted: u64,
+    pub served: u64,
+    pub rejected: u64,
+    pub expired: u64,
+    pub batches: u64,
+    pub max_batch: u64,
+    pub queue_depth_high_water: u64,
+    /// End-to-end latency distribution of served requests.
+    pub e2e: HistogramSummary,
+}
+
+impl BucketSnapshot {
+    /// Average requests per coalesced forward — the amortization the
+    /// serving layer exists to buy. 0.0 before the first batch.
+    pub fn coalesce_factor(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+
+    fn to_report(&self) -> iwino_obs::ServeBucketReport {
+        iwino_obs::ServeBucketReport {
+            label: self.label.clone(),
+            admitted: self.admitted,
+            served: self.served,
+            rejected: self.rejected,
+            expired: self.expired,
+            batches: self.batches,
+            max_batch: self.max_batch,
+            queue_depth_high_water: self.queue_depth_high_water,
+            p50_e2e_ns: self.e2e.p50_ns(),
+            p99_e2e_ns: self.e2e.p99_ns(),
+        }
+    }
+}
+
+/// Point-in-time view of every bucket, in registration order.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl ServerStats {
+    pub fn admitted(&self) -> u64 {
+        self.buckets.iter().map(|b| b.admitted).sum()
+    }
+
+    pub fn served(&self) -> u64 {
+        self.buckets.iter().map(|b| b.served).sum()
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.buckets.iter().map(|b| b.rejected).sum()
+    }
+
+    pub fn expired(&self) -> u64 {
+        self.buckets.iter().map(|b| b.expired).sum()
+    }
+
+    pub fn batches(&self) -> u64 {
+        self.buckets.iter().map(|b| b.batches).sum()
+    }
+
+    /// The metrics-schema-v5 `serve` section for this snapshot.
+    pub fn to_report(&self) -> iwino_obs::ServeReport {
+        iwino_obs::ServeReport {
+            buckets: self.buckets.iter().map(BucketSnapshot::to_report).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let s = BucketStats::new("b".into());
+        for _ in 0..6 {
+            s.admit();
+        }
+        s.reject();
+        s.expire();
+        s.batch(4);
+        s.batch(2);
+        for ns in [100, 200, 5000, 6000] {
+            s.serve(ns);
+        }
+        s.observe_depth(3);
+        s.observe_depth(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.admitted, snap.served + snap.rejected + snap.expired);
+        assert_eq!(snap.served, 4);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.max_batch, 4);
+        assert_eq!(snap.queue_depth_high_water, 3);
+        assert_eq!(snap.coalesce_factor(), 2.0);
+        assert_eq!(snap.e2e.count, 4);
+        // Two samples ≤ 255 ns, two in the 4096..8191 bucket.
+        assert_eq!(snap.e2e.p50_ns(), 255);
+        assert_eq!(snap.e2e.p99_ns(), 8191);
+        let report = ServerStats { buckets: vec![snap] }.to_report();
+        assert_eq!(report.buckets[0].p99_e2e_ns, 8191);
+        assert_eq!(report.buckets[0].coalesce_factor(), 2.0);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`tensor`] — NHWC tensors and shapes;
 //! * [`gpu_sim`] — the RTX 3060 Ti / RTX 4090 cost model;
 //! * [`nn`] — the CNN training framework of Experiment 3;
+//! * [`serve`] — shape-bucketed batch serving: bounded admission, deadline
+//!   expiry, and a coalescer that amortizes plan lookup across requests;
 //! * [`simd`] — runtime-dispatched AVX2/NEON/scalar microkernels for the
 //!   Γ hot path (all paths bit-for-bit identical);
 //! * [`parallel`] / [`rational`] — infrastructure.
@@ -69,6 +71,7 @@ pub use iwino_nn as nn;
 pub use iwino_obs as obs;
 pub use iwino_parallel as parallel;
 pub use iwino_rational as rational;
+pub use iwino_serve as serve;
 pub use iwino_simd as simd;
 pub use iwino_tensor as tensor;
 pub use iwino_transforms as transforms;
