@@ -1,34 +1,174 @@
-//! Pass 3 — the atomics / concurrency lint.
+//! Pass 3 — the atomics / concurrency lint, with site classification.
 //!
-//! Every `Ordering::Relaxed` (or bare imported `Relaxed`) and every
-//! `static mut` in production code must carry a `// ORDERING:`
-//! justification on the same line or in an adjacent comment (within
-//! [`crate::unsafe_audit::DOC_WINDOW`] code lines) — the argument for why no
-//! stronger ordering is needed (counter monotonicity, gate-tearing
-//! tolerance, an external happens-before edge like a mutex or a join).
+//! Every atomic-ordering site in production code — any `Ordering::*`
+//! argument, any bare imported `Relaxed`, and any `static mut` — must
+//! carry a `// ORDERING:` justification on the same line or in an
+//! adjacent comment (within [`crate::unsafe_audit::DOC_WINDOW`] code
+//! lines). Beyond mere presence, the justification must *classify* the
+//! site, because the class determines which orderings are sound:
 //!
-//! Scope: test code is exempt. That means files under `tests/`, `benches/`
-//! or `examples/` directories, and — inside library files — everything at
-//! or below the first `#[cfg(test)]` line. (The workspace convention puts
-//! the `#[cfg(test)] mod tests` block at the end of the file, which the
-//! workspace's own clean run depends on; the heuristic is deliberately
-//! conservative in that direction — it can only under-lint test code,
-//! never skip production code.)
+//! - **counter** — monotone statistics (counters, accumulators,
+//!   high-water marks, gauges) read for reporting. `Relaxed` is sound.
+//! - **flag** — an independent boolean/configuration cell where tearing
+//!   or lateness is tolerated (gates, cached detection results).
+//!   `Relaxed` is sound.
+//! - **handoff** — the atomic itself publishes other data to another
+//!   thread: a Release store paired with an Acquire load. `Relaxed` here
+//!   is a bug — the data race the pairing exists to prevent — and is
+//!   flagged.
+//! - **external-hb** — ordering is supplied by an external happens-before
+//!   edge (mutex, join, quiesce protocol); the atomic itself may be
+//!   `Relaxed`.
+//!
+//! The class is read from the justification text: an explicit
+//! `[counter]` / `[flag]` / `[handoff]` / `[external-hb]` tag wins;
+//! otherwise characteristic vocabulary decides (e.g. "monotonic
+//! counter", "independent flag", "happens-before"). Handoff is only ever
+//! claimed explicitly (the tag or the word "handoff") — external-hb
+//! justifications routinely *mention* a mutex's release/acquire edge and
+//! must not be misread as the atomic itself publishing. A justification
+//! that matches no class is itself a finding — it is not an argument,
+//! just a comment.
+//!
+//! Shorthand: `// ORDERING: as above` resolves to the nearest full
+//! justification *earlier in the same function* (or earlier in the file
+//! for item-level sites). A shorthand whose resolution crosses a function
+//! boundary is dangling and flagged — the referent a reader finds first
+//! may be a different protocol entirely.
+//!
+//! Scope: test code is exempt — files under `tests/`, `benches/` or
+//! `examples/` directories, and everything at or below the first
+//! `#[cfg(test)]` line of a library file.
 
 use crate::diag::{Finding, Pass};
-use crate::scan::{documented, has_word, ScannedFile};
+use crate::scan::{fn_spans, has_word, innermost_fn, is_test_path, justification, ScannedFile};
 use crate::unsafe_audit::DOC_WINDOW;
 
-/// Path components that mark a file as test/bench/example code.
-const EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples"];
-
-fn is_exempt_path(rel_path: &str) -> bool {
-    rel_path.split('/').any(|part| EXEMPT_DIRS.contains(&part))
+/// What a justification says the atomic site is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteClass {
+    Counter,
+    Flag,
+    Handoff,
+    ExternalHb,
 }
 
-/// Lint every file, returning one finding per undocumented site.
-pub fn lint_atomics(files: &[ScannedFile]) -> Vec<Finding> {
+impl SiteClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteClass::Counter => "counter",
+            SiteClass::Flag => "flag",
+            SiteClass::Handoff => "handoff",
+            SiteClass::ExternalHb => "external-hb",
+        }
+    }
+}
+
+/// Classify a justification text. Explicit `[tag]`s win; otherwise
+/// characteristic vocabulary, most-specific class first (handoff, then
+/// counter, then flag, then external happens-before).
+pub fn classify(text: &str) -> Option<SiteClass> {
+    let t = text.to_ascii_lowercase();
+    for (tag, class) in [
+        ("[handoff]", SiteClass::Handoff),
+        ("[counter]", SiteClass::Counter),
+        ("[flag]", SiteClass::Flag),
+        ("[external-hb]", SiteClass::ExternalHb),
+    ] {
+        if t.contains(tag) {
+            return Some(class);
+        }
+    }
+    // Handoff is deliberately narrow: only the explicit tag or the word
+    // itself. External-hb justifications routinely *mention* the
+    // release/acquire edge a mutex supplies, and must not be pulled into
+    // the handoff class by that vocabulary.
+    const HANDOFF: &[&str] = &["hands off", "handoff"];
+    const COUNTER: &[&str] = &[
+        "counter",
+        "monotonic",
+        "high-water",
+        "accumulator",
+        "accounting",
+        "gauge",
+        "statistic",
+        "unique-id",
+    ];
+    const FLAG: &[&str] = &["flag", "gate", "configuration", "config store", "cache", "toggle"];
+    const EXTERNAL: &[&str] = &["happens-before", "quiesce", "mutex", "join", "barrier", "owning thread"];
+    for (words, class) in [
+        (HANDOFF, SiteClass::Handoff),
+        (COUNTER, SiteClass::Counter),
+        (FLAG, SiteClass::Flag),
+        (EXTERNAL, SiteClass::ExternalHb),
+    ] {
+        if words.iter().any(|w| t.contains(w)) {
+            return Some(class);
+        }
+    }
+    None
+}
+
+/// One classified atomic site (exported for the JSON report's counts).
+#[derive(Clone, Debug)]
+pub struct AtomicSite {
+    pub file: String,
+    pub line: usize,
+    pub relaxed: bool,
+    pub class: Option<SiteClass>,
+}
+
+fn is_exempt_path(rel_path: &str) -> bool {
+    is_test_path(rel_path)
+}
+
+/// Is this line an atomic-ordering site, and does it use `Relaxed`?
+/// Matching the five atomic variants (not bare `Ordering::`) keeps
+/// `std::cmp::Ordering::Less` and friends out of scope.
+fn ordering_site(code: &str) -> Option<bool> {
+    let relaxed = has_word(code, "Relaxed");
+    let atomic = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
+        .iter()
+        .any(|v| code.contains(&format!("Ordering::{v}")));
+    if relaxed || atomic || code.contains("static mut ") {
+        Some(relaxed)
+    } else {
+        None
+    }
+}
+
+/// Resolve the justification for site `idx`, following one `as above`
+/// hop within the innermost function (or the file prefix for item-level
+/// sites). Returns the effective text, or an error message.
+fn resolve_justification(file: &ScannedFile, idx: usize) -> Result<String, String> {
+    let Some((mline, text)) = justification(&file.lines, idx, "ORDERING:", DOC_WINDOW) else {
+        return Err(format!(
+            "atomic-ordering site without an adjacent `// ORDERING:` justification (within {DOC_WINDOW} lines)"
+        ));
+    };
+    if !text.trim_start().starts_with("as above") {
+        return Ok(text);
+    }
+    let spans = fn_spans(&file.lines);
+    let start = innermost_fn(&spans, idx).map(|s| s.open).unwrap_or(0);
+    for k in (start..mline).rev() {
+        if !file.lines[k].comment.contains("ORDERING:") {
+            continue;
+        }
+        if let Some((_, full)) = justification(&file.lines, k, "ORDERING:", 1) {
+            if !full.trim_start().starts_with("as above") {
+                return Ok(full);
+            }
+        }
+    }
+    Err("dangling `// ORDERING: as above` shorthand — no full justification earlier in the same function".to_string())
+}
+
+/// Lint every file; returns one finding per violation plus the classified
+/// site list.
+pub fn lint_atomics_classified(files: &[ScannedFile]) -> (Vec<Finding>, Vec<AtomicSite>) {
     let mut findings = Vec::new();
+    let mut sites = Vec::new();
     for file in files {
         if is_exempt_path(&file.rel_path) {
             continue;
@@ -37,28 +177,67 @@ pub fn lint_atomics(files: &[ScannedFile]) -> Vec<Finding> {
             if line.code.contains("#[cfg(test)]") {
                 break;
             }
-            let relaxed = has_word(&line.code, "Relaxed");
-            let static_mut = line.code.contains("static mut ");
-            if !(relaxed || static_mut) {
+            let Some(relaxed) = ordering_site(&line.code) else {
                 continue;
-            }
-            if documented(&file.lines, idx, "ORDERING:", DOC_WINDOW) {
-                continue;
-            }
-            let what = if static_mut {
-                "`static mut`"
-            } else {
-                "`Ordering::Relaxed`"
             };
-            findings.push(Finding::new(
-                Pass::AtomicsLint,
-                &file.rel_path,
-                idx + 1,
-                format!("{what} without an adjacent `// ORDERING:` justification (within {DOC_WINDOW} lines)"),
-            ));
+            let what = if line.code.contains("static mut ") {
+                "`static mut`"
+            } else if relaxed {
+                "`Ordering::Relaxed`"
+            } else {
+                "atomic-ordering"
+            };
+            let class = match resolve_justification(file, idx) {
+                Err(msg) => {
+                    findings.push(Finding::new(
+                        Pass::AtomicsLint,
+                        &file.rel_path,
+                        idx + 1,
+                        format!("{what} site: {msg}"),
+                    ));
+                    None
+                }
+                Ok(text) => match classify(&text) {
+                    None => {
+                        findings.push(Finding::new(
+                            Pass::AtomicsLint,
+                            &file.rel_path,
+                            idx + 1,
+                            format!(
+                                "{what} site: `// ORDERING:` justification does not classify the site \
+                                 (counter / flag / handoff / external-hb — tag it or use the class vocabulary)"
+                            ),
+                        ));
+                        None
+                    }
+                    Some(class) => {
+                        if relaxed && class == SiteClass::Handoff {
+                            findings.push(Finding::new(
+                                Pass::AtomicsLint,
+                                &file.rel_path,
+                                idx + 1,
+                                "`Ordering::Relaxed` on a site whose justification implies a Release/Acquire \
+                                 handoff — the pairing it names cannot exist at Relaxed",
+                            ));
+                        }
+                        Some(class)
+                    }
+                },
+            };
+            sites.push(AtomicSite {
+                file: file.rel_path.clone(),
+                line: idx + 1,
+                relaxed,
+                class,
+            });
         }
     }
-    findings
+    (findings, sites)
+}
+
+/// Back-compat entry point: findings only.
+pub fn lint_atomics(files: &[ScannedFile]) -> Vec<Finding> {
+    lint_atomics_classified(files).0
 }
 
 #[cfg(test)]
@@ -86,12 +265,95 @@ mod tests {
     }
 
     #[test]
-    fn documented_relaxed_passes() {
+    fn documented_relaxed_passes_and_classifies() {
         let f = file(
             "crates/obs/src/lib.rs",
             "fn bump(c: &AtomicU64) {\n    // ORDERING: monotonic counter, no data published through it.\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
         );
+        let (findings, sites) = lint_atomics_classified(&[f]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].class, Some(SiteClass::Counter));
+    }
+
+    #[test]
+    fn explicit_tags_win() {
+        assert_eq!(classify("[flag] despite the word counter"), Some(SiteClass::Flag));
+        assert_eq!(classify(" Relaxed — monotonic counter."), Some(SiteClass::Counter));
+        assert_eq!(
+            classify(" the flag hands off the claimed range."),
+            Some(SiteClass::Handoff)
+        );
+        assert_eq!(
+            classify(" the registry mutex supplies the release/acquire edge."),
+            Some(SiteClass::ExternalHb),
+        );
+        assert_eq!(
+            classify(" values read after the workload quiesces."),
+            Some(SiteClass::ExternalHb)
+        );
+        assert_eq!(classify(" trust me."), None);
+    }
+
+    #[test]
+    fn relaxed_handoff_is_flagged() {
+        let f = file(
+            "crates/parallel/src/slice_parts.rs",
+            "fn publish(c: &AtomicU8) {\n    // ORDERING: [handoff] consumers acquire the buffer this releases.\n    c.store(1, Ordering::Relaxed);\n}\n",
+        );
+        let findings = lint_atomics(&[f]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("handoff"));
+        // The same justification on a Release store is clean.
+        let f = file(
+            "crates/parallel/src/slice_parts.rs",
+            "fn publish(c: &AtomicU8) {\n    // ORDERING: [handoff] consumers acquire the buffer this releases.\n    c.store(1, Ordering::Release);\n}\n",
+        );
         assert!(lint_atomics(&[f]).is_empty());
+    }
+
+    #[test]
+    fn non_relaxed_sites_need_justification_too() {
+        let f = file(
+            "crates/parallel/src/lib.rs",
+            "fn set(c: &AtomicBool) {\n    c.store(true, Ordering::Release);\n}\n",
+        );
+        let findings = lint_atomics(&[f]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+    }
+
+    #[test]
+    fn unclassifiable_justification_is_flagged() {
+        let f = file(
+            "crates/obs/src/lib.rs",
+            "fn bump(c: &AtomicU64) {\n    // ORDERING: this is fine.\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        let findings = lint_atomics(&[f]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("classify"));
+    }
+
+    #[test]
+    fn shorthand_resolves_within_function() {
+        let ok = file(
+            "crates/obs/src/lib.rs",
+            "fn bump(a: &AtomicU64, b: &AtomicU64) {\n    // ORDERING: independent monotonic counters.\n    a.fetch_add(1, Ordering::Relaxed);\n    let x = 1;\n    let y = 2;\n    let z = 3;\n    b.fetch_add(1, Ordering::Relaxed); // ORDERING: as above\n}\n",
+        );
+        let (findings, sites) = lint_atomics_classified(&[ok]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(sites[1].class, Some(SiteClass::Counter));
+    }
+
+    #[test]
+    fn shorthand_dangling_across_functions_is_flagged() {
+        let f = file(
+            "crates/obs/src/lib.rs",
+            "fn a(c: &AtomicU64) {\n    // ORDERING: independent monotonic counters.\n    c.fetch_add(1, Ordering::Relaxed);\n}\nfn b(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed); // ORDERING: as above\n}\n",
+        );
+        let findings = lint_atomics(&[f]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("dangling"));
+        assert_eq!(findings[0].line, 6);
     }
 
     #[test]

@@ -12,8 +12,14 @@ pub enum Pass {
     TransformVerify,
     /// `unsafe` allowlist / `// SAFETY:` adjacency / `#![forbid(unsafe_code)]`.
     UnsafeAudit,
-    /// `Ordering::Relaxed` / `static mut` `// ORDERING:` justification lint.
+    /// `Ordering::*` site classification + `// ORDERING:` justification lint.
     AtomicsLint,
+    /// Static lock-nesting graph: cycles, committed total order snapshot,
+    /// `// LOCK ORDER:` comments at multi-lock sites.
+    LockOrder,
+    /// Condvar discipline: waits in predicate loops, waited-on predicate
+    /// mutations paired with a `notify_*` (or an explicit `// NO-NOTIFY:`).
+    CondvarDiscipline,
 }
 
 impl Pass {
@@ -22,6 +28,8 @@ impl Pass {
             Pass::TransformVerify => "transform-verify",
             Pass::UnsafeAudit => "unsafe-audit",
             Pass::AtomicsLint => "atomics-lint",
+            Pass::LockOrder => "lock-order",
+            Pass::CondvarDiscipline => "condvar-discipline",
         }
     }
 }

@@ -1,6 +1,6 @@
 //! `iwino-analyze` — the workspace static-analysis suite.
 //!
-//! Three passes, run offline with no external tooling:
+//! Five passes, run offline with no external tooling:
 //!
 //! 1. **Symbolic transform verification** ([`symbolic`]) — proves, over
 //!    exact rationals with indeterminate inputs, the Winograd identity and
@@ -10,9 +10,21 @@
 //! 2. **Unsafe audit** ([`unsafe_audit`]) — `unsafe` only in the
 //!    `crates/parallel` allowlist, always with an adjacent `// SAFETY:`
 //!    comment; every other crate root carries `#![forbid(unsafe_code)]`.
-//! 3. **Atomics lint** ([`atomics`]) — every `Ordering::Relaxed` /
-//!    `static mut` in production code carries a `// ORDERING:`
-//!    justification.
+//! 3. **Atomics lint** ([`atomics`]) — every atomic-ordering site in
+//!    production code carries a `// ORDERING:` justification that
+//!    *classifies* it (counter / flag / handoff / external-hb); `Relaxed`
+//!    on an implied Release/Acquire handoff is flagged.
+//! 4. **Lock order** ([`lockorder`]) — the static lock-nesting graph of
+//!    `crates/{serve,parallel,obs}` must be acyclic, every multi-lock
+//!    site carries a `// LOCK ORDER:` comment, and the total order is
+//!    committed to `crates/analyzer/lock_order.snap`.
+//! 5. **Condvar discipline** ([`condvar`]) — waits re-check their
+//!    predicate, waited-on condvars are notified, and predicate mutations
+//!    pair with a notify (or an explicit `// NO-NOTIFY:` justification).
+//!
+//! The static passes prove shape properties; their dynamic complement is
+//! `crates/modelcheck`, which exhaustively explores interleavings of
+//! extracted protocol models under a deterministic scheduler.
 //!
 //! Findings print rustc-style to stderr and export as JSON (schema v2,
 //! `"kind": "analysis"`) for `scripts/check.sh`, which fails the gate on
@@ -21,7 +33,9 @@
 #![forbid(unsafe_code)]
 
 pub mod atomics;
+pub mod condvar;
 pub mod diag;
+pub mod lockorder;
 pub mod scan;
 pub mod symbolic;
 pub mod unsafe_audit;
@@ -35,6 +49,9 @@ use std::path::{Path, PathBuf};
 
 /// Workspace-relative location of the committed coefficient-bound snapshot.
 pub const SNAPSHOT_REL_PATH: &str = "crates/analyzer/transform_bounds.snap";
+
+/// Workspace-relative location of the committed lock-order snapshot.
+pub const LOCK_SNAPSHOT_REL_PATH: &str = "crates/analyzer/lock_order.snap";
 
 /// Analyzer configuration.
 pub struct Options {
@@ -50,8 +67,14 @@ pub struct Analysis {
     pub bounds: Vec<symbolic::BoundsRow>,
     pub files_scanned: usize,
     pub pairs_verified: usize,
-    /// Set when `--fix-snapshot` rewrote the snapshot file.
+    /// Set when `--fix-snapshot` rewrote the snapshot file(s).
     pub snapshot_written: bool,
+    /// Static lock-nesting graph of the serving-stack crates.
+    pub lock_graph: lockorder::LockGraph,
+    /// Classified atomic-ordering sites.
+    pub atomic_sites: Vec<atomics::AtomicSite>,
+    /// Condvar wait/notify/mutation counts.
+    pub condvar_summary: condvar::CondvarSummary,
 }
 
 impl Analysis {
@@ -72,6 +95,30 @@ impl Analysis {
             (
                 "findings",
                 Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            ),
+            (
+                "concurrency",
+                Json::obj(vec![
+                    ("locks", Json::from(self.lock_graph.locks.len())),
+                    (
+                        "lock_edges",
+                        Json::Arr(
+                            self.lock_graph
+                                .edges
+                                .keys()
+                                .map(|(o, i)| Json::from(format!("{o} -> {i}").as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    ("atomic_sites", Json::from(self.atomic_sites.len())),
+                    (
+                        "relaxed_sites",
+                        Json::from(self.atomic_sites.iter().filter(|s| s.relaxed).count()),
+                    ),
+                    ("condvar_waits", Json::from(self.condvar_summary.waits)),
+                    ("condvar_notifies", Json::from(self.condvar_summary.notifies)),
+                    ("guarded_mutations", Json::from(self.condvar_summary.guarded_mutations)),
+                ]),
             ),
             (
                 "transform_bounds",
@@ -95,7 +142,7 @@ impl Analysis {
     }
 }
 
-/// Run all three passes over the workspace at `opts.root`.
+/// Run all five passes over the workspace at `opts.root`.
 pub fn analyze_workspace(opts: &Options) -> io::Result<Analysis> {
     let snapshot_path = opts.root.join(SNAPSHOT_REL_PATH);
     let mut findings = Vec::new();
@@ -121,7 +168,26 @@ pub fn analyze_workspace(opts: &Options) -> io::Result<Analysis> {
     let files = scan_sources(&opts.root)?;
     findings.extend(unsafe_audit::audit_unsafe(&files));
     findings.extend(unsafe_audit::audit_forbid(&files));
-    findings.extend(atomics::lint_atomics(&files));
+    let (atomic_findings, atomic_sites) = atomics::lint_atomics_classified(&files);
+    findings.extend(atomic_findings);
+
+    // Pass 4 — lock order + snapshot.
+    let lock_snapshot_path = opts.root.join(LOCK_SNAPSHOT_REL_PATH);
+    let (lock_findings, lock_graph) = if opts.fix_snapshot {
+        let (mut f, graph) = lockorder::run(&files, None, LOCK_SNAPSHOT_REL_PATH);
+        f.retain(|x| !x.message.contains("snapshot"));
+        fs::write(&lock_snapshot_path, lockorder::render_snapshot(&graph))?;
+        snapshot_written = true;
+        (f, graph)
+    } else {
+        let committed = fs::read_to_string(&lock_snapshot_path).ok();
+        lockorder::run(&files, committed.as_deref(), LOCK_SNAPSHOT_REL_PATH)
+    };
+    findings.extend(lock_findings);
+
+    // Pass 5 — condvar discipline.
+    let (cv_findings, condvar_summary) = condvar::lint_condvars(&files);
+    findings.extend(cv_findings);
 
     // Deterministic report order: pass, then file, then line.
     findings.sort_by(|a, b| (a.pass.code(), &a.file, a.line).cmp(&(b.pass.code(), &b.file, b.line)));
@@ -132,6 +198,9 @@ pub fn analyze_workspace(opts: &Options) -> io::Result<Analysis> {
         files_scanned: files.len(),
         pairs_verified,
         snapshot_written,
+        lock_graph,
+        atomic_sites,
+        condvar_summary,
     })
 }
 

@@ -1,0 +1,470 @@
+//! Pass 4 — static lock-order analysis for the serving-stack crates.
+//!
+//! Scans `crates/{serve,parallel,obs}` production code for `Mutex`
+//! acquisition sites (`.lock()`), tracks which guards are still live when
+//! each acquisition happens (a purely lexical scope walk: `let`-bound
+//! guards die when their block closes or they are `drop`ped, temporaries
+//! at the end of their statement), and builds the static nesting graph
+//! `outer → inner`. The pass then enforces three rules:
+//!
+//! 1. **No cycles** (and no re-entrant acquisition of a lock already
+//!    held) — a cycle in the static graph is a latent deadlock.
+//! 2. **Every multi-lock site is annotated** — an acquisition made while
+//!    another guard is live must carry a `// LOCK ORDER:` comment (within
+//!    [`crate::unsafe_audit::DOC_WINDOW`] code lines) naming both the held
+//!    and the acquired lock, so the nesting is a reviewed decision rather
+//!    than an accident.
+//! 3. **The total order is committed** — the graph is rendered to
+//!    `crates/analyzer/lock_order.snap` (topological order plus the edge
+//!    list) and diffed against the committed snapshot, exactly like the
+//!    transform-bounds snapshot: a new lock or a new nesting edge changes
+//!    the file and must be re-committed via `--fix-snapshot`.
+//!
+//! Lock identity is `crate::field` (the identifier preceding `.lock()`),
+//! which is unambiguous in this workspace (e.g. `serve::state` vs
+//! `parallel::state`). The walk is line-oriented — rustfmt at
+//! `max_width = 120` keeps every acquisition statement on one line — and
+//! deliberately over-approximates liveness (an `if`-condition temporary is
+//! held through the `if` body), which can only add edges, never hide one.
+
+use crate::diag::{Finding, Pass};
+use crate::scan::{documented, is_test_path, justification, production_len, ScannedFile};
+use crate::unsafe_audit::DOC_WINDOW;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose synchronization protocols the concurrency passes govern.
+pub const SCOPE_PREFIXES: &[&str] = &["crates/serve/", "crates/parallel/", "crates/obs/"];
+
+/// True for production files the concurrency passes analyze.
+pub fn in_scope(rel_path: &str) -> bool {
+    !is_test_path(rel_path) && SCOPE_PREFIXES.iter().any(|p| rel_path.starts_with(p))
+}
+
+/// The crate a workspace-relative path belongs to (`crates/serve/…` →
+/// `serve`), or `root` for the top-level package.
+pub fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("root")
+    } else {
+        "root"
+    }
+}
+
+/// One `.lock()` acquisition site.
+#[derive(Clone, Debug)]
+pub struct LockSite {
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    /// Qualified `crate::field` identity of the acquired lock.
+    pub lock: String,
+    /// Locks whose guards are live at this acquisition (outer locks).
+    pub held: Vec<String>,
+}
+
+/// The static nesting graph: all locks seen, and `outer → inner` edges
+/// mapped to the first site exhibiting them.
+#[derive(Clone, Debug, Default)]
+pub struct LockGraph {
+    pub locks: BTreeSet<String>,
+    pub edges: BTreeMap<(String, String), (String, usize)>,
+}
+
+impl LockGraph {
+    /// Total order: Kahn's topological sort, smallest name first among the
+    /// ready set, so the committed order is deterministic. Locks caught in
+    /// a cycle (if any — that's a finding) are appended alphabetically so
+    /// the render stays total.
+    pub fn total_order(&self) -> Vec<String> {
+        let mut remaining: BTreeSet<&str> = self.locks.iter().map(String::as_str).collect();
+        let mut order = Vec::new();
+        loop {
+            // Ready = no incoming edge from a still-remaining lock.
+            let next = remaining
+                .iter()
+                .copied()
+                .find(|l| {
+                    !self
+                        .edges
+                        .keys()
+                        .any(|(o, i)| i.as_str() == *l && remaining.contains(o.as_str()))
+                })
+                .map(str::to_string);
+            match next {
+                Some(l) => {
+                    remaining.remove(l.as_str());
+                    order.push(l);
+                }
+                None => break,
+            }
+        }
+        // Cyclic leftovers, alphabetical (BTreeSet iteration order).
+        order.extend(remaining.iter().map(|l| l.to_string()));
+        order
+    }
+
+    /// Locks on at least one cycle: iteratively trim sources and sinks
+    /// (relative to the remaining set); what survives is the union of the
+    /// graph's cycles.
+    pub fn cyclic_locks(&self) -> BTreeSet<String> {
+        let mut remaining: BTreeSet<&str> = self.locks.iter().map(String::as_str).collect();
+        loop {
+            let trim: Vec<&str> = remaining
+                .iter()
+                .copied()
+                .filter(|l| {
+                    let has_in = self
+                        .edges
+                        .keys()
+                        .any(|(o, i)| i.as_str() == *l && remaining.contains(o.as_str()));
+                    let has_out = self
+                        .edges
+                        .keys()
+                        .any(|(o, i)| o.as_str() == *l && remaining.contains(i.as_str()));
+                    !(has_in && has_out)
+                })
+                .collect();
+            if trim.is_empty() {
+                break;
+            }
+            for l in trim {
+                remaining.remove(l);
+            }
+        }
+        remaining.iter().map(|l| l.to_string()).collect()
+    }
+}
+
+/// A live guard during the scope walk.
+struct Guard {
+    lock: String,
+    /// Brace depth at the acquisition.
+    depth: usize,
+    /// `let`-binding name; `None` for a statement temporary.
+    name: Option<String>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// The `let`-binding name a line introduces, if any (`let mut st = …` →
+/// `st`).
+fn let_binding(code: &str) -> Option<String> {
+    let rest = code.trim_start().strip_prefix("let ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest.find(|c: char| !is_ident(c)).unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(rest[..end].to_string())
+    }
+}
+
+/// Collect every acquisition site and the nesting graph from the in-scope
+/// production code.
+pub fn collect(files: &[ScannedFile]) -> (Vec<LockSite>, LockGraph) {
+    let mut sites = Vec::new();
+    let mut graph = LockGraph::default();
+    for file in files {
+        if !in_scope(&file.rel_path) {
+            continue;
+        }
+        let krate = crate_of(&file.rel_path).to_string();
+        let n = production_len(&file.lines);
+        let mut depth = 0usize;
+        let mut guards: Vec<Guard> = Vec::new();
+        for (idx, line) in file.lines[..n].iter().enumerate() {
+            let code = &line.code;
+            let let_name = let_binding(code);
+            let mut first_acq = true;
+            let bytes = code.as_bytes();
+            let mut i = 0usize;
+            while i < bytes.len() {
+                if code[i..].starts_with(".lock()") {
+                    if let Some(name) = crate::scan::ident_before(code, i) {
+                        let lock = format!("{krate}::{name}");
+                        let mut held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                        held.sort();
+                        held.dedup();
+                        for outer in &held {
+                            graph
+                                .edges
+                                .entry((outer.clone(), lock.clone()))
+                                .or_insert_with(|| (file.rel_path.clone(), idx + 1));
+                        }
+                        graph.locks.insert(lock.clone());
+                        sites.push(LockSite {
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            lock: lock.clone(),
+                            held,
+                        });
+                        guards.push(Guard {
+                            lock,
+                            depth,
+                            name: if first_acq { let_name.clone() } else { None },
+                        });
+                        first_acq = false;
+                    }
+                    i += ".lock()".len();
+                    continue;
+                }
+                if code[i..].starts_with("drop(") && (i == 0 || !is_ident(bytes[i - 1] as char)) {
+                    if let Some(dropped) = crate::scan::ident_after(code, i + "drop(".len()) {
+                        guards.retain(|g| g.name.as_deref() != Some(dropped.as_str()));
+                    }
+                }
+                match bytes[i] as char {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        // Named guards die when their block closes;
+                        // temporaries also die when a block at their own
+                        // depth closes (end of a `for`/`if` statement whose
+                        // header created them).
+                        guards.retain(|g| {
+                            if g.name.is_some() {
+                                g.depth <= depth
+                            } else {
+                                g.depth < depth
+                            }
+                        });
+                    }
+                    ';' => guards.retain(|g| g.name.is_some() || g.depth < depth),
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    (sites, graph)
+}
+
+/// Render the committed snapshot: the total order, then the edge list.
+pub fn render_snapshot(graph: &LockGraph) -> String {
+    let mut out = String::new();
+    out.push_str("# iwino-analyze lock-order snapshot.\n");
+    out.push_str("# Committed total order of the serving-stack locks (crates/serve,\n");
+    out.push_str("# crates/parallel, crates/obs) and the static nesting edges observed.\n");
+    out.push_str("# Regenerate: cargo run -p analyzer -- --workspace --fix-snapshot\n");
+    for lock in graph.total_order() {
+        out.push_str(&format!("order {lock}\n"));
+    }
+    for ((outer, inner), (file, line)) in &graph.edges {
+        out.push_str(&format!("edge {outer} -> {inner}  # first seen {file}:{line}\n"));
+    }
+    out
+}
+
+/// Run the pass: site/annotation/cycle findings plus the snapshot diff
+/// against `committed` (reported under `snap_rel_path`, mirroring the
+/// transform-bounds snapshot workflow).
+pub fn run(files: &[ScannedFile], committed: Option<&str>, snap_rel_path: &str) -> (Vec<Finding>, LockGraph) {
+    let (sites, graph) = collect(files);
+    let mut findings = Vec::new();
+
+    // Rule 2: annotated multi-lock sites.
+    let by_file: BTreeMap<&str, &ScannedFile> = files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    for site in &sites {
+        if site.held.is_empty() {
+            continue;
+        }
+        if site.held.contains(&site.lock) {
+            findings.push(Finding::new(
+                Pass::LockOrder,
+                &site.file,
+                site.line,
+                format!(
+                    "re-entrant acquisition: `{}` is locked while its own guard is live",
+                    site.lock
+                ),
+            ));
+            continue;
+        }
+        let file = by_file[site.file.as_str()];
+        let idx = site.line - 1;
+        let annotated = documented(&file.lines, idx, "LOCK ORDER:", DOC_WINDOW)
+            && justification(&file.lines, idx, "LOCK ORDER:", DOC_WINDOW)
+                .map(|(_, text)| text.contains(&site.lock) && site.held.iter().all(|h| text.contains(h)))
+                .unwrap_or(false);
+        if !annotated {
+            findings.push(Finding::new(
+                Pass::LockOrder,
+                &site.file,
+                site.line,
+                format!(
+                    "`{}` acquired while holding {} without a `// LOCK ORDER:` comment naming both locks \
+                     (within {DOC_WINDOW} lines)",
+                    site.lock,
+                    site.held.join(", "),
+                ),
+            ));
+        }
+    }
+
+    // Rule 1: no cycles.
+    let cyclic = graph.cyclic_locks();
+    if !cyclic.is_empty() {
+        let involved: Vec<&String> = cyclic.iter().collect();
+        let anchor = graph
+            .edges
+            .iter()
+            .find(|((o, i), _)| cyclic.contains(o) && cyclic.contains(i))
+            .map(|(_, (f, l))| (f.clone(), *l))
+            .unwrap_or_default();
+        findings.push(Finding::new(
+            Pass::LockOrder,
+            anchor.0,
+            anchor.1,
+            format!(
+                "lock-order cycle among {{{}}} — the static nesting graph must stay acyclic",
+                involved.iter().map(|l| l.as_str()).collect::<Vec<_>>().join(", "),
+            ),
+        ));
+    }
+
+    // Rule 3: snapshot diff.
+    let generated = render_snapshot(&graph);
+    match committed {
+        None => findings.push(Finding::new(
+            Pass::LockOrder,
+            snap_rel_path,
+            0,
+            "lock-order snapshot missing; run with --fix-snapshot to create it",
+        )),
+        Some(committed) if committed != generated => {
+            let diff_line = committed
+                .lines()
+                .zip(generated.lines())
+                .position(|(a, b)| a != b)
+                .map(|p| p + 1)
+                .unwrap_or_else(|| committed.lines().count().min(generated.lines().count()) + 1);
+            let got = generated.lines().nth(diff_line - 1).unwrap_or("<end of file>");
+            let want = committed.lines().nth(diff_line - 1).unwrap_or("<end of file>");
+            findings.push(Finding::new(
+                Pass::LockOrder,
+                snap_rel_path,
+                diff_line,
+                format!(
+                    "lock-order snapshot is stale: committed `{want}` vs generated `{got}`; \
+                     review the new nesting and run --fix-snapshot"
+                ),
+            ));
+        }
+        Some(_) => {}
+    }
+
+    (findings, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_str;
+
+    fn file(rel_path: &str, src: &str) -> ScannedFile {
+        ScannedFile {
+            rel_path: rel_path.to_string(),
+            lines: scan_str(src),
+        }
+    }
+
+    #[test]
+    fn single_locks_have_no_edges() {
+        let f = file(
+            "crates/serve/src/x.rs",
+            "fn a(&self) {\n    let st = self.state.lock().unwrap();\n    drop(st);\n    let q = self.queue.lock().unwrap();\n}\n",
+        );
+        let (sites, graph) = collect(&[f]);
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(|s| s.held.is_empty()));
+        assert!(graph.edges.is_empty());
+        assert_eq!(graph.locks.len(), 2);
+    }
+
+    #[test]
+    fn nesting_produces_edge_and_requires_comment() {
+        let src = "fn a(&self) {\n    let a = self.alpha.lock().unwrap();\n    let b = self.beta.lock().unwrap();\n}\n";
+        let f = file("crates/serve/src/x.rs", src);
+        let (findings, graph) = run(&[f], None, "lock_order.snap");
+        assert!(graph.edges.contains_key(&("serve::alpha".into(), "serve::beta".into())));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.line == 3 && f.message.contains("LOCK ORDER:")),
+            "{findings:?}"
+        );
+        // Annotated twin is clean (modulo the missing snapshot).
+        let src = "fn a(&self) {\n    let a = self.alpha.lock().unwrap();\n    // LOCK ORDER: serve::alpha -> serve::beta.\n    let b = self.beta.lock().unwrap();\n}\n";
+        let f = file("crates/serve/src/x.rs", src);
+        let (findings, _) = run(&[f], None, "lock_order.snap");
+        assert!(
+            findings.iter().all(|f| !f.message.contains("LOCK ORDER:")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        let src = "fn a(&self) {\n    {\n        let a = self.alpha.lock().unwrap();\n    }\n    let b = self.beta.lock().unwrap();\n}\n";
+        let f = file("crates/serve/src/x.rs", src);
+        let (sites, graph) = collect(&[f]);
+        assert!(sites.iter().all(|s| s.held.is_empty()), "{sites:?}");
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_with_its_statement() {
+        let src = "fn a(&self) {\n    self.alpha.lock().unwrap().bump();\n    let b = self.beta.lock().unwrap();\n}\n";
+        let f = file("crates/serve/src/x.rs", src);
+        let (sites, _) = collect(&[f]);
+        assert!(sites.iter().all(|s| s.held.is_empty()), "{sites:?}");
+        // …but a `for`-header temporary is held through the body.
+        let src = "fn a(&self) {\n    for x in self.alpha.lock().unwrap().iter() {\n        let b = self.beta.lock().unwrap();\n    }\n    let c = self.gamma.lock().unwrap();\n}\n";
+        let f = file("crates/serve/src/x.rs", src);
+        let (sites, _) = collect(&[f]);
+        assert_eq!(sites[1].held, vec!["serve::alpha".to_string()]);
+        assert!(sites[2].held.is_empty(), "for-temporary must die at the loop close");
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let src = "fn a(&self) {\n    let a = self.alpha.lock().unwrap();\n    // LOCK ORDER: serve::alpha -> serve::beta.\n    let b = self.beta.lock().unwrap();\n}\nfn b(&self) {\n    let b = self.beta.lock().unwrap();\n    // LOCK ORDER: serve::beta -> serve::alpha.\n    let a = self.alpha.lock().unwrap();\n}\n";
+        let f = file("crates/serve/src/x.rs", src);
+        let (findings, graph) = run(&[f], None, "lock_order.snap");
+        assert_eq!(graph.cyclic_locks().len(), 2);
+        assert!(findings.iter().any(|f| f.message.contains("cycle")), "{findings:?}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_staleness() {
+        let src = "fn a(&self) {\n    let a = self.alpha.lock().unwrap();\n    // LOCK ORDER: serve::alpha -> serve::beta.\n    let b = self.beta.lock().unwrap();\n}\n";
+        let f = file("crates/serve/src/x.rs", src);
+        let (_, graph) = collect(std::slice::from_ref(&f));
+        let snap = render_snapshot(&graph);
+        let (findings, _) = run(std::slice::from_ref(&f), Some(&snap), "lock_order.snap");
+        assert!(findings.is_empty(), "{findings:?}");
+        let tampered = snap.replace("order serve::alpha", "order serve::omega");
+        let (findings, _) = run(&[f], Some(&tampered), "lock_order.snap");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn tests_and_other_crates_are_out_of_scope() {
+        let t = file(
+            "crates/serve/tests/net.rs",
+            "fn a() { let a = X.lock().unwrap(); let b = Y.lock().unwrap(); }\n",
+        );
+        let e = file(
+            "crates/engine/src/lib.rs",
+            "fn a() { let a = X.lock().unwrap(); let b = Y.lock().unwrap(); }\n",
+        );
+        let (sites, graph) = collect(&[t, e]);
+        assert!(sites.is_empty());
+        assert!(graph.locks.is_empty());
+    }
+}

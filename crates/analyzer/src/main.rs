@@ -4,7 +4,7 @@
 
 #![forbid(unsafe_code)]
 
-use analyzer::{analyze_workspace, Options, SNAPSHOT_REL_PATH};
+use analyzer::{analyze_workspace, Options, LOCK_SNAPSHOT_REL_PATH, SNAPSHOT_REL_PATH};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -71,7 +71,7 @@ fn main() -> ExitCode {
     };
 
     if analysis.snapshot_written {
-        eprintln!("analyzer: wrote {SNAPSHOT_REL_PATH}");
+        eprintln!("analyzer: wrote {SNAPSHOT_REL_PATH} and {LOCK_SNAPSHOT_REL_PATH}");
     }
 
     for finding in &analysis.findings {

@@ -219,6 +219,179 @@ pub fn documented(lines: &[SourceLine], idx: usize, marker: &str, window: usize)
     false
 }
 
+/// A function body span: `open` is the line of the opening brace, `close`
+/// the line of its matching close (0-based, inclusive). Spans nest for
+/// nested `fn` items; closures do not open a span (they belong to their
+/// enclosing function, which is the right scope for justification rules).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FnSpan {
+    pub open: usize,
+    pub close: usize,
+}
+
+/// Extract every `fn` body span from the code text of `lines`. Purely
+/// lexical: the `fn` keyword arms the next `{` (a `;` before it disarms,
+/// so trait-method declarations without bodies don't capture the following
+/// item's brace).
+pub fn fn_spans(lines: &[SourceLine]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    // Stack of (depth-at-open, open-line) for braces that opened fn bodies.
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut armed = false;
+    for (ln, line) in lines.iter().enumerate() {
+        let mut word = String::new();
+        for c in line.code.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                continue;
+            }
+            if word == "fn" {
+                armed = true;
+            }
+            word.clear();
+            match c {
+                ';' => armed = false,
+                '{' => {
+                    if armed {
+                        fn_stack.push((depth, ln));
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(&(d, open)) = fn_stack.last() {
+                        if d == depth {
+                            fn_stack.pop();
+                            spans.push(FnSpan { open, close: ln });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if word == "fn" {
+            armed = true;
+        }
+    }
+    spans.sort_by_key(|s| (s.open, s.close));
+    spans
+}
+
+/// The innermost function span containing line `idx`, if any.
+pub fn innermost_fn(spans: &[FnSpan], idx: usize) -> Option<FnSpan> {
+    spans
+        .iter()
+        .filter(|s| s.open <= idx && idx <= s.close)
+        .min_by_key(|s| s.close - s.open)
+        .copied()
+}
+
+/// The justification text attached to a `marker` covering line `idx`, if
+/// any: the marker line's comment from the marker onward, plus the comment
+/// text of the immediately following code-free comment lines (a multi-line
+/// justification block). Same search discipline as [`documented`].
+pub fn justification(lines: &[SourceLine], idx: usize, marker: &str, window: usize) -> Option<(usize, String)> {
+    let start = marker_line(lines, idx, marker, window)?;
+    let mut text = lines[start].comment[lines[start].comment.find(marker)? + marker.len()..].to_string();
+    // The continuation block: comment-only lines directly below the marker
+    // (the first code line — at latest the site itself — ends it).
+    for line in lines.iter().skip(start + 1) {
+        if !line.code.trim().is_empty() || line.comment.is_empty() {
+            break;
+        }
+        text.push(' ');
+        text.push_str(&line.comment);
+    }
+    Some((start, text))
+}
+
+/// The line where the `marker` covering site `idx` lives (same rules as
+/// [`documented`]): `idx` itself, or an earlier line within `window`
+/// preceding code lines.
+pub fn marker_line(lines: &[SourceLine], idx: usize, marker: &str, window: usize) -> Option<usize> {
+    if lines[idx].comment.contains(marker) {
+        return Some(idx);
+    }
+    let mut budget = window;
+    for (k, line) in lines[..idx].iter().enumerate().rev() {
+        if line.comment.contains(marker) {
+            return Some(k);
+        }
+        if !line.code.trim().is_empty() {
+            budget -= 1;
+            if budget == 0 {
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Path components that mark a file as test/bench/example code, exempt
+/// from the production-code-only lints.
+pub const TEST_DIRS: &[&str] = &["tests", "benches", "examples"];
+
+/// True for files under a [`TEST_DIRS`] directory component.
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path.split('/').any(|part| TEST_DIRS.contains(&part))
+}
+
+/// Number of leading production-code lines: everything at or below the
+/// first `#[cfg(test)]` line is test code (workspace convention keeps the
+/// tests module at the end of the file; the heuristic can only under-lint
+/// test code, never skip production code).
+pub fn production_len(lines: &[SourceLine]) -> usize {
+    lines
+        .iter()
+        .position(|l| l.code.contains("#[cfg(test)]"))
+        .unwrap_or(lines.len())
+}
+
+/// The identifier immediately preceding byte offset `pos` in `code`, with
+/// one trailing `()` call stripped — so for `shared.state.lock()` at the
+/// offset of `.lock()` this yields `state`, and for `trace_registry().lock()`
+/// it yields `trace_registry`.
+pub fn ident_before(code: &str, pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    if end >= 2 && &bytes[end - 2..end] == b"()" {
+        end -= 2;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    if start == end || bytes[start].is_ascii_digit() {
+        None
+    } else {
+        Some(code[start..end].to_string())
+    }
+}
+
+/// The first identifier at or after byte offset `pos` in `code`, skipping
+/// whitespace, `&` and the `mut` keyword — used to read the guard argument
+/// out of `cv.wait(guard)`.
+pub fn ident_after(code: &str, pos: usize) -> Option<String> {
+    let mut rest = code.get(pos..)?.trim_start();
+    loop {
+        if let Some(r) = rest.strip_prefix('&') {
+            rest = r.trim_start();
+        } else if let Some(r) = rest.strip_prefix("mut ") {
+            rest = r.trim_start();
+        } else {
+            break;
+        }
+    }
+    let end = rest.find(|c: char| !is_ident_char(c)).unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(rest[..end].to_string())
+    }
+}
+
 /// Directories never scanned, by path component: build output, the
 /// offline vendored crates (they mirror upstream APIs, not our rules) and
 /// deliberately-broken analyzer test fixtures.

@@ -1,0 +1,23 @@
+// Fixture: a Condvar::wait outside any predicate loop — the classic
+// spurious-wakeup / missed-wakeup shape the condvar pass must flag.
+
+struct S {
+    ready: std::sync::Condvar,
+    state: std::sync::Mutex<bool>,
+}
+
+impl S {
+    fn consume(&self) -> bool {
+        let guard = self.state.lock().unwrap();
+        // A single un-looped wait: a spurious wakeup (or a notify that
+        // raced ahead of this wait) returns with the predicate unchecked.
+        let guard = self.ready.wait(guard).unwrap();
+        *guard
+    }
+
+    fn produce(&self) {
+        let mut guard = self.state.lock().unwrap();
+        *guard = true;
+        self.ready.notify_one();
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders — a latent AB/BA deadlock the lock-order pass must flag as a
+// cycle even though both sites carry LOCK ORDER comments.
+
+struct S {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let a = self.alpha.lock().unwrap();
+        // LOCK ORDER: serve::alpha -> serve::beta.
+        let b = self.beta.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    fn ba(&self) {
+        let b = self.beta.lock().unwrap();
+        // LOCK ORDER: serve::beta -> serve::alpha.
+        let a = self.alpha.lock().unwrap();
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: an ORDERING justification that *claims* a cross-thread
+// handoff but uses Relaxed — the pairing it names cannot exist, so the
+// atomics pass must flag the site.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static READY: AtomicBool = AtomicBool::new(false);
+
+fn publish() {
+    // ORDERING: Relaxed — [handoff] hands off the filled buffer to the
+    // consumer thread once it observes the flag.
+    READY.store(true, Ordering::Relaxed);
+}
+
+fn consume() -> bool {
+    // ORDERING: Relaxed — [handoff] pairs with the store in `publish`.
+    READY.load(Ordering::Relaxed)
+}

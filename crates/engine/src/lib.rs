@@ -142,7 +142,9 @@ impl Handle {
     /// plans built from the old values stop being served (their keys carry
     /// the old epoch and age out of the LRU).
     pub fn invalidate(&self) {
-        // ORDERING: Relaxed — see [`Handle::filter_id`].
+        // ORDERING: Relaxed — monotonic generation counter; readers order
+        // it in program order or across a join barrier (see
+        // [`Handle::filter_id`]).
         self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -1,0 +1,176 @@
+//! Schedule exploration: exhaustive DFS over choice sequences (up to a
+//! depth bound) and seeded randomized sampling.
+//!
+//! An execution is a pure function of its choice sequence (see
+//! [`crate::sched::run_model`]), so exploration is search over sequences:
+//!
+//! - **Exhaustive**: depth-first with forced-prefix replay. Each run
+//!   records `(chosen, options)` at every decision point; backtracking
+//!   increments the deepest incrementable choice and truncates. Decision
+//!   points past `max_depth` always take choice 0 and record a single
+//!   option, so the tree is exhausted *up to the depth bound*. Every
+//!   schedule visited is distinct by construction.
+//! - **Random**: one xorshift64\* stream per execution, derived from the
+//!   base seed and the execution index — re-running with the same seed
+//!   reproduces the exact schedule set. Distinct schedules are counted
+//!   via the recorded choice vectors.
+//!
+//! Exploration stops at the first failing schedule (the choice vector in
+//! [`Failure::schedule`] replays it deterministically) or when the budget
+//! is spent.
+
+use crate::sched::{run_model, Ctrl, ModelInstance, Outcome};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A failing schedule: the chooser picks that reproduce it, plus the
+/// assertion or deadlock message.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub schedule: Vec<usize>,
+    pub message: String,
+}
+
+/// Exploration summary.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions run.
+    pub schedules: u64,
+    /// Distinct choice sequences among them (== `schedules` for
+    /// exhaustive exploration).
+    pub distinct: u64,
+    /// Exhaustive only: the whole depth-bounded tree was covered within
+    /// the schedule budget.
+    pub exhausted: bool,
+    pub failure: Option<Failure>,
+}
+
+/// A model: builds a fresh [`ModelInstance`] per execution.
+pub type Builder = dyn Fn(&Arc<Ctrl>) -> ModelInstance;
+
+fn failure_of(outcome: Outcome, schedule: Vec<usize>) -> Option<Failure> {
+    match outcome {
+        Outcome::Ok => None,
+        Outcome::Failure(message) | Outcome::Deadlock(message) => Some(Failure { schedule, message }),
+    }
+}
+
+/// Exhaustively explore choice sequences up to `max_depth` decision
+/// points, running at most `max_schedules` executions.
+pub fn run_exhaustive(build: &Builder, max_depth: usize, max_schedules: u64) -> Report {
+    let mut forced: Vec<(usize, usize)> = Vec::new();
+    let mut schedules = 0u64;
+    loop {
+        let mut recorded: Vec<(usize, usize)> = Vec::new();
+        let outcome = run_model(build, &mut |n| {
+            let depth = recorded.len();
+            let k = if depth < forced.len() {
+                forced[depth].0.min(n - 1)
+            } else {
+                0
+            };
+            // Past the depth bound the walk is deterministic: record a
+            // single option so backtracking never branches there.
+            let options = if depth >= max_depth { 1 } else { n };
+            recorded.push((k, options));
+            k
+        });
+        schedules += 1;
+        if let Some(failure) = failure_of(outcome, recorded.iter().map(|(k, _)| *k).collect()) {
+            return Report {
+                schedules,
+                distinct: schedules,
+                exhausted: false,
+                failure: Some(failure),
+            };
+        }
+        if schedules >= max_schedules {
+            return Report {
+                schedules,
+                distinct: schedules,
+                exhausted: false,
+                failure: None,
+            };
+        }
+        // Backtrack: bump the deepest incrementable choice.
+        forced = recorded;
+        loop {
+            match forced.last_mut() {
+                None => {
+                    return Report {
+                        schedules,
+                        distinct: schedules,
+                        exhausted: true,
+                        failure: None,
+                    }
+                }
+                Some(top) if top.0 + 1 < top.1 => {
+                    top.0 += 1;
+                    break;
+                }
+                Some(_) => {
+                    forced.pop();
+                }
+            }
+        }
+    }
+}
+
+fn xorshift64(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Run `schedules` executions with seeded-random choices, counting
+/// distinct choice sequences.
+pub fn run_random(build: &Builder, seed: u64, schedules: u64, max_depth: usize) -> Report {
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    for i in 0..schedules {
+        let mut s = seed ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        if s == 0 {
+            s = 0x9e37_79b9_7f4a_7c15;
+        }
+        let mut recorded: Vec<usize> = Vec::new();
+        let outcome = run_model(build, &mut |n| {
+            // Deterministic tail past the depth bound, as in exhaustive.
+            let k = if recorded.len() >= max_depth {
+                0
+            } else {
+                (xorshift64(&mut s) % n as u64) as usize
+            };
+            recorded.push(k);
+            k
+        });
+        if let Some(failure) = failure_of(outcome, recorded.clone()) {
+            seen.insert(recorded);
+            return Report {
+                schedules: i + 1,
+                distinct: seen.len() as u64,
+                exhausted: false,
+                failure: Some(failure),
+            };
+        }
+        seen.insert(recorded);
+    }
+    Report {
+        schedules,
+        distinct: seen.len() as u64,
+        exhausted: false,
+        failure: None,
+    }
+}
+
+/// Replay one specific schedule (a [`Failure::schedule`] vector); picks
+/// past the vector's end take choice 0.
+pub fn replay(build: &Builder, schedule: &[usize]) -> Outcome {
+    let mut pos = 0usize;
+    run_model(build, &mut |n| {
+        let k = schedule.get(pos).copied().unwrap_or(0).min(n - 1);
+        pos += 1;
+        k
+    })
+}

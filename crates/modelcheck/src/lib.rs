@@ -1,0 +1,43 @@
+//! `modelcheck` — a loom-lite deterministic interleaving model checker.
+//!
+//! The static concurrency passes in `crates/analyzer` prove *shape*
+//! properties of the serving stack (lock order acyclic, waits re-check
+//! predicates, orderings classified); this crate is their dynamic
+//! complement. Protocol kernels extracted from `crates/serve` — the
+//! ticket `slot`/`ready` handoff and the coalescer `wake`/shutdown drain
+//! loop — are rebuilt on *shim* primitives ([`sync::McMutex`],
+//! [`sync::McCondvar`], [`sync::McAtomic`]) whose every visible operation
+//! yields to a cooperative [scheduler](sched). The scheduler runs the
+//! model threads one at a time and picks which thread proceeds at each
+//! decision point, so an execution is a pure function of its choice
+//! sequence — and the [explorer](explore) can enumerate choice sequences
+//! exhaustively up to a depth bound, or sample them with a seeded RNG,
+//! while asserting the protocol's invariants (exactly-once resolution, no
+//! lost wakeups) in every schedule.
+//!
+//! What the shims model — and deliberately do not:
+//!
+//! - `McCondvar::wait` atomically releases the mutex and enqueues the
+//!   waiter; a notify with no waiter enqueued is **lost**, exactly like a
+//!   real condvar. There are **no spurious wakeups** — a woken thread was
+//!   notified. (Spurious wakeups only *weaken* the schedules a bug needs,
+//!   so their absence cannot hide a lost-wakeup bug; it just means a bare
+//!   `wait` without a loop is not flagged dynamically — that is the
+//!   static pass's job.)
+//! - `McAtomic` is sequentially consistent (a plain value under the
+//!   scheduler). Weak-memory reorderings are out of scope; the checker
+//!   explores *interleavings*, not memory models — the static atomics
+//!   pass owns ordering-strength claims.
+//! - A state where no thread is runnable but some are blocked is reported
+//!   as a deadlock; for these models that is precisely the missed-wakeup
+//!   shape ([`models::buggy_notify`] seeds one and must be caught).
+//!
+//! Everything is safe Rust: the shims wrap `std::sync` primitives for
+//! storage and rely on the scheduler (not `unsafe`) for exclusivity.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod models;
+pub mod sched;
+pub mod sync;

@@ -1,0 +1,252 @@
+//! Protocol models extracted from `crates/serve/src/server.rs`, rebuilt
+//! on the shim primitives, plus a seeded-bug model the checker must
+//! catch.
+//!
+//! Each model is a [`Builder`]-shaped function: it creates fresh shims on
+//! the execution's [`Ctrl`], returns the concurrent thread bodies, and a
+//! finale closure holding the whole-execution assertions (run
+//! single-threaded after every thread joins).
+
+use crate::explore::Builder;
+use crate::sched::{Ctrl, ModelInstance};
+use crate::sync::{McAtomic, McCondvar, McMutex};
+use std::sync::Arc;
+
+/// The `Ticket` `slot`/`ready` handoff: a resolver publishes each answer
+/// into a one-shot `Mutex<Option<_>>` slot and notifies; the ticket
+/// holder takes it in a predicate loop (`Ticket::wait` in the serving
+/// stack). `pairs` independent tickets share one resolver thread.
+///
+/// Asserted in every schedule: each ticket is resolved exactly once, each
+/// waiter receives its value exactly once, and no waiter sleeps forever
+/// (a lost wakeup would surface as a deadlock).
+pub fn ticket_handoff(pairs: usize) -> Box<Builder> {
+    Box::new(move |ctrl: &Arc<Ctrl>| {
+        let slots: Vec<Arc<McMutex<Option<u64>>>> = (0..pairs).map(|_| Arc::new(McMutex::new(ctrl, None))).collect();
+        let readys: Vec<Arc<McCondvar>> = (0..pairs).map(|_| Arc::new(McCondvar::new(ctrl))).collect();
+        let resolved = Arc::new(McAtomic::new(ctrl, 0));
+        let received = Arc::new(McAtomic::new(ctrl, 0));
+
+        let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        // The resolver (the coalescer's role): fill each slot under its
+        // lock, notify under the same lock — the protocol the static
+        // passes hold the real code to.
+        {
+            let slots = slots.clone();
+            let readys = readys.clone();
+            let resolved = Arc::clone(&resolved);
+            threads.push(Box::new(move || {
+                for (slot, ready) in slots.iter().zip(&readys) {
+                    let mut g = slot.lock();
+                    assert!(g.is_none(), "ticket resolved twice");
+                    *g = Some(7);
+                    ready.notify_one();
+                    drop(g);
+                    resolved.fetch_add(1);
+                }
+            }));
+        }
+        // One waiter per ticket: `Ticket::wait`'s take-or-wait loop.
+        for (slot, ready) in slots.iter().zip(&readys) {
+            let slot = Arc::clone(slot);
+            let ready = Arc::clone(ready);
+            let received = Arc::clone(&received);
+            threads.push(Box::new(move || {
+                let mut g = slot.lock();
+                let v = loop {
+                    if let Some(v) = g.take() {
+                        break v;
+                    }
+                    g = ready.wait(g);
+                };
+                drop(g);
+                assert_eq!(v, 7, "handoff delivered the wrong value");
+                received.fetch_add(1);
+            }));
+        }
+
+        let finale = {
+            let slots = slots.clone();
+            Box::new(move || {
+                assert_eq!(resolved.load(), pairs as u64, "every ticket resolved exactly once");
+                assert_eq!(received.load(), pairs as u64, "every waiter received exactly once");
+                for slot in &slots {
+                    assert!(slot.lock().is_none(), "answers are consumed, not left behind");
+                }
+            })
+        };
+        ModelInstance { threads, finale }
+    })
+}
+
+/// Queue + shutdown flag behind the coalescer's single state mutex.
+struct DrainState {
+    queue: Vec<u64>,
+    shutdown: bool,
+    rejected: u64,
+}
+
+/// The coalescer `wake`/shutdown drain loop: submitters push under the
+/// state lock and notify; a shutdown thread raises the flag and
+/// `notify_all`s; the coalescer drains batches in a predicate loop and
+/// only returns once the queue is empty *and* shutdown is raised —
+/// `coalescer_loop` in the serving stack. Submissions that arrive after
+/// shutdown are rejected (the admission path's check).
+///
+/// Asserted in every schedule: `processed + rejected == submitted`, the
+/// queue is empty when the coalescer exits (no stranded requests), and
+/// the coalescer always exits (a lost shutdown or submit wakeup would
+/// deadlock).
+pub fn coalescer_drain(submitters: usize, items_each: usize, max_batch: usize) -> Box<Builder> {
+    Box::new(move |ctrl: &Arc<Ctrl>| {
+        let state = Arc::new(McMutex::new(
+            ctrl,
+            DrainState {
+                queue: Vec::new(),
+                shutdown: false,
+                rejected: 0,
+            },
+        ));
+        let wake = Arc::new(McCondvar::new(ctrl));
+        let processed = Arc::new(McAtomic::new(ctrl, 0));
+
+        let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for _ in 0..submitters {
+            let state = Arc::clone(&state);
+            let wake = Arc::clone(&wake);
+            threads.push(Box::new(move || {
+                for item in 0..items_each as u64 {
+                    let mut g = state.lock();
+                    if g.shutdown {
+                        g.rejected += 1;
+                    } else {
+                        g.queue.push(item);
+                        wake.notify_one();
+                    }
+                }
+            }));
+        }
+        {
+            let state = Arc::clone(&state);
+            let wake = Arc::clone(&wake);
+            threads.push(Box::new(move || {
+                let mut g = state.lock();
+                g.shutdown = true;
+                wake.notify_all();
+            }));
+        }
+        {
+            let state = Arc::clone(&state);
+            let wake = Arc::clone(&wake);
+            let processed = Arc::clone(&processed);
+            threads.push(Box::new(move || loop {
+                let batch = {
+                    let mut g = state.lock();
+                    loop {
+                        if !g.queue.is_empty() {
+                            let take = g.queue.len().min(max_batch);
+                            break g.queue.drain(..take).collect::<Vec<u64>>();
+                        }
+                        if g.shutdown {
+                            return;
+                        }
+                        g = wake.wait(g);
+                    }
+                };
+                for _item in batch {
+                    processed.fetch_add(1);
+                }
+            }));
+        }
+
+        let finale = Box::new(move || {
+            let g = state.lock();
+            let total = (submitters * items_each) as u64;
+            assert!(
+                g.queue.is_empty(),
+                "coalescer exited with requests stranded in the queue"
+            );
+            assert_eq!(
+                processed.load() + g.rejected,
+                total,
+                "every submitted request is processed or rejected exactly once"
+            );
+        });
+        ModelInstance { threads, finale }
+    })
+}
+
+/// Seeded bug: the producer mutates the waited-on predicate (an atomic
+/// flag) and notifies **without holding the mutex**. The consumer checks
+/// the predicate under the lock, but the producer's store+notify can land
+/// between that check and the wait — the notify finds no waiter enqueued
+/// and is lost, and the consumer sleeps forever. The checker must find a
+/// schedule that deadlocks.
+pub fn buggy_notify() -> Box<Builder> {
+    Box::new(move |ctrl: &Arc<Ctrl>| {
+        let m: Arc<McMutex<()>> = Arc::new(McMutex::new(ctrl, ()));
+        let cv = Arc::new(McCondvar::new(ctrl));
+        let flag = Arc::new(McAtomic::new(ctrl, 0));
+
+        let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        {
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            threads.push(Box::new(move || {
+                flag.store(1);
+                cv.notify_one();
+            }));
+        }
+        {
+            let m = Arc::clone(&m);
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            threads.push(Box::new(move || {
+                let mut g = m.lock();
+                while flag.load() == 0 {
+                    g = cv.wait(g);
+                }
+            }));
+        }
+        let finale = Box::new(move || assert_eq!(flag.load(), 1));
+        ModelInstance { threads, finale }
+    })
+}
+
+/// The corrected twin of [`buggy_notify`]: the producer stores and
+/// notifies under the mutex, closing the check-to-wait window. Every
+/// schedule must pass — the control that shows the checker flags the bug,
+/// not the protocol.
+pub fn correct_notify() -> Box<Builder> {
+    Box::new(move |ctrl: &Arc<Ctrl>| {
+        let m: Arc<McMutex<()>> = Arc::new(McMutex::new(ctrl, ()));
+        let cv = Arc::new(McCondvar::new(ctrl));
+        let flag = Arc::new(McAtomic::new(ctrl, 0));
+
+        let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        {
+            let m = Arc::clone(&m);
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            threads.push(Box::new(move || {
+                let g = m.lock();
+                flag.store(1);
+                cv.notify_one();
+                drop(g);
+            }));
+        }
+        {
+            let m = Arc::clone(&m);
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            threads.push(Box::new(move || {
+                let mut g = m.lock();
+                while flag.load() == 0 {
+                    g = cv.wait(g);
+                }
+            }));
+        }
+        let finale = Box::new(move || assert_eq!(flag.load(), 1));
+        ModelInstance { threads, finale }
+    })
+}

@@ -166,7 +166,8 @@ pub fn set_trace_ring_capacity(capacity: usize) {
 }
 
 pub fn trace_ring_capacity() -> usize {
-    // ORDERING: Relaxed — see [`set_trace_ring_capacity`].
+    // ORDERING: Relaxed — configuration load, the read side of
+    // [`set_trace_ring_capacity`].
     RING_CAPACITY.load(Ordering::Relaxed)
 }
 
@@ -299,6 +300,8 @@ pub fn export_chrome_trace() -> Json {
             ("tid", Json::from(ring.tid)),
             (
                 "args",
+                // LOCK ORDER: obs::trace_registry -> obs::label. Labels are
+                // per-ring leaves; nothing locks the registry under one.
                 Json::obj(vec![("name", Json::from(ring.label.lock().unwrap().as_str()))]),
             ),
         ]));

@@ -274,6 +274,9 @@ impl ThreadPool {
         });
         let job_start = Instant::now();
         {
+            // LOCK ORDER: parallel::submit_lock -> parallel::state. The
+            // submit lock serializes whole jobs; the state lock is only ever
+            // taken under it (or by workers holding nothing else).
             let mut st = self.shared.state.lock().unwrap();
             st.epoch += 1;
             st.job = Some(Arc::clone(&job));
@@ -288,6 +291,8 @@ impl ThreadPool {
         IN_WORKER.with(|f| f.set(was_worker));
         // Wait for the workers to drain the job.
         {
+            // LOCK ORDER: parallel::submit_lock -> parallel::state (same
+            // nesting as the publish block above).
             let mut st = self.shared.state.lock().unwrap();
             while st.running > 0 {
                 st = self.shared.job_done.wait(st).unwrap();
@@ -514,9 +519,13 @@ impl Flag {
         Flag(AtomicBool::new(false))
     }
     pub fn set(&self) {
+        // ORDERING: [handoff] the Release store pairs with the Acquire load
+        // in `get`, so writes sequenced before `set` are visible to a
+        // thread that observes the flag raised.
         self.0.store(true, Ordering::Release);
     }
     pub fn get(&self) -> bool {
+        // ORDERING: [handoff] Acquire side of the pairing in `set`.
         self.0.load(Ordering::Acquire)
     }
 }

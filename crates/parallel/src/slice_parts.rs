@@ -62,6 +62,10 @@ impl<'a, T> SliceParts<'a, T> {
     // shared reference is sound.
     #[allow(clippy::mut_from_ref)]
     pub fn take(&self, i: usize) -> &mut [T] {
+        // ORDERING: [handoff] AcqRel swap — the claim is a cross-thread
+        // ownership transfer of the chunk: Acquire orders the claiming
+        // thread's accesses after any prior (panicked) claimant's Release,
+        // and Release publishes the claim to later claim attempts.
         let was = self.claimed[i].swap(1, Ordering::AcqRel);
         assert_eq!(was, 0, "chunk {i} claimed twice");
         let start = i * self.chunk;

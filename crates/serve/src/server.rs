@@ -110,6 +110,9 @@ impl Ticket {
     pub fn wait(self) -> Result<Tensor4<f32>, ServeError> {
         let mut slot = self.shared.slot.lock().unwrap();
         loop {
+            // NO-NOTIFY: consumer-side take — the ticket holder is the only
+            // thread that ever sleeps on `ready`, so emptying the slot
+            // wakes nobody.
             if let Some(r) = slot.take() {
                 return r;
             }
@@ -119,6 +122,8 @@ impl Ticket {
 
     /// Non-blocking probe: the answer if it has arrived.
     pub fn try_take(&self) -> Option<Result<Tensor4<f32>, ServeError>> {
+        // NO-NOTIFY: consumer-side take, as in `wait` — nobody sleeps on
+        // the slot becoming empty.
         self.shared.slot.lock().unwrap().take()
     }
 }
@@ -386,6 +391,9 @@ fn coalescer_loop(shared: &Shared) {
             loop {
                 if !state.paused {
                     if let Some(i) = next_nonempty(&state) {
+                        // NO-NOTIFY: consumer-side drain — the coalescer is
+                        // the only waiter on `wake`; submitters block on
+                        // capacity rejection, not on queues emptying.
                         state.cursor = (i + 1) % state.queues.len();
                         let take = state.queues[i].len().min(shared.max_batch);
                         let batch: Vec<Request> = state.queues[i].drain(..take).collect();

@@ -49,39 +49,51 @@ impl BucketStats {
         }
     }
 
-    // ORDERING: Relaxed throughout — these are monotonic event counters and
-    // high-water marks; no other data is published through them. Snapshots
-    // taken after the server quiesces (shutdown join, or a test's own
-    // barrier) observe the final values through the coalescer thread's
-    // join/lock synchronization, not through these atomics.
+    // Every counter below is Relaxed for the same reason — they are
+    // monotonic event counters and high-water marks; no other data is
+    // published through them. Snapshots taken after the server quiesces
+    // (shutdown join, or a test's own barrier) observe the final values
+    // through the coalescer thread's join/lock synchronization, not
+    // through these atomics. Each method restates the class inline so the
+    // justification survives being read (and linted) in isolation.
 
     pub(crate) fn admit(&self) {
-        self.admitted.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        // ORDERING: Relaxed — [counter] monotonic admission count.
+        self.admitted.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn reject(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        // ORDERING: Relaxed — [counter] monotonic rejection count.
+        self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn expire(&self) {
-        self.expired.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        // ORDERING: Relaxed — [counter] monotonic expiry count.
+        self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn serve(&self, e2e_ns: u64) {
-        self.served.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        // ORDERING: Relaxed — [counter] monotonic serve count and latency
+        // histogram bucket.
+        self.served.fetch_add(1, Ordering::Relaxed);
         self.e2e[bucket_index(e2e_ns)].fetch_add(1, Ordering::Relaxed); // ORDERING: as above
     }
 
     pub(crate) fn batch(&self, live: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        // ORDERING: Relaxed — [counter] monotonic batch count and
+        // high-water mark.
+        self.batches.fetch_add(1, Ordering::Relaxed);
         self.max_batch.fetch_max(live, Ordering::Relaxed); // ORDERING: as above
     }
 
     pub(crate) fn observe_depth(&self, depth: u64) {
-        self.queue_depth_high_water.fetch_max(depth, Ordering::Relaxed); // ORDERING: as above
+        // ORDERING: Relaxed — [counter] queue-depth high-water mark.
+        self.queue_depth_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> BucketSnapshot {
+        // ORDERING: Relaxed — [counter] sampling reads of the monotonic
+        // counters above; exact totals come from reading after quiesce.
         let e2e = HistogramSummary::from_buckets(std::array::from_fn(|i| {
             self.e2e[i].load(Ordering::Relaxed) // ORDERING: as above
         }));

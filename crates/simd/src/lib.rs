@@ -230,9 +230,11 @@ pub fn set_force_scalar(on: bool) {
 /// dispatch. For tests and A/B harnesses that must leave the
 /// process-global dispatch state as they found it.
 pub fn clear_force_override() {
-    // ORDERING: Relaxed — same reasoning as `set_force_scalar`.
+    // ORDERING: Relaxed — [flag] configuration store, same reasoning as
+    // `set_force_scalar`: the worst outcome of reordering is one extra
+    // `resolve()` of the previous state.
     FORCE.store(0, Ordering::Relaxed);
-    DISPATCH.store(0, Ordering::Relaxed);
+    DISPATCH.store(0, Ordering::Relaxed); // ORDERING: as above
 }
 
 /// The ISA [`resolve`] would pick with no force-scalar override.

@@ -87,12 +87,28 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== static analysis (iwino-analyze) =="
-# Symbolic transform verification over Q, unsafe/SAFETY audit, atomics
-# lint. Exits nonzero on any finding; the JSON report lands next to the
-# repro results. A stale coefficient-bound table is a finding too —
+# Five passes: symbolic transform verification over Q, unsafe/SAFETY
+# audit, classified atomics lint, lock-order (acyclic nesting graph +
+# committed total order), and condvar discipline. Exits nonzero on any
+# finding; the JSON report lands next to the repro results. A stale
+# snapshot (coefficient bounds or lock order) is a finding too —
 # regenerate with `cargo run -p analyzer -- --workspace --fix-snapshot`.
 mkdir -p repro_results
 cargo run --offline --release -p analyzer -- --workspace --json repro_results/analyzer.json
+
+echo "== concurrency model check (modelcheck, pinned depth + seed) =="
+# Deterministic interleaving exploration of the protocol models extracted
+# from the serving stack. Exhaustive-up-to-depth over the ticket handoff
+# and the coalescer drain loop (>=10k distinct schedules total, every
+# assertion holding), one pinned-seed randomized lane, and the seeded
+# missed-wakeup bug model, which MUST fail — a passing buggy-notify run
+# means the checker lost its teeth.
+cargo run --offline --release -p modelcheck --bin mc -- \
+  --model all --strategy exhaustive --depth 40 --max-schedules 6000 --min-distinct 5000
+cargo run --offline --release -p modelcheck --bin mc -- \
+  --model ticket --strategy random --seed 1 --max-schedules 400 --depth 40 --min-distinct 100
+cargo run --offline --release -p modelcheck --bin mc -- \
+  --model buggy-notify --strategy exhaustive --depth 40 --expect-failure
 
 echo "== cargo fmt --check =="
 cargo fmt --check
