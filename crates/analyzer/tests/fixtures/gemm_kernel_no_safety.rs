@@ -1,0 +1,13 @@
+// Deliberately broken fixture: a gemm-style microkernel whose unsafe sites
+// carry no justification comment, so the audit must flag both of them even
+// inside an allowlisted crates/gemm kernel file.
+pub(crate) fn tile(kc: usize, a: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= kc);
+    unsafe { tile_impl(kc, a.as_ptr(), c.as_mut_ptr()) }
+}
+
+unsafe fn tile_impl(kc: usize, a: *const f32, c: *mut f32) {
+    for kk in 0..kc {
+        *c.add(kk) += *a.add(kk);
+    }
+}

@@ -91,6 +91,26 @@ fn missing_safety_fixture_is_flagged() {
 }
 
 #[test]
+fn safetyless_gemm_kernel_fixture_is_flagged() {
+    // crates/gemm's kernel files are allowlisted like crates/simd's, so an
+    // undocumented unsafe site there trips the SAFETY-adjacency rule (one
+    // finding per site: the dispatch call and the raw-pointer impl)…
+    let f = scan_as("gemm_kernel_no_safety.rs", "crates/gemm/src/avx2.rs");
+    let findings = unsafe_audit::audit_unsafe(&[f]);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    for finding in &findings {
+        assert_eq!(finding.pass, Pass::UnsafeAudit);
+        assert_eq!(finding.file, "crates/gemm/src/avx2.rs");
+        assert!(finding.message.contains("SAFETY:"));
+    }
+    // …while outside the gemm kernel allowlist the allowlist rule fires.
+    let f = scan_as("gemm_kernel_no_safety.rs", "crates/gemm/src/lib.rs");
+    let findings = unsafe_audit::audit_unsafe(&[f]);
+    assert_eq!(findings.len(), 2);
+    assert!(findings.iter().all(|f| f.message.contains("allowlist")));
+}
+
+#[test]
 fn undocumented_relaxed_fixture_is_flagged() {
     let root = fixtures_dir();
     let f = scan_file(&root, &root.join("undocumented_relaxed.rs")).unwrap();

@@ -1,66 +1,21 @@
-//! Blocked, multithreaded single-precision GEMM: `C = A·B (+ C)`.
+//! SGEMM for the baseline convolutions — a thin re-export of `iwino-gemm`.
 //!
-//! Row-major everywhere. The kernel uses the broadcast-row scheme: for each
-//! row of `A`, FMA `a[i][k] · B[k][:]` into `C[i][:]`, with `K` blocked for
-//! L1/L2 residency. The inner loop runs along contiguous `B`/`C` rows and
-//! autovectorises. Parallelism is over row blocks of `C` (disjoint output).
+//! The blocked kernel used to live here as a broadcast-row scheme (for each
+//! row of `A`, FMA `a[i][k] · B[k][:]` into `C[i][:]`); it is now the
+//! packed, register-blocked Goto-style GEMM in [`iwino_gemm`], shared with
+//! core's Γ-boundary remainder. Only [`sgemm_naive`] — the test reference —
+//! still lives in this crate.
 //!
-//! This is the GEMM behind the im2col baselines and behind Im2col-Winograd's
-//! boundary-treatment segments (§5.5: "GEMM convolution processes the final
-//! remaining segment").
+//! The packed kernel fixed a semantic bug the old broadcast-row loop had:
+//! it skipped `a[i][k] == 0.0` terms, silently dropping `0·∞ = NaN` and
+//! `0·NaN = NaN` contributions (and flipping signed-zero results). The
+//! `nonfinite_inputs_match_naive` proptest below pins the agreement.
 
-use iwino_parallel as par;
+pub use iwino_gemm::{sgemm, sgemm_acc};
 
-/// Rows of `C` processed per parallel task.
-const MB: usize = 64;
-/// `K` block size (keeps a `KB×N` panel of `B` hot in cache).
-const KB: usize = 256;
-
-/// `C[m×n] += A[m×k] · B[k×n]` if `accumulate`, else `C = A·B`.
-pub fn sgemm_acc(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], accumulate: bool) {
-    assert_eq!(a.len(), m * k, "A shape");
-    assert_eq!(b.len(), k * n, "B shape");
-    assert_eq!(c.len(), m * n, "C shape");
-    if m == 0 || n == 0 {
-        return;
-    }
-    if !accumulate {
-        c.fill(0.0);
-    }
-    if k == 0 {
-        return;
-    }
-    let parts = par::SliceParts::new(c, MB * n);
-    par::parallel_for(m.div_ceil(MB), &|blk| {
-        let c_blk = parts.take(blk);
-        let i0 = blk * MB;
-        let rows = ((i0 + MB).min(m)) - i0;
-        for k0 in (0..k).step_by(KB) {
-            let k1 = (k0 + KB).min(k);
-            for i in 0..rows {
-                let a_row = &a[(i0 + i) * k..(i0 + i) * k + k];
-                let c_row = &mut c_blk[i * n..(i + 1) * n];
-                for kk in k0..k1 {
-                    let av = a_row[kk];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        }
-    });
-}
-
-/// `C = A·B` (row-major, overwrite).
-pub fn sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    sgemm_acc(m, n, k, a, b, c, false);
-}
-
-/// Naive reference for testing.
+/// Naive reference for testing: left-to-right ascending-`k` accumulation,
+/// one rounding per multiply and per add. The packed GEMM performs exactly
+/// this operation sequence per element, so the agreement is bitwise.
 pub fn sgemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         for j in 0..n {
@@ -119,8 +74,8 @@ mod tests {
 
     #[test]
     fn large_block_boundary_sizes() {
-        // Exercise m > MB and k > KB boundaries.
-        let (m, n, k) = (MB + 3, 17, KB + 5);
+        // Exercise m and k beyond the packed kernel's MC/KC block sizes.
+        let (m, n, k) = (iwino_gemm::MC + 3, 17, iwino_gemm::KC + 5);
         let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 11) as f32 - 5.0).collect();
         let b: Vec<f32> = (0..k * n).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
         let mut c = vec![0.0f32; m * n];
@@ -144,6 +99,42 @@ mod tests {
             sgemm(m, n, k, &a, &b, &mut c);
             sgemm_naive(m, n, k, &a, &b, &mut want);
             assert_close(&c, &want, 1e-4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Inject ∞/NaN (and plant zeros opposite them) and require the
+        /// blocked GEMM to agree with the naive reference bitwise — the old
+        /// `av == 0.0` skip dropped `0·∞` / `0·NaN`, turning NaN outputs
+        /// into finite ones.
+        #[test]
+        fn nonfinite_inputs_match_naive(
+            m in 1usize..15, n in 1usize..20, k in 1usize..12,
+            ai in 0usize..1000, bi in 0usize..1000, kind in 0usize..3, seed in 0u64..1000,
+        ) {
+            let gen = |len: usize, s: u64| -> Vec<f32> {
+                (0..len).map(|i| (((i as u64).wrapping_mul(2654435761).wrapping_add(s * 97) % 1000) as f32 / 500.0) - 1.0).collect()
+            };
+            let mut a = gen(m * k, seed);
+            let mut b = gen(k * n, seed + 1);
+            let special = [f32::INFINITY, f32::NEG_INFINITY, f32::NAN][kind];
+            // A zero in A against a non-finite B entry in the same k row,
+            // and vice versa: both products must reach C as NaN.
+            let (i0, kk0) = (ai % m, ai % k);
+            a[i0 * k + kk0] = 0.0;
+            b[kk0 * n + bi % n] = special;
+            let (kk1, j1) = (bi % k, bi % n);
+            b[kk1 * n + j1] = 0.0;
+            a[(ai % m) * k + kk1] = special;
+            let mut c = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            sgemm(m, n, k, &a, &b, &mut c);
+            sgemm_naive(m, n, k, &a, &b, &mut want);
+            prop_assert!(want.iter().any(|v| !v.is_finite()), "case must produce a non-finite output");
+            for (i, (x, y)) in c.iter().zip(&want).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "idx {}: {:?} vs naive {:?}", i, x, y);
+            }
         }
     }
 }

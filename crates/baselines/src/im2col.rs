@@ -8,8 +8,8 @@
 //! buffer, never as a full `GM×GK` matrix in memory, so the algorithm is as
 //! memory-efficient as the fused kernels it is compared against (§6.1.1).
 
-use crate::gemm::sgemm_acc;
 use crate::scratch::{AllocScratch, ScratchProvider};
+use iwino_gemm::{sgemm_prepacked, sgemm_scratch, PackedB};
 use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_tensor::{transpose_filter_to_hwio, ConvShape, Tensor4};
@@ -64,10 +64,8 @@ pub fn im2col_conv_nhwc(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
 }
 
 /// [`im2col_conv_nhwc`] with the filter already in `FH×FW×IC×OC` (HWIO)
-/// layout and the per-row patch buffers drawn from `scratch`. This is the
-/// serving-engine entry point: the engine's plan caches `wmat` (cuDNN's
-/// "precomp" covers the filter too) and its arena recycles the patch
-/// buffers, so steady-state calls do no heap allocation here.
+/// layout and all temporaries drawn from `scratch`. Packs the flattened
+/// `K×OC` filter once, then delegates to [`im2col_conv_nhwc_packed`].
 pub fn im2col_conv_nhwc_pretransposed(
     x: &Tensor4<f32>,
     wmat: &Tensor4<f32>,
@@ -75,8 +73,26 @@ pub fn im2col_conv_nhwc_pretransposed(
     scratch: &dyn ScratchProvider,
 ) -> Tensor4<f32> {
     let s = plan.shape;
-    assert_eq!(x.dims(), s.x_dims());
     assert_eq!(wmat.dims(), [s.fh, s.fw, s.ic, s.oc], "wmat must be HWIO");
+    let pb = PackedB::pack(s.fh * s.fw * s.ic, s.oc, wmat.as_slice());
+    im2col_conv_nhwc_packed(x, &pb, plan, scratch)
+}
+
+/// [`im2col_conv_nhwc`] against a filter already packed into GEMM panels.
+/// This is the serving-engine entry point: the engine's plan caches the
+/// [`PackedB`] (cuDNN's "precomp" covers the filter too) and its arena
+/// recycles the patch and panel buffers, so steady-state calls do no heap
+/// allocation here.
+pub fn im2col_conv_nhwc_packed(
+    x: &Tensor4<f32>,
+    pb: &PackedB,
+    plan: &Im2colPlan,
+    scratch: &dyn ScratchProvider,
+) -> Tensor4<f32> {
+    let s = plan.shape;
+    assert_eq!(x.dims(), s.x_dims());
+    assert_eq!(pb.k(), s.fh * s.fw * s.ic, "packed filter K mismatch");
+    assert_eq!(pb.n(), s.oc, "packed filter OC mismatch");
     let _b = obs::span(obs::Stage::Baseline);
     obs::add(obs::Counter::Flops, s.flops() as u64);
     let (oh, ow) = (s.oh(), s.ow());
@@ -85,7 +101,6 @@ pub fn im2col_conv_nhwc_pretransposed(
     let mut y = Tensor4::<f32>::zeros(s.y_dims());
     let row_elems = ow * s.oc;
     let xs = x.as_slice();
-    let ws = wmat.as_slice();
     let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
     par::parallel_for(s.n * oh, &|row| {
         let out = parts.take(row);
@@ -112,7 +127,7 @@ pub fn im2col_conv_nhwc_pretransposed(
         }
         // out[OW × OC] = patch[OW × K] · W[K × OC]. Runs serially here
         // (we are inside a pool worker), which is the intent.
-        sgemm_acc(ow, s.oc, k, &patch, ws, out, false);
+        sgemm_prepacked(ow, &patch, pb, out, false, scratch);
         scratch.give_back(patch);
     });
     y
@@ -123,6 +138,18 @@ pub fn im2col_conv_nhwc_pretransposed(
 /// exists so the benchmark harness can compare the two layouts' gather
 /// behaviour like the paper compares `Implicit_Precomp_GEMM` in both formats.
 pub fn im2col_conv_nchw(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -> Tensor4<f32> {
+    im2col_conv_nchw_scratch(x, w, plan, &AllocScratch)
+}
+
+/// [`im2col_conv_nchw`] with the per-worker patch and row buffers drawn
+/// from `scratch`, so an arena-backed caller runs allocation-free in steady
+/// state.
+pub fn im2col_conv_nchw_scratch(
+    x: &Tensor4<f32>,
+    w: &Tensor4<f32>,
+    plan: &Im2colPlan,
+    scratch: &dyn ScratchProvider,
+) -> Tensor4<f32> {
     let s = plan.shape;
     assert_eq!(x.dims(), [s.n, s.ic, s.ih, s.iw], "x must be NCHW");
     assert_eq!(w.dims(), [s.oc, s.ic, s.fh, s.fw], "w must be OIHW");
@@ -142,8 +169,8 @@ pub fn im2col_conv_nchw(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
     par::parallel_for(s.n, &|b| {
         let y_img = ys_parts.take(b); // OC × OH × OW
         let x_img = &xs[b * s.ic * s.ih * s.iw..(b + 1) * s.ic * s.ih * s.iw];
-        let mut patch = vec![0.0f32; k * ow];
-        let mut out_row = vec![0.0f32; s.oc * ow];
+        let mut patch = scratch.checkout(k * ow);
+        let mut out_row = scratch.checkout(s.oc * ow);
         for oy in 0..oh {
             patch.fill(0.0);
             // patch[K × OW]: K index ordered (ic, fh, fw) to match OIHW.
@@ -166,12 +193,14 @@ pub fn im2col_conv_nchw(x: &Tensor4<f32>, w: &Tensor4<f32>, plan: &Im2colPlan) -
                 }
             }
             // out_row[OC × OW] = W[OC × K] · patch[K × OW].
-            sgemm_acc(s.oc, ow, k, ws, &patch, &mut out_row, false);
+            sgemm_scratch(s.oc, ow, k, ws, &patch, &mut out_row, false, scratch);
             for o in 0..s.oc {
                 let dst = &mut y_img[o * oh * ow + oy * ow..o * oh * ow + (oy + 1) * ow];
                 dst.copy_from_slice(&out_row[o * ow..(o + 1) * ow]);
             }
         }
+        scratch.give_back(patch);
+        scratch.give_back(out_row);
     });
     y
 }

@@ -24,6 +24,9 @@ pub mod winograd2d;
 pub use direct::{direct_backward_data, direct_conv, direct_conv_f64_ref};
 pub use fft::{fft, fft_conv, Complex};
 pub use gemm::{sgemm, sgemm_acc, sgemm_naive};
-pub use im2col::{im2col_conv_nchw, im2col_conv_nhwc, im2col_conv_nhwc_pretransposed, Im2colPlan};
+pub use im2col::{
+    im2col_conv_nchw, im2col_conv_nchw_scratch, im2col_conv_nhwc, im2col_conv_nhwc_packed,
+    im2col_conv_nhwc_pretransposed, Im2colPlan,
+};
 pub use scratch::{AllocScratch, ScratchProvider};
 pub use winograd2d::winograd2d_conv;

@@ -7,7 +7,7 @@
 //!   "have similar performance to the forward kernels", §5.1).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iwino_baselines::sgemm;
+use iwino_baselines::{sgemm, sgemm_naive};
 use iwino_core::plan::{default_kernel_prefs, SegmentPlan};
 use iwino_core::{conv2d, deconv2d};
 use iwino_tensor::{ConvShape, Tensor4};
@@ -55,9 +55,40 @@ fn sgemm_bench(c: &mut Criterion) {
     let a: Vec<f32> = (0..m * k).map(|i| (i % 17) as f32).collect();
     let bmat: Vec<f32> = (0..k * n).map(|i| (i % 13) as f32).collect();
     let mut cmat = vec![0.0f32; m * n];
-    c.bench_function("sgemm/256x256x256", |b| {
+    let mut group = c.benchmark_group("sgemm");
+    group.bench_function("naive/256x256x256", |b| {
+        b.iter(|| sgemm_naive(m, n, k, &a, &bmat, &mut cmat));
+    });
+    group.bench_function("packed/256x256x256", |b| {
         b.iter(|| sgemm(m, n, k, &a, &bmat, &mut cmat));
     });
+    group.finish();
+
+    // Achieved rate of the packed kernel against its roofline counters:
+    // the packed-panel byte counters give the kernel's true traffic, so
+    // flops / (packed + C bytes) is the arithmetic intensity the register
+    // tile actually ran at.
+    iwino_obs::set_enabled(true);
+    iwino_obs::reset();
+    let flops = (2 * m * n * k) as f64;
+    let reps = 20;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        sgemm(m, n, k, &a, &bmat, &mut cmat);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+    let snap = iwino_obs::snapshot();
+    let packed_bytes = (snap.counter(iwino_obs::Counter::GemmPackedABytes)
+        + snap.counter(iwino_obs::Counter::GemmPackedBBytes)) as f64
+        / reps as f64;
+    let traffic = packed_bytes + (m * n * 4) as f64;
+    iwino_obs::set_enabled(false);
+    eprintln!(
+        "sgemm/packed {m}x{n}x{k}: {:.2} Gflop/s, {:.0} packed bytes/call, intensity {:.1} flop/byte",
+        flops / ns,
+        packed_bytes,
+        flops / traffic,
+    );
 }
 
 fn deconv_vs_conv(c: &mut Criterion) {

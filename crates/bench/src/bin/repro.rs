@@ -5,8 +5,8 @@
 //! `repro_results/`.
 
 use iwino_bench::{
-    bench_stage_rates, run_accuracy, run_histogram, run_panel, speedups, stage_bench_cases, validate_stage_model,
-    PanelResult, FIG8, FIG9, TABLE3,
+    bench_gemm_rates, bench_stage_rates, gemm_bench_cases, run_accuracy, run_histogram, run_panel, speedups,
+    stage_bench_cases, validate_stage_model, PanelResult, FIG8, FIG9, TABLE3,
 };
 use iwino_core::{GammaSpec, Variant};
 use iwino_gpu_sim::model::{Algorithm, Layout};
@@ -391,6 +391,19 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn bench_stages(args: &[String], mode: &Mode) {
     let via_engine = args.iter().any(|a| a == "--engine");
+    // Optional positional case-set filter: `winograd` runs only the Γ stage
+    // cases, `gemm` only the im2col-GEMM sweep (the BENCH_pr9_* document);
+    // no filter runs both sets into one document.
+    let set = positional_args(args).into_iter().next();
+    let (run_winograd, run_gemm) = match set.as_deref() {
+        None => (true, true),
+        Some("winograd") => (true, false),
+        Some("gemm") => (false, true),
+        Some(other) => {
+            eprintln!("error: unknown bench-stages case set {other:?} (expected winograd|gemm)");
+            std::process::exit(2);
+        }
+    };
     println!("\n==== bench-stages: per-stage effective GFLOP/s ====");
     println!("(gflops = whole-run paper-convention FLOPs / time attributed to the stage;");
     println!(" the ratio of a stage's gflops across two commits is that stage's speedup)");
@@ -411,8 +424,7 @@ fn bench_stages(args: &[String], mode: &Mode) {
     );
     let reps = if mode.quick { 5 } else { 20 };
     let mut doc = Vec::new();
-    for case in stage_bench_cases() {
-        let r = bench_stage_rates(&case, reps, via_engine);
+    let mut report = |r: &iwino_bench::StageBenchResult| {
         println!("\n-- {} ({}, ofms {}) --", r.label, r.kernel, r.shape);
         println!(
             "{:<18} {:>14} {:>8} {:>12} {:>10} {:>10} {:>10}",
@@ -432,6 +444,16 @@ fn bench_stages(args: &[String], mode: &Mode) {
         }
         println!("end-to-end: {:.2} Gflop/s over {} reps", r.gflops, r.reps);
         doc.push(r.to_json());
+    };
+    if run_winograd {
+        for case in stage_bench_cases() {
+            report(&bench_stage_rates(&case, reps, via_engine));
+        }
+    }
+    if run_gemm {
+        for case in gemm_bench_cases() {
+            report(&bench_gemm_rates(&case, reps));
+        }
     }
     // Schema v3: v2 added the top-level `dispatch` record (cross-ISA diff
     // detection); v3 adds per-stage latency percentiles (p50/p90/p99 ns

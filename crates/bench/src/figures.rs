@@ -570,6 +570,45 @@ pub fn stage_bench_cases() -> Vec<StageBenchCase> {
     ]
 }
 
+/// One case of the im2col-GEMM sweep (`repro bench-stages gemm`): a
+/// Figure 7–9 ofms shape (batch-scaled for CPU, N = 1) driven through the
+/// engine's `im2col-gemm-nhwc` backend, so the committed `BENCH_pr9_*`
+/// trajectory tracks the SGEMM building block across commits.
+pub struct GemmBenchCase {
+    pub label: String,
+    pub shape: ConvShape,
+}
+
+/// The im2col-GEMM case list: one shape per Figure 8/9 regime, spanning the
+/// frontier from large-spatial/small-channel (gather-bound) to
+/// small-spatial/large-channel (GEMM-bound), plus the even-filter r = 4
+/// panel and an α = 16 large-filter case. IC = OC throughout (§6).
+pub fn gemm_bench_cases() -> Vec<GemmBenchCase> {
+    let shapes: [(&str, usize, usize, usize, usize); 8] = [
+        // Figure 8 Γ8(6,3) panel rows (128, 96, 96, 64) / (256, 32, 32, 128)
+        // / (128, 12, 12, 512), N scaled to 1.
+        ("gemm_r3_96x96x64", 96, 96, 64, 3),
+        ("gemm_r3_32x32x128", 32, 32, 128, 3),
+        ("gemm_r3_12x12x512", 12, 12, 512, 3),
+        // Figure 8 Γ8(4,5) rows (32, 64, 64, 128) / (128, 16, 16, 256).
+        ("gemm_r5_64x64x128", 64, 64, 128, 5),
+        ("gemm_r5_16x16x256", 16, 16, 256, 5),
+        // Figure 8 Γ8(5,4) row (128, 40, 40, 128): the even-filter regime.
+        ("gemm_r4_40x40x128", 40, 40, 128, 4),
+        // Figure 9 Γ16(8,9) rows (32, 32, 32, 64) / (32, 16, 16, 128):
+        // the large-filter regime where K = 81·IC dominates.
+        ("gemm_r9_32x32x64", 32, 32, 64, 9),
+        ("gemm_r9_16x16x128", 16, 16, 128, 9),
+    ];
+    shapes
+        .into_iter()
+        .map(|(label, oh, ow, oc, r)| GemmBenchCase {
+            label: label.into(),
+            shape: ConvShape::from_ofms(1, oh, ow, oc, oc, r),
+        })
+        .collect()
+}
+
 /// Scale an ofms batch size so the measured workload stays near
 /// `target_gflop` (quick mode). Returns `(scaled N, scale factor)`.
 pub fn scale_batch(ofms: Ofms, r: usize, target_gflop: f64) -> (usize, f64) {

@@ -14,8 +14,10 @@
 //! repro ablation-banks            §5.2 bank-conflict ablation
 //! repro ablation-variants         §5.4/§5.6 ruse/c64 ablation
 //! repro ablation-transforms       §5.3 simplified-transformation ablation
-//! repro bench-stages [--out p] [--engine]  per-stage effective GFLOP/s (the BENCH_*.json perf
-//!                                 trajectory; --engine runs plan-cached reps through the engine)
+//! repro bench-stages [winograd|gemm] [--out p] [--engine]  per-stage effective GFLOP/s (the
+//!                                 BENCH_*.json perf trajectory; --engine runs plan-cached reps
+//!                                 through the engine; `gemm` sweeps the Fig 7–9 im2col shapes
+//!                                 plan-cached through `im2col-gemm-nhwc` — the BENCH_pr9_* pair)
 //! repro bench-compare <base> <after> [--max-regression pct]  perf-regression gate over two
 //!                                 bench-stages documents (exit 1 on regression)
 //! repro trace [<case>] [--out p]  flight-recorder capture of a stage-bench case as Chrome
@@ -41,7 +43,10 @@ pub mod serve_bench;
 pub mod tracer;
 
 pub use compare::{compare, isa_parity, parse_bench_doc, BenchCase, BenchDoc, CaseDelta, CompareReport};
-pub use figures::{scale_batch, stage_bench_cases, AccuracyTable, Ofms, Panel, StageBenchCase, FIG8, FIG9, TABLE3};
+pub use figures::{
+    gemm_bench_cases, scale_batch, stage_bench_cases, AccuracyTable, GemmBenchCase, Ofms, Panel, StageBenchCase, FIG8,
+    FIG9, TABLE3,
+};
 pub use runner::*;
 pub use serve_bench::{run_serve_bench, serve_bench_buckets, ServeBenchCase, ServeBenchConfig, ServeBenchReport};
 pub use tracer::{record_trace, validate_chrome_trace, TraceSummary};

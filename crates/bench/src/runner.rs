@@ -564,6 +564,88 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize, via
     }
 }
 
+/// Run one im2col-GEMM case plan-cached through a private engine and derive
+/// per-stage rates. The warm-up builds (and caches) the plan — the HWIO
+/// filter reshape and any filter-side packing are paid once — so the
+/// measured window holds only cache hits drawing patch scratch from the
+/// engine's arena: the steady-state serving path the `BENCH_pr9_*`
+/// trajectory compares across commits.
+pub fn bench_gemm_rates(case: &crate::figures::GemmBenchCase, reps: usize) -> StageBenchResult {
+    use iwino_obs as obs;
+    let shape = &case.shape;
+    let x = Tensor4::<f32>::random(shape.x_dims(), 43, -1.0, 1.0);
+    let w = Tensor4::<f32>::random(shape.w_dims(), 44, -1.0, 1.0);
+    let eng = Engine::new();
+    let algo = eng
+        .algorithm("im2col-gemm-nhwc")
+        .unwrap_or_else(|e| panic!("{}: {e}", case.label));
+    let handle = Handle::default();
+    let run_once = || {
+        drop(
+            eng.conv_with(&algo, handle.filter_id(), &x, &w, shape, &Epilogue::None)
+                .unwrap_or_else(|e| panic!("{}: {e}", case.label)),
+        );
+    };
+    run_once(); // warm-up: plan build + arena first-touch
+    let reps = reps.max(1);
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::reset();
+    iwino_parallel::reset_global_stats();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_once();
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let snap = obs::snapshot();
+    obs::set_enabled(was_enabled);
+    let st = eng.stats();
+    assert_eq!(st.plan_misses, 1, "gemm bench must plan exactly once (at warm-up)");
+    assert_eq!(
+        st.plan_hits as usize, reps,
+        "every measured rep must hit the plan cache"
+    );
+
+    let flops = snap.counter(obs::Counter::Flops) as f64;
+    // `baseline` is the whole im2col+GEMM call; the GEMM sub-stages nest
+    // inside it, so only `baseline` counts toward the attributed total.
+    let pipeline = [obs::Stage::Baseline, obs::Stage::GemmPack, obs::Stage::GemmKernel];
+    let attributed = snap.stage_ns(obs::Stage::Baseline);
+    let stages = pipeline
+        .iter()
+        .filter(|&&s| snap.stage_ns(s) > 0)
+        .map(|&s| {
+            let ns = snap.stage_ns(s);
+            let hist = snap.histogram(obs::HistSite::Stage(s));
+            StageRate {
+                stage: s.name(),
+                ns,
+                share: if attributed > 0 {
+                    ns as f64 / attributed as f64
+                } else {
+                    0.0
+                },
+                gflops: flops / ns as f64,
+                p50_ns: hist.p50_ns(),
+                p90_ns: hist.p90_ns(),
+                p99_ns: hist.p99_ns(),
+            }
+        })
+        .collect();
+    let (n, oh, ow, oc) = (shape.n, shape.oh(), shape.ow(), shape.oc);
+    StageBenchResult {
+        label: case.label.clone(),
+        shape: format!("{n}x{oh}x{ow}x{oc}"),
+        kernel: "im2col-gemm-nhwc".to_string(),
+        reps,
+        wall_ns,
+        gflops: if wall_ns > 0 { flops / wall_ns as f64 } else { 0.0 },
+        via_engine: true,
+        isa: iwino_simd::dispatch_info().isa.to_string(),
+        stages,
+    }
+}
+
 /// One row of `repro engine`: a registry backend smoke-tested end to end —
 /// conformance against the f64 direct reference plus an achieved rate.
 #[derive(Clone, Debug)]

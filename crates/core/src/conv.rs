@@ -9,8 +9,9 @@
 
 use crate::error::{expect_dims, ConvError};
 use crate::filter::{filter_hwio, TransformedFilter};
-use crate::kernel::{cached_kernel, direct_row_segment, GammaKernel, RowJob, Scratch, Variant};
+use crate::kernel::{cached_kernel, GammaKernel, RowJob, Scratch, Variant};
 use crate::plan::{default_kernel_prefs, GammaSpec, KernelChoice, SegmentPlan};
+use iwino_gemm::{sgemm_prepacked, AllocScratch, PackedB, ScratchProvider};
 use iwino_obs as obs;
 use iwino_parallel as par;
 use iwino_simd as simd;
@@ -209,7 +210,9 @@ pub struct PreparedConv {
     shape: ConvShape,
     plan: SegmentPlan,
     kernels: Vec<(GammaSpec, Arc<GammaKernel>, TransformedFilter)>,
-    w_direct: Option<Tensor4<f32>>,
+    /// HWIO remainder filter pre-packed into GEMM panels (`K×OC`,
+    /// `K = FH·FW·IC`), built only when the plan has a GEMM segment.
+    w_packed: Option<PackedB>,
     /// Segment → kernel index, resolved once instead of per row.
     seg_kernels: Vec<Option<usize>>,
 }
@@ -280,9 +283,14 @@ impl PreparedConv {
             };
             kernels.push((spec, kernel, tw));
         }
-        // Untransformed HWIO filter for the GEMM remainder (built only if used).
+        // Untransformed HWIO filter for the GEMM remainder, flattened to
+        // K×OC and pre-packed into GEMM panels at plan time (built only if
+        // a segment uses it).
         let needs_direct = plan.segments.iter().any(|g| g.kernel == KernelChoice::Gemm);
-        let w_direct = needs_direct.then(|| filter_hwio(w, rotate));
+        let w_packed = needs_direct.then(|| {
+            let wd = filter_hwio(w, rotate);
+            PackedB::pack(s.fh * s.fw * s.ic, s.oc, wd.as_slice())
+        });
         drop(ft_span);
         let seg_kernels: Vec<Option<usize>> = plan
             .segments
@@ -301,7 +309,7 @@ impl PreparedConv {
             shape: s,
             plan,
             kernels,
-            w_direct,
+            w_packed,
             seg_kernels,
         }
     }
@@ -321,13 +329,26 @@ impl PreparedConv {
             .iter()
             .map(|(spec, _, _)| self.shape.fh * spec.alpha * self.shape.ic * self.shape.oc * 4)
             .sum();
-        banks + self.w_direct.as_ref().map_or(0, |t| t.len() * 4)
+        banks + self.w_packed.as_ref().map_or(0, |pb| pb.resident_bytes())
     }
 
     /// Run the fused row pass: transform input tiles, multiply against the
     /// prepared filter bank, accumulate over `FH×IC`, output-transform, and
-    /// apply `epilogue` while the row is cache-hot.
+    /// apply `epilogue` while the row is cache-hot. Temporaries come from
+    /// plain allocations; serving paths use [`PreparedConv::execute_scratch`].
     pub fn execute(&self, x: &Tensor4<f32>, epilogue: &Epilogue) -> Result<Tensor4<f32>, ConvError> {
+        self.execute_scratch(x, epilogue, &AllocScratch)
+    }
+
+    /// [`PreparedConv::execute`] with the GEMM-remainder patch and panel
+    /// buffers drawn from `scratch`, so an arena-backed caller (the serving
+    /// engine's workspace pool) runs allocation-free in steady state.
+    pub fn execute_scratch(
+        &self,
+        x: &Tensor4<f32>,
+        epilogue: &Epilogue,
+        scratch: &dyn ScratchProvider,
+    ) -> Result<Tensor4<f32>, ConvError> {
         let s = self.shape;
         expect_dims("input", x.dims(), s.x_dims())?;
         let (oh, ow) = (s.oh(), s.ow());
@@ -371,6 +392,20 @@ impl PreparedConv {
                 .count()
         };
 
+        // GEMM-remainder geometry: patch rows are full-K im2col gathers
+        // (zeros under padding) against the plan-time packed filter. The
+        // patch buffer is checked out once per row range, not per row.
+        let gemm_k = s.fh * s.fw * s.ic;
+        let gemm_patch_max = self
+            .plan
+            .segments
+            .iter()
+            .zip(&self.seg_kernels)
+            .filter_map(|(seg, k)| k.is_none().then_some(seg.len))
+            .max()
+            .unwrap_or(0)
+            * gemm_k;
+
         let parts = par::SliceParts::new(y.as_mut_slice(), row_elems);
         // Per-row cost model in abstract vector-op units, aware of the
         // dispatched lane width: the outer-product FMA work vectorises along
@@ -389,8 +424,9 @@ impl PreparedConv {
         // task per row: boundary rows stop dragging the tail, and the
         // scratch borrow is amortised over the whole range.
         par::global().run_chunked_weighted(s.n * oh, &row_weight, &|range| {
-            SCRATCH.with(|scratch| {
-                let mut scratch = scratch.borrow_mut();
+            SCRATCH.with(|gamma_scratch| {
+                let mut gamma_scratch = gamma_scratch.borrow_mut();
+                let mut gemm_patch = (gemm_patch_max > 0).then(|| scratch.checkout(gemm_patch_max));
                 for row in range {
                     let out_row = parts.take(row);
                     let b = row / oh;
@@ -421,18 +457,44 @@ impl PreparedConv {
                         match k_idx {
                             Some(k) => {
                                 let (spec, kernel, tw) = &self.kernels[*k];
-                                kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut scratch);
+                                kernel.run_segment(&job, tw, seg.start, seg.len / spec.n, out_row, &mut gamma_scratch);
                             }
                             None => {
-                                let wd = self.w_direct.as_ref().expect("direct filter was built");
+                                let pb = self.w_packed.as_ref().expect("packed remainder filter was built");
                                 let _g = obs::span(obs::Stage::GemmRemainder);
                                 obs::add(obs::Counter::GemmRemainderCols, seg.len as u64);
-                                direct_row_segment(&job, wd.as_slice(), s.fw, seg.start, seg.len, out_row);
+                                // Gather the seg.len × K patch (zeros under
+                                // padding; K ordered (fh, fw, ic) to match
+                                // the HWIO flattening) and run it against
+                                // the plan-time packed filter.
+                                let buf = gemm_patch.as_mut().expect("gemm patch buffer was checked out");
+                                let patch = &mut buf[..seg.len * gemm_k];
+                                patch.fill(0.0);
+                                for (i_ox, p_row) in patch.chunks_exact_mut(gemm_k).enumerate() {
+                                    let ox = seg.start + i_ox;
+                                    for &(x_off, plane) in job.rows {
+                                        let x_row = &job.x[x_off..x_off + s.iw * s.ic];
+                                        for fx in 0..s.fw {
+                                            let px = ox as isize + fx as isize - s.pw as isize;
+                                            if px < 0 || px >= s.iw as isize {
+                                                continue;
+                                            }
+                                            let src = &x_row[px as usize * s.ic..(px as usize + 1) * s.ic];
+                                            let d0 = (plane * s.fw + fx) * s.ic;
+                                            p_row[d0..d0 + s.ic].copy_from_slice(src);
+                                        }
+                                    }
+                                }
+                                let out_seg = &mut out_row[seg.start * s.oc..(seg.start + seg.len) * s.oc];
+                                sgemm_prepacked(seg.len, patch, pb, out_seg, false, scratch);
                             }
                         }
                     }
                     let _e = (!matches!(epilogue, Epilogue::None)).then(|| obs::span(obs::Stage::Epilogue));
                     epilogue.apply(out_row, s.oc);
+                }
+                if let Some(buf) = gemm_patch {
+                    scratch.give_back(buf);
                 }
             });
         });

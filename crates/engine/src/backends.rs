@@ -125,22 +125,24 @@ impl ConvPlan for WinogradPlan {
         self.prep.filter_bank_bytes()
     }
 
-    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, _arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
-        // Fully fused: no arena draw — the §4.2 zero-workspace property.
-        self.prep.execute(x, epilogue)
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        // The fused Γ path itself draws nothing (the §4.2 zero-workspace
+        // property); only a boundary GEMM segment, when the plan has one,
+        // checks its patch and panel buffers out of the arena.
+        self.prep.execute_scratch(x, epilogue, arena)
     }
 }
 
 // ------------------------------------------------------------- im2col NHWC
 
 /// im2col + GEMM in the native NHWC layout. The plan caches the gather
-/// maps *and* the HWIO-reshaped filter (cuDNN's "precomp"), and the patch
-/// rows draw from the engine arena.
+/// maps *and* the HWIO filter pre-packed into GEMM panels (cuDNN's
+/// "precomp"), and the patch rows draw from the engine arena.
 pub struct GemmNhwcBackend;
 
 struct GemmNhwcPlan {
     plan: baselines::Im2colPlan,
-    wmat: Tensor4<f32>,
+    w_packed: iwino_gemm::PackedB,
 }
 
 impl ConvAlgorithm for GemmNhwcBackend {
@@ -161,9 +163,10 @@ impl ConvAlgorithm for GemmNhwcBackend {
             return Err(unsupported(self.name(), "backward-data runs through `direct`"));
         }
         expect_dims("filter", w.dims(), s.w_dims())?;
+        let wmat = transpose_filter_to_hwio(w);
         Ok(Arc::new(GemmNhwcPlan {
             plan: baselines::Im2colPlan::new(s),
-            wmat: transpose_filter_to_hwio(w),
+            w_packed: iwino_gemm::PackedB::pack(s.fh * s.fw * s.ic, s.oc, wmat.as_slice()),
         }))
     }
 }
@@ -178,13 +181,13 @@ impl ConvPlan for GemmNhwcPlan {
     }
 
     fn resident_bytes(&self) -> usize {
-        self.wmat.len() * 4
+        self.w_packed.resident_bytes()
     }
 
     fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
         let s = self.plan.shape();
         expect_dims("input", x.dims(), s.x_dims())?;
-        let mut y = baselines::im2col_conv_nhwc_pretransposed(x, &self.wmat, &self.plan, arena);
+        let mut y = baselines::im2col_conv_nhwc_packed(x, &self.w_packed, &self.plan, arena);
         epilogue.apply(y.as_mut_slice(), s.oc);
         Ok(y)
     }
@@ -256,10 +259,10 @@ impl ConvPlan for GemmNchwPlan {
         self.w_oihw.len() * 4
     }
 
-    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, _arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
         let s = self.plan.shape();
         expect_dims("input", x.dims(), s.x_dims())?;
-        let y_nchw = baselines::im2col_conv_nchw(&nhwc_to_nchw(x), &self.w_oihw, &self.plan);
+        let y_nchw = baselines::im2col_conv_nchw_scratch(&nhwc_to_nchw(x), &self.w_oihw, &self.plan, arena);
         let mut y = nchw_to_nhwc(&y_nchw);
         epilogue.apply(y.as_mut_slice(), s.oc);
         Ok(y)

@@ -227,13 +227,20 @@ impl Engine {
         &self.arena
     }
 
-    /// §5.7 heuristic: fused Winograd wherever it applies, GEMM otherwise.
+    /// §5.7 heuristic, thresholds re-derived against the packed SGEMM:
+    /// fused Winograd wherever it applies — except the deep-K corner
+    /// (3×3-and-smaller filters over ≥ 256 input channels), where the
+    /// packed im2col GEMM's panel reuse beats short Γ tiles on the
+    /// measured frontier (EXPERIMENTS.md, "who wins where") — and GEMM for
+    /// everything the fused path cannot run.
     pub fn heuristic_choice(&self, s: &ConvShape) -> &'static str {
-        if self.registry[0].supports(s) {
-            self.registry[0].name() // "im2col-winograd"
-        } else {
-            "im2col-gemm-nhwc"
+        if !self.registry[0].supports(s) {
+            return "im2col-gemm-nhwc";
         }
+        if s.ic >= 256 && s.fh <= 3 && s.fw <= 3 {
+            return "im2col-gemm-nhwc";
+        }
+        self.registry[0].name() // "im2col-winograd"
     }
 
     /// The autotune winner pinned for `s`, if one has been measured.

@@ -21,6 +21,33 @@ fn heuristic_picks_winograd_for_unit_stride_r2_to_9() {
 }
 
 #[test]
+fn heuristic_picks_gemm_for_deep_k_small_filters() {
+    // Re-derived frontier (packed SGEMM): 3×3-and-smaller filters over
+    // ≥ 256 input channels run faster through the packed im2col GEMM than
+    // through short Γ tiles — measured on 12×12×512, 14×14×256, 7×7×512.
+    let eng = Engine::new();
+    for (hw, c) in [(12usize, 512usize), (14, 256), (7, 512)] {
+        let s = ConvShape::square(1, hw, c, c, 3);
+        assert!(s.is_unit_stride());
+        assert_eq!(
+            eng.heuristic_choice(&s),
+            "im2col-gemm-nhwc",
+            "{hw}x{hw}x{c} r=3 sits on the GEMM side of the measured frontier"
+        );
+    }
+    // The boundary respects both axes: wider filters or fewer channels
+    // stay fused.
+    assert_eq!(
+        eng.heuristic_choice(&ConvShape::square(1, 16, 256, 256, 5)),
+        "im2col-winograd"
+    );
+    assert_eq!(
+        eng.heuristic_choice(&ConvShape::square(1, 28, 128, 128, 3)),
+        "im2col-winograd"
+    );
+}
+
+#[test]
 fn heuristic_picks_gemm_class_for_strides_at_least_2() {
     let eng = Engine::new();
     for stride in 2..=4 {

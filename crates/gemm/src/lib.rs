@@ -1,0 +1,606 @@
+//! Packed, register-blocked single-precision GEMM: `C = A·B (+ C)`.
+//!
+//! Row-major everywhere. This is the one real GEMM behind every backend in
+//! the tree — the im2col baselines (NHWC and NCHW) and Im2col-Winograd's
+//! boundary-treatment segments (§5.5: "GEMM convolution processes the
+//! final remaining segment") all route here.
+//!
+//! The structure is the classic Goto blocking:
+//!
+//! ```text
+//! for jc in 0..n step NC            # B column block     (L3-resident)
+//!   for pc in 0..k step KC          # K chunk            (packed panels in L2/L1)
+//!     pack A[ic-block, pc-chunk] → MR-row micro-panels   (k-major, zero-padded)
+//!     for q: NR-col panels of B[pc-chunk, jc-block]      (packed once per call/plan)
+//!       for p: MR-row panels of the A block
+//!         microkernel: C[6×16] += Aᵖ[kc×6] · Bᵖ[kc×16]
+//! ```
+//!
+//! with the `ic` loop over `MC`-row blocks of `C` parallelized through
+//! [`iwino_parallel::SliceParts`] — each task owns a disjoint row block of
+//! `C`, so there is no row-level broadcast and no cross-task write overlap.
+//!
+//! The 6×16 register tile (`MR × 2·LANE`) dispatches through the
+//! `iwino-simd` one-byte ISA gate: AVX2 holds the tile in 12 ymm
+//! accumulators, NEON in 24 q registers, and the safe-scalar kernel is the
+//! bit-exactness reference — every lane accumulates each C element in
+//! ascending-`k` order with separate (individually rounded) multiply and
+//! add, making all three lanes bitwise identical, and the whole blocked
+//! GEMM bitwise equal to the naive left-to-right triple loop.
+//!
+//! Packing buffers come from a caller-provided [`ScratchProvider`], so the
+//! serving engine's arena owns them and steady-state calls allocate
+//! nothing; `B` can also be packed once at plan time ([`PackedB`]) and
+//! reused across calls — the seam an indirect-convolution backend needs,
+//! where an indirection buffer replaces the materialized patch matrix.
+
+use iwino_obs as obs;
+use iwino_parallel as par;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+mod scalar;
+mod scratch;
+
+pub use scratch::{AllocScratch, ScratchProvider};
+
+/// Register-tile rows: each A micro-panel packs `MR` rows k-major.
+pub const MR: usize = 6;
+/// Register-tile columns: `2 · iwino_simd::LANE`, fixed across ISAs so the
+/// packed layout is ISA-independent (NEON covers it with 4 q registers).
+pub const NR: usize = 2 * iwino_simd::LANE;
+/// K chunk: one `KC×NR` B panel (16 KiB) stays L1-resident under the
+/// streaming A panel.
+pub const KC: usize = 256;
+/// Row-block height of `C` owned by one parallel task: 12 MR-panels, so a
+/// packed `MC×KC` A block is 72 KiB — comfortably L2-resident.
+pub const MC: usize = 12 * MR;
+/// Column block of `B` (a multiple of `NR`); at the matrix sizes the conv
+/// backends produce this loop usually runs exactly once.
+pub const NC: usize = 2048;
+
+/// The microkernel signature shared by all ISA lanes:
+/// `C[MR×NR] += Aᵖ[kc×MR] · Bᵖ[kc×NR]` with C row stride `ldc`.
+type MicroKernel = fn(usize, &[f32], &[f32], &mut [f32], usize);
+
+/// Resolve the register-tile kernel for the currently dispatched ISA. The
+/// dispatch byte is `iwino-simd`'s: one relaxed load, same force-scalar
+/// override, so `IWINO_FORCE_SCALAR=1` pins this crate to the scalar lane
+/// together with the Γ kernels.
+fn microkernel() -> MicroKernel {
+    match iwino_simd::kernels().isa {
+        #[cfg(target_arch = "x86_64")]
+        iwino_simd::Isa::Avx2Fma => avx2::tile_6x16,
+        #[cfg(target_arch = "aarch64")]
+        iwino_simd::Isa::Neon => neon::tile_6x16,
+        _ => scalar::tile_6x16,
+    }
+}
+
+/// Length in floats of the packed image of a `k×n` B matrix.
+pub fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * NR * k
+}
+
+/// Pack row-major `B[k×n]` into NR-column micro-panels, k-major: panel `q`
+/// covers columns `[q·NR, (q+1)·NR)` and stores, for each `kk`, the `NR`
+/// row values contiguously (`out[q·k·NR + kk·NR + c]`). Edge columns are
+/// zero-padded so the microkernel never needs a masked tail; the `pc`-chunk
+/// of a panel is the contiguous subslice `[q·k·NR + pc·NR ..][..kc·NR]`.
+pub fn pack_b(k: usize, n: usize, b: &[f32], out: &mut [f32]) {
+    assert_eq!(b.len(), k * n, "B shape");
+    assert!(out.len() >= packed_b_len(k, n), "packed-B buffer too short");
+    for q in 0..n.div_ceil(NR) {
+        let j0 = q * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut out[q * k * NR..(q + 1) * k * NR];
+        for kk in 0..k {
+            let dst = &mut panel[kk * NR..(kk + 1) * NR];
+            dst[..w].copy_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+            dst[w..].fill(0.0);
+        }
+    }
+}
+
+/// `B` packed once, reused across calls — the plan-time form the engine
+/// caches next to its transformed filters (cuDNN's "precomp" covers the
+/// filter too), and the conv plans hold for their HWIO filter matrices.
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack row-major `b[k×n]`.
+    pub fn pack(k: usize, n: usize, b: &[f32]) -> Self {
+        let _p = obs::span(obs::Stage::GemmPack);
+        let mut data = vec![0.0f32; packed_b_len(k, n)];
+        pack_b(k, n, b, &mut data);
+        obs::add(obs::Counter::GemmPackedBBytes, (data.len() * 4) as u64);
+        PackedB { k, n, data }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The packed panels (layout documented on [`pack_b`]).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Resident size, for plan-cache accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+/// Pack the `[i0, i0+mb)` row slice of `A[·×k]`, K chunk `[pc, pc+kc)`,
+/// into MR-row micro-panels, k-major: `out[p·kc·MR + kk·MR + r]`, with edge
+/// rows zero-padded.
+fn pack_a_block(a: &[f32], k: usize, i0: usize, mb: usize, pc: usize, kc: usize, out: &mut [f32]) {
+    for p in 0..mb.div_ceil(MR) {
+        let r0 = p * MR;
+        let h = MR.min(mb - r0);
+        let panel = &mut out[p * kc * MR..(p + 1) * kc * MR];
+        if h < MR {
+            panel.fill(0.0);
+        }
+        for r in 0..h {
+            let row = i0 + r0 + r;
+            let src = &a[row * k + pc..row * k + pc + kc];
+            for (kk, &v) in src.iter().enumerate() {
+                panel[kk * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// The per-task macro kernel: all of `C`'s columns for one `MC`-row block.
+/// `cblk` is rows `[i0, i0+mb)` of `C` (`mb×n`, row-major); `a_buf` must
+/// hold at least `ceil(mb/MR)·MR·min(KC, k)` floats.
+#[allow(clippy::too_many_arguments)] // GEMM operands + block geometry, BLAS-style ordering
+fn run_block(
+    kern: MicroKernel,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    bp: &[f32],
+    i0: usize,
+    mb: usize,
+    cblk: &mut [f32],
+    a_buf: &mut [f32],
+) {
+    let m_panels = mb.div_ceil(MR);
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        {
+            let _p = obs::span(obs::Stage::GemmPack);
+            pack_a_block(a, k, i0, mb, pc, kc, a_buf);
+            obs::add(obs::Counter::GemmPackedABytes, (m_panels * MR * kc * 4) as u64);
+        }
+        let _g = obs::span(obs::Stage::GemmKernel);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            // NC is a multiple of NR, so panel boundaries align with jc.
+            for q in jc / NR..(jc + nc).div_ceil(NR) {
+                let j0 = q * NR;
+                let w = NR.min(n - j0);
+                let b_panel = &bp[q * k * NR + pc * NR..q * k * NR + (pc + kc) * NR];
+                for p in 0..m_panels {
+                    let r0 = p * MR;
+                    let h = MR.min(mb - r0);
+                    let a_panel = &a_buf[p * kc * MR..(p + 1) * kc * MR];
+                    if h == MR && w == NR {
+                        kern(kc, a_panel, b_panel, &mut cblk[r0 * n + j0..], n);
+                    } else {
+                        // Edge tile: stage through a full stack tile. Dead
+                        // rows/columns multiply zero-padded panel entries,
+                        // so the live `h×w` region is exactly what a full
+                        // tile would have computed there.
+                        let mut tile = [0.0f32; MR * NR];
+                        for r in 0..h {
+                            let c_row = &cblk[(r0 + r) * n + j0..(r0 + r) * n + j0 + w];
+                            tile[r * NR..r * NR + w].copy_from_slice(c_row);
+                        }
+                        kern(kc, a_panel, b_panel, &mut tile, NR);
+                        for r in 0..h {
+                            let c_row = &mut cblk[(r0 + r) * n + j0..(r0 + r) * n + j0 + w];
+                            c_row.copy_from_slice(&tile[r * NR..r * NR + w]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared blocked driver over an already-packed `B`.
+#[allow(clippy::too_many_arguments)] // GEMM operands + block geometry, BLAS-style ordering
+fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    scratch: &dyn ScratchProvider,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    if obs::enabled() {
+        // Stamp the metrics document with the dispatched ISA, same as the Γ
+        // path in core — GEMM-only runs must also refuse cross-ISA diffs.
+        let d = iwino_simd::dispatch_info();
+        obs::set_dispatch_report(obs::DispatchReport {
+            isa: d.isa.to_string(),
+            lane_width: d.lane_width,
+            forced_scalar: d.forced_scalar,
+            features: d.features.iter().map(|f| f.to_string()).collect(),
+        });
+    }
+    let kern = microkernel();
+    let kc_max = KC.min(k);
+    let parts = par::SliceParts::new(c, MC * n);
+    // Disjoint MC-block ownership: each task claims one row block of C and
+    // is the only writer of every column in it. Inside a pool worker (the
+    // im2col / Γ-remainder call sites) this degrades to a serial loop.
+    par::parallel_for(m.div_ceil(MC), &|blk| {
+        let i0 = blk * MC;
+        let mb = MC.min(m - i0);
+        let cblk = parts.take(blk);
+        if !accumulate {
+            cblk.fill(0.0);
+        }
+        let mut a_buf = scratch.checkout(mb.div_ceil(MR) * MR * kc_max);
+        run_block(kern, n, k, a, bp, i0, mb, cblk, &mut a_buf);
+        scratch.give_back(a_buf);
+    });
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]` if `accumulate`, else `C = A·B`, with both
+/// packing buffers drawn from `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_scratch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    scratch: &dyn ScratchProvider,
+) {
+    assert_eq!(a.len(), m * k, "A shape");
+    assert_eq!(b.len(), k * n, "B shape");
+    assert_eq!(c.len(), m * n, "C shape");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let mut bp = scratch.checkout(packed_b_len(k, n));
+    {
+        let _p = obs::span(obs::Stage::GemmPack);
+        pack_b(k, n, b, &mut bp);
+        obs::add(obs::Counter::GemmPackedBBytes, (packed_b_len(k, n) * 4) as u64);
+    }
+    gemm_blocked(m, n, k, a, &bp, c, accumulate, scratch);
+    scratch.give_back(bp);
+}
+
+/// [`sgemm_scratch`] against a `B` packed ahead of time with [`pack_b`]
+/// (e.g. into an arena buffer shared across calls); only the A panels are
+/// packed here, drawn from `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b_packed: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    scratch: &dyn ScratchProvider,
+) {
+    assert_eq!(a.len(), m * k, "A shape");
+    assert!(b_packed.len() >= packed_b_len(k, n), "packed-B buffer too short");
+    assert_eq!(c.len(), m * n, "C shape");
+    gemm_blocked(m, n, k, a, b_packed, c, accumulate, scratch);
+}
+
+/// [`sgemm_packed`] against a plan-time [`PackedB`].
+pub fn sgemm_prepacked(
+    m: usize,
+    a: &[f32],
+    pb: &PackedB,
+    c: &mut [f32],
+    accumulate: bool,
+    scratch: &dyn ScratchProvider,
+) {
+    sgemm_packed(m, pb.n, pb.k, a, &pb.data, c, accumulate, scratch)
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]` if `accumulate`, else `C = A·B`. Packing
+/// buffers are plain allocations; serving paths use [`sgemm_scratch`].
+pub fn sgemm_acc(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], accumulate: bool) {
+    sgemm_scratch(m, n, k, a, b, c, accumulate, &AllocScratch)
+}
+
+/// `C = A·B` (row-major, overwrite).
+pub fn sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm_acc(m, n, k, a, b, c, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Naive left-to-right triple loop — the bitwise reference: the packed
+    /// kernels accumulate each C element in exactly this order with the
+    /// same individually rounded multiply and add.
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random fill (xorshift32), values in [-2, 2].
+    fn fill(buf: &mut [f32], seed: u32) {
+        let mut s = seed.wrapping_mul(2654435761).max(1);
+        for v in buf.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 17;
+            s ^= s << 5;
+            *v = (s as f32 / u32::MAX as f32) * 4.0 - 2.0;
+        }
+    }
+
+    /// Serialize tests that override the dispatch byte (same convention as
+    /// the Γ conformance net).
+    fn force_guard() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Restore the ambient dispatch (incl. IWINO_FORCE_SCALAR) on drop.
+    struct RestoreDispatch;
+    impl Drop for RestoreDispatch {
+        fn drop(&mut self) {
+            iwino_simd::clear_force_override();
+        }
+    }
+
+    fn check_bitwise(m: usize, n: usize, k: usize, seed: u32) {
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, seed);
+        fill(&mut b, seed.wrapping_add(1));
+        let mut c = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        sgemm(m, n, k, &a, &b, &mut c);
+        naive(m, n, k, &a, &b, &mut want);
+        for (i, (x, y)) in c.iter().zip(&want).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "({m}x{n}x{k}) idx {i}: {x:?} vs naive {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let n = 16;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..n * n).map(|i| i as f32 * 0.1).collect();
+        let mut c = vec![0.0f32; n * n];
+        sgemm(n, n, n, &eye, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn accumulate_adds_on_top() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [10.0f32];
+        sgemm_acc(1, 1, 2, &a, &b, &mut c, true);
+        assert_eq!(c[0], 10.0 + 11.0);
+        sgemm_acc(1, 1, 2, &a, &b, &mut c, false);
+        assert_eq!(c[0], 11.0);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let mut c = vec![7.0f32; 4];
+        sgemm(2, 2, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![0.0; 4]);
+        sgemm(0, 0, 5, &[], &[], &mut []);
+    }
+
+    #[test]
+    fn bitwise_matches_naive_across_block_boundaries() {
+        // m straddling MR and MC, n straddling NR, k straddling KC.
+        check_bitwise(MC + MR + 1, NR + 3, KC + 5, 7);
+        check_bitwise(MR - 1, 2 * NR, 2, 8);
+        check_bitwise(1, 1, 1, 9);
+    }
+
+    #[test]
+    fn prepacked_b_matches_per_call_packing() {
+        let (m, n, k) = (2 * MR + 1, NR + 5, 33);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, 21);
+        fill(&mut b, 22);
+        let pb = PackedB::pack(k, n, &b);
+        assert_eq!(pb.k(), k);
+        assert_eq!(pb.n(), n);
+        assert_eq!(pb.resident_bytes(), packed_b_len(k, n) * 4);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        sgemm(m, n, k, &a, &b, &mut c1);
+        sgemm_prepacked(m, &a, &pb, &mut c2, false, &AllocScratch);
+        assert_eq!(c1, c2);
+        // Accumulation on top of an existing C: bitwise equal to folding
+        // the products onto C in ascending-k order (not to `2·c1`, which
+        // rounds differently).
+        let mut c3 = c1.clone();
+        sgemm_prepacked(m, &a, &pb, &mut c3, true, &AllocScratch);
+        let mut want = c1.clone();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = want[i * n + j];
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                want[i * n + j] = acc;
+            }
+        }
+        for (x, y) in c3.iter().zip(&want) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn nonfinite_inputs_propagate_like_naive() {
+        // 0·∞ and 0·NaN must reach C (the seed kernel's zero-skip dropped
+        // them); the packed path performs the naive op sequence, so even
+        // the NaN bit patterns agree.
+        let (m, n, k) = (MR + 1, NR + 1, 4);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, 31);
+        fill(&mut b, 32);
+        a[0] = 0.0;
+        b[0] = f32::INFINITY;
+        a[k] = f32::NAN;
+        b[n] = 0.0;
+        a[2 * k + 1] = f32::NEG_INFINITY;
+        let mut c = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        sgemm(m, n, k, &a, &b, &mut c);
+        naive(m, n, k, &a, &b, &mut want);
+        assert!(want.iter().any(|v| v.is_nan()), "test must exercise a NaN product");
+        for (x, y) in c.iter().zip(&want) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x:?} vs naive {y:?}");
+        }
+    }
+
+    #[test]
+    fn scalar_lane_bitwise_matches_native() {
+        let _g = force_guard();
+        let (m, n, k) = (MC + 5, 2 * NR + 7, KC + 3);
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, 41);
+        fill(&mut b, 42);
+        let mut native = vec![0.0f32; m * n];
+        sgemm(m, n, k, &a, &b, &mut native);
+        let mut scalar_out = vec![0.0f32; m * n];
+        {
+            let _r = RestoreDispatch;
+            iwino_simd::set_force_scalar(true);
+            sgemm(m, n, k, &a, &b, &mut scalar_out);
+        }
+        for (i, (x, y)) in native.iter().zip(&scalar_out).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "idx {i}: {x:?} vs scalar {y:?}");
+        }
+    }
+
+    #[test]
+    fn scalar_lane_bitwise_sweep_over_edge_tiles() {
+        let _g = force_guard();
+        // Every m (mod MR) and n (mod NR) residue class near a boundary,
+        // including m < MR and k = 1.
+        for (m, n, k) in [
+            (1, 1, 1),
+            (MR - 1, NR - 1, 1),
+            (MR, NR, KC),
+            (MR + 1, NR + 1, KC + 1),
+            (2 * MR + 3, 3 * NR - 5, 17),
+            (MC, NR, KC),
+            (MC + 1, NR + 9, 2 * KC + 1),
+        ] {
+            let mut a = vec![0.0f32; m * k];
+            let mut b = vec![0.0f32; k * n];
+            fill(&mut a, (m * 31 + n * 7 + k) as u32);
+            fill(&mut b, (m * 13 + n * 3 + k) as u32);
+            let mut native = vec![0.0f32; m * n];
+            sgemm(m, n, k, &a, &b, &mut native);
+            let mut scalar_out = vec![0.0f32; m * n];
+            {
+                let _r = RestoreDispatch;
+                iwino_simd::set_force_scalar(true);
+                sgemm(m, n, k, &a, &b, &mut scalar_out);
+            }
+            for (i, (x, y)) in native.iter().zip(&scalar_out).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "({m}x{n}x{k}) idx {i}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Edge-geometry net: m/n/k drawn to straddle the MR, NR, KC and MC
+        /// boundaries (including m < MR and k = 1); every element must be
+        /// bitwise equal to the naive reference.
+        #[test]
+        fn packed_panels_bitwise_match_naive(
+            dm in 0usize..(2 * MR + 1),
+            mi in 0usize..4,
+            dn in 0usize..(NR + 1),
+            ni in 0usize..3,
+            dk in 0usize..3usize,
+            ki in 0usize..3,
+            seed in 0u32..1000,
+        ) {
+            let m = [1usize, MR, MC, MC + MR][mi] + dm;
+            let n = [1usize, NR, 2 * NR][ni] + dn;
+            let k = [1usize, KC - 1, KC][ki] + dk;
+            let mut a = vec![0.0f32; m * k];
+            let mut b = vec![0.0f32; k * n];
+            fill(&mut a, seed);
+            fill(&mut b, seed.wrapping_add(1));
+            let mut c = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            sgemm(m, n, k, &a, &b, &mut c);
+            naive(m, n, k, &a, &b, &mut want);
+            for (i, (x, y)) in c.iter().zip(&want).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "({}x{}x{}) idx {}", m, n, k, i);
+            }
+        }
+    }
+}

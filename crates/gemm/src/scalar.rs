@@ -1,0 +1,40 @@
+//! Safe-scalar 6×16 register-tile microkernel — the bit-exactness reference.
+//!
+//! Every SIMD lane of this crate must reproduce this kernel's results
+//! bit-for-bit: each C element accumulates its `k` products in ascending-`k`
+//! order with a separate (individually rounded) multiply and add, never a
+//! fused multiply-add. The AVX2/NEON kernels perform the same operation
+//! sequence per element with vector registers, so all three dispatch lanes
+//! agree to the last bit (the same contract `iwino-simd` pins for the Γ
+//! path).
+
+use crate::{MR, NR};
+
+/// `C[MR×NR] += Aᵖ[kc×MR] · Bᵖ[kc×NR]` over packed panels.
+///
+/// `a` holds `kc` groups of `MR` column values (k-major A micro-panel), `b`
+/// holds `kc` groups of `NR` row values (k-major B micro-panel), and `c` is
+/// the tile origin with row stride `ldc ≥ NR`. The accumulators initialize
+/// from C, so the caller chooses overwrite-vs-accumulate by zeroing C first.
+pub(crate) fn tile_6x16(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    assert!(a.len() >= kc * MR, "A micro-panel too short");
+    assert!(b.len() >= kc * NR, "B micro-panel too short");
+    assert!(ldc >= NR, "C row stride below tile width");
+    assert!(c.len() >= (MR - 1) * ldc + NR, "C tile out of bounds");
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+    }
+    for kk in 0..kc {
+        let av = &a[kk * MR..kk * MR + MR];
+        let bv = &b[kk * NR..kk * NR + NR];
+        for (row, &ar) in acc.iter_mut().zip(av) {
+            for (slot, &bj) in row.iter_mut().zip(bv) {
+                *slot += ar * bj;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(row);
+    }
+}

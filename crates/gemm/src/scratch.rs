@@ -1,0 +1,47 @@
+//! Scratch-buffer provisioning for GEMM packing and im2col patch gathers.
+//!
+//! The packed-GEMM macro kernel needs per-worker panel buffers, and the
+//! GEMM-class convolutions need a per-worker patch buffer (`OW×K` floats)
+//! for every output row. Where those buffers come from is a policy decision
+//! that belongs to the caller: a standalone benchmark is happy to allocate,
+//! while a serving engine wants buffers recycled through an arena so
+//! steady-state inference does zero heap allocation. [`ScratchProvider`]
+//! abstracts the difference — `iwino-engine`'s workspace pool implements it
+//! over its arena, and [`AllocScratch`] preserves the plain-allocation
+//! behaviour for direct callers.
+
+/// Source of temporary f32 buffers for GEMM and convolution internals.
+///
+/// Implementations must be `Sync`: workers check buffers out concurrently
+/// from inside `iwino_parallel` jobs.
+pub trait ScratchProvider: Sync {
+    /// A zero-filled buffer of exactly `len` elements.
+    fn checkout(&self, len: usize) -> Vec<f32>;
+
+    /// Hand a buffer back for reuse. The default implementation drops it.
+    fn give_back(&self, _buf: Vec<f32>) {}
+}
+
+/// The no-pooling provider: every checkout is a fresh allocation and every
+/// give-back a deallocation.
+pub struct AllocScratch;
+
+impl ScratchProvider for AllocScratch {
+    fn checkout(&self, len: usize) -> Vec<f32> {
+        vec![0.0; len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_scratch_returns_zeroed_buffers() {
+        let s = AllocScratch;
+        let b = s.checkout(17);
+        assert_eq!(b.len(), 17);
+        assert!(b.iter().all(|&v| v == 0.0));
+        s.give_back(b);
+    }
+}

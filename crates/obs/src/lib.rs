@@ -71,6 +71,8 @@ pub enum Stage {
     ArenaCheckout,
     GammaSegment,
     WorkerChunk,
+    GemmPack,
+    GemmKernel,
     Total,
 }
 
@@ -78,7 +80,7 @@ impl Stage {
     /// Every stage, in declaration (= discriminant) order; the flight
     /// recorder packs `Stage as u64` into event words and decodes through
     /// this array, so the two must stay aligned.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 15] = [
         Stage::FilterTransform,
         Stage::InputTransform,
         Stage::OuterProduct,
@@ -91,6 +93,8 @@ impl Stage {
         Stage::ArenaCheckout,
         Stage::GammaSegment,
         Stage::WorkerChunk,
+        Stage::GemmPack,
+        Stage::GemmKernel,
         Stage::Total,
     ];
 
@@ -108,6 +112,8 @@ impl Stage {
             Stage::ArenaCheckout => "arena_checkout",
             Stage::GammaSegment => "gamma_segment",
             Stage::WorkerChunk => "worker_chunk",
+            Stage::GemmPack => "gemm_pack",
+            Stage::GemmKernel => "gemm_kernel",
             Stage::Total => "total",
         }
     }
@@ -115,8 +121,9 @@ impl Stage {
     /// Stages excluded from [`Snapshot::attributed_ns`]: umbrella stages
     /// (`Total`, `EnginePlan`, `EngineRun`) wrap other recorded spans, and
     /// the bookkeeping stages (`ArenaCheckout`, `GammaSegment`,
-    /// `WorkerChunk`) overlap them — counting either kind in a sum would
-    /// double-attribute time.
+    /// `WorkerChunk`, `GemmPack`, `GemmKernel`) overlap them — the GEMM
+    /// sub-stages nest inside `Baseline` / `GemmRemainder` spans — so
+    /// counting either kind in a sum would double-attribute time.
     pub fn is_umbrella(self) -> bool {
         matches!(
             self,
@@ -126,6 +133,8 @@ impl Stage {
                 | Stage::ArenaCheckout
                 | Stage::GammaSegment
                 | Stage::WorkerChunk
+                | Stage::GemmPack
+                | Stage::GemmKernel
         )
     }
 }
@@ -158,6 +167,8 @@ pub enum Counter {
     ArenaHits,
     ArenaMisses,
     ArenaBytesHighWater,
+    GemmPackedABytes,
+    GemmPackedBBytes,
     ServeAdmitted,
     ServeRejected,
     ServeExpired,
@@ -167,7 +178,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::Flops,
         Counter::BytesLoaded,
         Counter::BytesStored,
@@ -183,6 +194,8 @@ impl Counter {
         Counter::ArenaHits,
         Counter::ArenaMisses,
         Counter::ArenaBytesHighWater,
+        Counter::GemmPackedABytes,
+        Counter::GemmPackedBBytes,
         Counter::ServeAdmitted,
         Counter::ServeRejected,
         Counter::ServeExpired,
@@ -208,6 +221,8 @@ impl Counter {
             Counter::ArenaHits => "arena_hits",
             Counter::ArenaMisses => "arena_misses",
             Counter::ArenaBytesHighWater => "arena_bytes_high_water",
+            Counter::GemmPackedABytes => "gemm_packed_a_bytes",
+            Counter::GemmPackedBBytes => "gemm_packed_b_bytes",
             Counter::ServeAdmitted => "serve_admitted",
             Counter::ServeRejected => "serve_rejected",
             Counter::ServeExpired => "serve_expired",

@@ -1,6 +1,6 @@
 //! Structured metrics export: one JSON document per measured run.
 //!
-//! Schema (version 5). Version 2 added the `"kind"` discriminator so
+//! Schema (version 6). Version 2 added the `"kind"` discriminator so
 //! consumers can tell a metrics document from the static-analysis report
 //! the `analyzer` crate emits with the same `schema_version` ("metrics"
 //! here, "analysis" there); version 3 added the `"dispatch"` section
@@ -12,11 +12,14 @@
 //! adds the `"serve"` section (per-bucket batch-serving statistics filled
 //! in by `iwino-serve`: admission accounting, coalesce factor, queue-depth
 //! high water, per-bucket p50/p99) plus the `serve_*` counters and the
-//! `serve_queue_wait` / `serve_batch` / `serve_e2e` histogram sites:
+//! `serve_queue_wait` / `serve_batch` / `serve_e2e` histogram sites;
+//! version 6 adds the packed-GEMM sub-stages (`gemm_pack`, `gemm_kernel`)
+//! and the `gemm_packed_a_bytes` / `gemm_packed_b_bytes` counters reported
+//! by `iwino-gemm`:
 //!
 //! ```text
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "kind": "metrics",
 //!   "label": "<workload name>",
 //!   "wall_ns": <u64>,                    // end-to-end wall time
@@ -50,7 +53,7 @@ use std::path::Path;
 
 /// Version of the JSON layout emitted by [`MetricsReport::to_json`] (and
 /// shared by the analyzer's `"kind": "analysis"` documents).
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// A captured, self-describing metrics document.
 #[derive(Clone, Debug)]
@@ -232,7 +235,7 @@ mod tests {
         assert!((report.stage_gflops(Stage::OuterProduct) - 2_000_000.0 / 750.0).abs() < 1e-9);
         assert_eq!(report.stage_gflops(Stage::Epilogue), 0.0);
         let json = report.to_json().pretty();
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"kind\": \"metrics\""));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"outer_product\""));

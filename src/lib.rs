@@ -11,6 +11,8 @@
 //!   cache (transformed-filter banks built once), arena-backed workspace
 //!   pool, and the §5.7 selection policy;
 //! * [`baselines`] — direct / im2col-GEMM / fused 2-D Winograd comparators;
+//! * [`gemm`] — the packed, register-blocked SGEMM behind every GEMM-class
+//!   path (Goto-style cache blocking, ISA-dispatched 6×16 register tile);
 //! * [`transforms`] — exact Cook–Toom transform generation;
 //! * [`tensor`] — NHWC tensors and shapes;
 //! * [`gpu_sim`] — the RTX 3060 Ti / RTX 4090 cost model;
@@ -66,6 +68,7 @@
 pub use iwino_baselines as baselines;
 pub use iwino_core as core;
 pub use iwino_engine as engine;
+pub use iwino_gemm as gemm;
 pub use iwino_gpu_sim as gpu_sim;
 pub use iwino_nn as nn;
 pub use iwino_obs as obs;
