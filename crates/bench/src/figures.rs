@@ -609,6 +609,53 @@ pub fn gemm_bench_cases() -> Vec<GemmBenchCase> {
         .collect()
 }
 
+/// The indirect-GEMM case list (`repro bench-stages indirect`): the region
+/// of the Figure 7–9 shape space the §5.7 heuristic hands to
+/// `im2col-indirect` — small-OW / deep-K rows where the row-at-a-time
+/// im2col fallback re-streams the packed-B panels N·OH times, the
+/// large-filter regime, plus strided variants (which the Γ planner cannot
+/// run at all). Run once with `--backend im2col-gemm-nhwc` and once with
+/// the default backend to regenerate the committed `BENCH_pr10_*` pair.
+pub fn indirect_bench_cases() -> Vec<GemmBenchCase> {
+    let unit: [(&str, usize, usize, usize, usize); 4] = [
+        // Figure 8 Γ8(6,3) rows (256, 32, 32, 128) / (128, 12, 12, 512),
+        // N scaled to 1: the deep-K / small-OW frontier anchors.
+        ("ind_r3_32x32x128", 32, 32, 128, 3),
+        ("ind_r3_12x12x512", 12, 12, 512, 3),
+        // Figure 8 Γ8(4,5) row (128, 16, 16, 256).
+        ("ind_r5_16x16x256", 16, 16, 256, 5),
+        // Figure 9 Γ16(8,9) row (32, 16, 16, 128): K = 81·IC dominates.
+        ("ind_r9_16x16x128", 16, 16, 128, 9),
+    ];
+    let mut cases: Vec<GemmBenchCase> = unit
+        .into_iter()
+        .map(|(label, oh, ow, oc, r)| GemmBenchCase {
+            label: label.into(),
+            shape: ConvShape::from_ofms(1, oh, ow, oc, oc, r),
+        })
+        .collect();
+    // Strided variants: stride-2 downsampling stages (ResNet-stem-like
+    // 3×3/s2 and a 5×5/s2), where the indirection table's gather skips the
+    // unvisited input rows the materialising im2col still walks.
+    cases.push(GemmBenchCase {
+        label: "ind_s2_r3_56x56x64".into(),
+        shape: ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 112, 64, 64, 3)
+        },
+    });
+    cases.push(GemmBenchCase {
+        label: "ind_s2_r5_32x32x96".into(),
+        shape: ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 64, 96, 96, 5)
+        },
+    });
+    cases
+}
+
 /// Scale an ofms batch size so the measured workload stays near
 /// `target_gflop` (quick mode). Returns `(scaled N, scale factor)`.
 pub fn scale_batch(ofms: Ofms, r: usize, target_gflop: f64) -> (usize, f64) {

@@ -14,10 +14,13 @@
 //! repro ablation-banks            §5.2 bank-conflict ablation
 //! repro ablation-variants         §5.4/§5.6 ruse/c64 ablation
 //! repro ablation-transforms       §5.3 simplified-transformation ablation
-//! repro bench-stages [winograd|gemm] [--out p] [--engine]  per-stage effective GFLOP/s (the
-//!                                 BENCH_*.json perf trajectory; --engine runs plan-cached reps
-//!                                 through the engine; `gemm` sweeps the Fig 7–9 im2col shapes
-//!                                 plan-cached through `im2col-gemm-nhwc` — the BENCH_pr9_* pair)
+//! repro bench-stages [winograd|gemm|indirect] [--out p] [--engine] [--backend name]
+//!                                 per-stage effective GFLOP/s (the BENCH_*.json perf trajectory;
+//!                                 --engine runs plan-cached reps through the engine; `gemm` sweeps
+//!                                 the Fig 7–9 im2col shapes plan-cached through `im2col-gemm-nhwc`
+//!                                 — the BENCH_pr9_* pair; `indirect` sweeps the small-OW/strided
+//!                                 frontier through `im2col-indirect`, or through `--backend` for
+//!                                 the baseline arm — the BENCH_pr10_* pair)
 //! repro bench-compare <base> <after> [--max-regression pct]  perf-regression gate over two
 //!                                 bench-stages documents (exit 1 on regression)
 //! repro trace [<case>] [--out p]  flight-recorder capture of a stage-bench case as Chrome
@@ -44,8 +47,8 @@ pub mod tracer;
 
 pub use compare::{compare, isa_parity, parse_bench_doc, BenchCase, BenchDoc, CaseDelta, CompareReport};
 pub use figures::{
-    gemm_bench_cases, scale_batch, stage_bench_cases, AccuracyTable, GemmBenchCase, Ofms, Panel, StageBenchCase, FIG8,
-    FIG9, TABLE3,
+    gemm_bench_cases, indirect_bench_cases, scale_batch, stage_bench_cases, AccuracyTable, GemmBenchCase, Ofms, Panel,
+    StageBenchCase, FIG8, FIG9, TABLE3,
 };
 pub use runner::*;
 pub use serve_bench::{run_serve_bench, serve_bench_buckets, ServeBenchCase, ServeBenchConfig, ServeBenchReport};

@@ -565,20 +565,26 @@ pub fn bench_stage_rates(case: &crate::figures::StageBenchCase, reps: usize, via
 }
 
 /// Run one im2col-GEMM case plan-cached through a private engine and derive
-/// per-stage rates. The warm-up builds (and caches) the plan — the HWIO
-/// filter reshape and any filter-side packing are paid once — so the
-/// measured window holds only cache hits drawing patch scratch from the
-/// engine's arena: the steady-state serving path the `BENCH_pr9_*`
-/// trajectory compares across commits.
+/// per-stage rates — shorthand for [`bench_backend_rates`] on the
+/// `im2col-gemm-nhwc` backend (the `BENCH_pr9_*` trajectory).
 pub fn bench_gemm_rates(case: &crate::figures::GemmBenchCase, reps: usize) -> StageBenchResult {
+    bench_backend_rates(case, reps, "im2col-gemm-nhwc")
+}
+
+/// Run one GEMM-class case plan-cached through a private engine and derive
+/// per-stage rates for the named registry backend. The warm-up builds (and
+/// caches) the plan — the HWIO filter reshape, filter-side packing, and
+/// (for `im2col-indirect`) the indirection-table build are paid once — so
+/// the measured window holds only cache hits drawing gather/patch scratch
+/// from the engine's arena: the steady-state serving path the `BENCH_pr9_*`
+/// and `BENCH_pr10_*` trajectories compare across commits.
+pub fn bench_backend_rates(case: &crate::figures::GemmBenchCase, reps: usize, backend: &str) -> StageBenchResult {
     use iwino_obs as obs;
     let shape = &case.shape;
     let x = Tensor4::<f32>::random(shape.x_dims(), 43, -1.0, 1.0);
     let w = Tensor4::<f32>::random(shape.w_dims(), 44, -1.0, 1.0);
     let eng = Engine::new();
-    let algo = eng
-        .algorithm("im2col-gemm-nhwc")
-        .unwrap_or_else(|e| panic!("{}: {e}", case.label));
+    let algo = eng.algorithm(backend).unwrap_or_else(|e| panic!("{}: {e}", case.label));
     let handle = Handle::default();
     let run_once = || {
         drop(
@@ -600,16 +606,23 @@ pub fn bench_gemm_rates(case: &crate::figures::GemmBenchCase, reps: usize) -> St
     let snap = obs::snapshot();
     obs::set_enabled(was_enabled);
     let st = eng.stats();
-    assert_eq!(st.plan_misses, 1, "gemm bench must plan exactly once (at warm-up)");
+    assert_eq!(st.plan_misses, 1, "backend bench must plan exactly once (at warm-up)");
     assert_eq!(
         st.plan_hits as usize, reps,
         "every measured rep must hit the plan cache"
     );
 
     let flops = snap.counter(obs::Counter::Flops) as f64;
-    // `baseline` is the whole im2col+GEMM call; the GEMM sub-stages nest
-    // inside it, so only `baseline` counts toward the attributed total.
-    let pipeline = [obs::Stage::Baseline, obs::Stage::GemmPack, obs::Stage::GemmKernel];
+    // `baseline` is the whole conv call; the GEMM sub-stages nest inside
+    // it, so only `baseline` counts toward the attributed total.
+    // `indirect_setup` only fires on a table (re)build — steady-state reps
+    // never touch it, so a nonzero reading here flags a caching bug.
+    let pipeline = [
+        obs::Stage::Baseline,
+        obs::Stage::IndirectSetup,
+        obs::Stage::GemmPack,
+        obs::Stage::GemmKernel,
+    ];
     let attributed = snap.stage_ns(obs::Stage::Baseline);
     let stages = pipeline
         .iter()
@@ -636,7 +649,7 @@ pub fn bench_gemm_rates(case: &crate::figures::GemmBenchCase, reps: usize) -> St
     StageBenchResult {
         label: case.label.clone(),
         shape: format!("{n}x{oh}x{ow}x{oc}"),
-        kernel: "im2col-gemm-nhwc".to_string(),
+        kernel: backend.to_string(),
         reps,
         wall_ns,
         gflops: if wall_ns > 0 { flops / wall_ns as f64 } else { 0.0 },
@@ -878,6 +891,31 @@ mod tests {
             assert!(s.p50_ns > 0, "{}: histogram never recorded", s.stage);
             assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns, "{s:?}");
         }
+    }
+
+    #[test]
+    fn backend_bench_runs_indirect_plan_cached() {
+        // A strided miniature of the BENCH_pr10 cases: the table is built
+        // at warm-up (inside the plan), so no measured rep may re-enter
+        // `indirect_setup`, and the kernel column must name the backend.
+        let case = crate::figures::GemmBenchCase {
+            label: "ind_smoke_s2".into(),
+            shape: ConvShape {
+                sh: 2,
+                sw: 2,
+                ..ConvShape::square(1, 16, 8, 8, 3)
+            },
+        };
+        let r = bench_backend_rates(&case, 2, "im2col-indirect");
+        assert_eq!(r.kernel, "im2col-indirect");
+        assert!(r.via_engine);
+        assert!(
+            r.stages.iter().all(|s| s.stage != "indirect_setup"),
+            "steady-state reps rebuilt the indirection table: {:?}",
+            r.stages
+        );
+        assert!(r.stages.iter().any(|s| s.stage == "baseline"), "{:?}", r.stages);
+        assert!(r.gflops > 0.0);
     }
 
     #[test]

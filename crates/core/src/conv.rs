@@ -125,14 +125,17 @@ pub fn auto_options(shape: &ConvShape) -> ConvOptions {
     }
 }
 
-/// Unit-stride 2-D convolution with the default kernel selection.
+/// 2-D convolution with the default kernel selection. Unit-stride shapes
+/// run the fused Im2col-Winograd path; strided shapes route through the
+/// indirect-convolution GEMM (`iwino-indirect`), which handles arbitrary
+/// stride via its offset table.
 /// `x` is `N×IH×IW×IC` NHWC; `w` is `OC×FH×FW×IC`; returns `N×OH×OW×OC`.
 pub fn conv2d(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape) -> Tensor4<f32> {
     conv2d_opts(x, w, shape, &ConvOptions::default())
 }
 
-/// Unit-stride 2-D convolution with explicit options. Panics on malformed
-/// requests; [`try_conv2d_opts`] is the recoverable form.
+/// [`conv2d`] with explicit options. Panics on malformed requests;
+/// [`try_conv2d_opts`] is the recoverable form.
 pub fn conv2d_opts(x: &Tensor4<f32>, w: &Tensor4<f32>, shape: &ConvShape, opts: &ConvOptions) -> Tensor4<f32> {
     try_conv2d_opts(x, w, shape, opts).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -144,7 +147,7 @@ pub fn try_conv2d_opts(
     shape: &ConvShape,
     opts: &ConvOptions,
 ) -> Result<Tensor4<f32>, ConvError> {
-    PreparedConv::forward(w, shape, opts)?.execute(x, &Epilogue::None)
+    try_conv2d_fused(x, w, shape, opts, &Epilogue::None)
 }
 
 /// Convolution with a fused output epilogue (bias / activation applied
@@ -167,6 +170,17 @@ pub fn try_conv2d_fused(
     opts: &ConvOptions,
     epilogue: &Epilogue,
 ) -> Result<Tensor4<f32>, ConvError> {
+    if !shape.is_unit_stride() {
+        // The fused Γ path is unit-stride (§4); strided shapes run the
+        // indirect-convolution GEMM instead of erroring. The table and
+        // packed filter are rebuilt per call here — repeated-shape callers
+        // go through `iwino-engine`, whose plan cache keeps both.
+        expect_dims("filter", w.dims(), shape.w_dims())?;
+        expect_dims("input", x.dims(), shape.x_dims())?;
+        let mut y = iwino_indirect::indirect_conv(x, w, shape);
+        epilogue.apply(y.as_mut_slice(), shape.oc);
+        return Ok(y);
+    }
     PreparedConv::forward(w, shape, opts)?.execute(x, epilogue)
 }
 
@@ -695,15 +709,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn rejects_strided_shapes() {
+    fn strided_shapes_route_through_indirect_gemm() {
+        // Non-unit stride can't run the fused Γ path; conv2d must now
+        // produce the convolution via the indirect GEMM instead of erroring.
         let s = ConvShape {
             sw: 2,
             ..ConvShape::square(1, 8, 2, 2, 3)
         };
-        let x = Tensor4::<f32>::zeros(s.x_dims());
-        let w = Tensor4::<f32>::zeros(s.w_dims());
-        let _ = conv2d(&x, &w, &s);
+        let x = Tensor4::<f32>::random(s.x_dims(), 710, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), 711, -1.0, 1.0);
+        let y = conv2d(&x, &w, &s);
+        assert_eq!(y.dims(), s.y_dims());
+        let want = iwino_baselines::direct_conv_f64_ref(&x, &w, &s);
+        for (i, (&a, &b)) in y.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert!((a as f64 - b).abs() < 1e-3, "idx {i}: {a} vs f64 direct {b}");
+        }
+        // The fused epilogue applies on the strided route too.
+        let got = conv2d_fused(&x, &w, &s, &ConvOptions::default(), &Epilogue::Relu);
+        for (&g, &p) in got.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(g, p.max(0.0));
+        }
+        // Malformed strided requests still fail recoverably, not by panic.
+        let bad = Tensor4::<f32>::zeros([1, 3, 3, 2]);
+        let e = try_conv2d_opts(&bad, &w, &s, &ConvOptions::default()).unwrap_err();
+        assert!(matches!(e, ConvError::ShapeMismatch { what: "input", .. }), "{e}");
     }
 
     #[test]

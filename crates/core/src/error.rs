@@ -35,6 +35,16 @@ pub enum ConvError {
     UnknownAlgorithm { name: String },
     /// No registered algorithm supports the shape (engine dispatch).
     NoEligibleAlgorithm { shape: ConvShape },
+    /// The named algorithm's `supports` query rejected the shape (engine
+    /// dispatch); `supported` lists the registered backends that can run it,
+    /// so callers of a forced backend know where to re-route. The shape is
+    /// boxed to keep the error (carried through every `Result` in the
+    /// planning paths) register-sized.
+    UnsupportedShape {
+        algorithm: &'static str,
+        shape: Box<ConvShape>,
+        supported: Vec<&'static str>,
+    },
 }
 
 impl fmt::Display for ConvError {
@@ -56,6 +66,21 @@ impl fmt::Display for ConvError {
             ConvError::UnknownAlgorithm { name } => write!(f, "no convolution algorithm named {name:?} is registered"),
             ConvError::NoEligibleAlgorithm { shape } => {
                 write!(f, "no registered convolution algorithm supports shape {shape:?}")
+            }
+            ConvError::UnsupportedShape {
+                algorithm,
+                shape,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} does not support shape {shape:?}; supported by: {}",
+                    if supported.is_empty() {
+                        "no registered backend".to_string()
+                    } else {
+                        supported.join(", ")
+                    }
+                )
             }
         }
     }
@@ -87,6 +112,23 @@ mod tests {
     #[test]
     fn matching_dims_pass() {
         assert!(expect_dims("filter", [4, 3, 3, 2], [4, 3, 3, 2]).is_ok());
+    }
+
+    #[test]
+    fn unsupported_shape_names_capable_backends() {
+        let e = ConvError::UnsupportedShape {
+            algorithm: "fft",
+            shape: Box::new(ConvShape {
+                sh: 2,
+                sw: 2,
+                ..ConvShape::square(1, 9, 3, 4, 3)
+            }),
+            supported: vec!["im2col-gemm-nhwc", "im2col-indirect", "direct"],
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("fft"), "{msg}");
+        assert!(msg.contains("im2col-indirect"), "{msg}");
+        assert!(msg.contains("direct"), "{msg}");
     }
 
     #[test]

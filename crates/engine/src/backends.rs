@@ -3,10 +3,12 @@
 //! One adapter per algorithm family the paper benchmarks (§6.1.1): the
 //! fused Im2col-Winograd kernels, im2col+GEMM in both layouts (the
 //! `Implicit_Precomp_GEMM` stand-ins), direct convolution, fused 2-D
-//! Winograd (`Fused_Winograd`, 3×3-only), and FFT. Every adapter produces a
-//! [`ConvPlan`] owning whatever per-shape state is expensive to rebuild —
-//! transformed-filter banks, reshaped weights, gather maps — so the
-//! engine's cache turns repeat calls into pure execution.
+//! Winograd (`Fused_Winograd`, 3×3-only), FFT, and indirect convolution
+//! (Dukhan's indirection-buffer GEMM, the arbitrary-stride path). Every
+//! adapter produces a [`ConvPlan`] owning whatever per-shape state is
+//! expensive to rebuild — transformed-filter banks, reshaped weights,
+//! gather maps, indirection tables — so the engine's cache turns repeat
+//! calls into pure execution.
 
 use crate::arena::WorkspacePool;
 use crate::{ConvAlgorithm, ConvPlan};
@@ -17,13 +19,14 @@ use iwino_tensor::{nchw_to_nhwc, nhwc_to_nchw, transpose_filter_to_hwio, ConvSha
 use std::sync::Arc;
 
 /// Registry names, in registration order. `Engine::algorithms` mirrors this.
-pub const BACKEND_NAMES: [&str; 6] = [
+pub const BACKEND_NAMES: [&str; 7] = [
     "im2col-winograd",
     "im2col-gemm-nhwc",
     "im2col-gemm-nchw",
     "direct",
     "winograd2d",
     "fft",
+    "im2col-indirect",
 ];
 
 pub(crate) fn all_backends() -> Vec<Arc<dyn ConvAlgorithm>> {
@@ -34,6 +37,7 @@ pub(crate) fn all_backends() -> Vec<Arc<dyn ConvAlgorithm>> {
         Arc::new(DirectBackend),
         Arc::new(Winograd2dBackend),
         Arc::new(FftBackend),
+        Arc::new(IndirectBackend),
     ]
 }
 
@@ -456,6 +460,72 @@ impl ConvPlan for FftPlan {
         let s = &self.shape;
         expect_dims("input", x.dims(), s.x_dims())?;
         let mut y = baselines::fft_conv(x, &self.w, s);
+        epilogue.apply(y.as_mut_slice(), s.oc);
+        Ok(y)
+    }
+}
+
+// ---------------------------------------------------------------- indirect
+
+/// Indirect convolution (Dukhan): a shape-keyed indirection table of row
+/// offsets replaces im2col's materialised patch matrix, and one blocked
+/// GEMM over the gathered A-panels covers the whole batch. The plan caches
+/// the table next to the pre-packed HWIO filter — both shape-keyed, both
+/// batch-relocatable — and arbitrary stride falls out of the table build,
+/// making this the engine's GEMM-class path for strided shapes.
+pub struct IndirectBackend;
+
+struct IndirectPlan {
+    table: iwino_indirect::IndirectTable,
+    w_packed: iwino_gemm::PackedB,
+}
+
+impl ConvAlgorithm for IndirectBackend {
+    fn name(&self) -> &'static str {
+        "im2col-indirect"
+    }
+
+    fn supports(&self, _s: &ConvShape) -> bool {
+        true
+    }
+
+    fn workspace_class(&self, _s: &ConvShape) -> AlgorithmClass {
+        // Like cuDNN's precomp GEMM, the per-shape state is an index
+        // structure whose size is independent of IC and batch; the A-panel
+        // scratch is the GEMM's own and already accounted there.
+        AlgorithmClass::ImplicitPrecompGemm
+    }
+
+    fn plan(&self, w: &Tensor4<f32>, s: &ConvShape, deconv: bool) -> Result<Arc<dyn ConvPlan>, ConvError> {
+        if deconv {
+            return Err(unsupported(self.name(), "backward-data runs through `direct`"));
+        }
+        expect_dims("filter", w.dims(), s.w_dims())?;
+        let wmat = transpose_filter_to_hwio(w);
+        Ok(Arc::new(IndirectPlan {
+            table: iwino_indirect::IndirectTable::build(s),
+            w_packed: iwino_gemm::PackedB::pack(s.fh * s.fw * s.ic, s.oc, wmat.as_slice()),
+        }))
+    }
+}
+
+impl ConvPlan for IndirectPlan {
+    fn algorithm(&self) -> &'static str {
+        "im2col-indirect"
+    }
+
+    fn shape(&self) -> &ConvShape {
+        self.table.shape()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.table.resident_bytes() + self.w_packed.resident_bytes()
+    }
+
+    fn run(&self, x: &Tensor4<f32>, epilogue: &Epilogue, arena: &WorkspacePool) -> Result<Tensor4<f32>, ConvError> {
+        let s = self.table.shape();
+        expect_dims("input", x.dims(), s.x_dims())?;
+        let mut y = iwino_indirect::indirect_conv_nhwc_packed(x, &self.w_packed, &self.table, arena);
         epilogue.apply(y.as_mut_slice(), s.oc);
         Ok(y)
     }

@@ -231,11 +231,16 @@ impl Engine {
     /// fused Winograd wherever it applies — except the deep-K corner
     /// (3×3-and-smaller filters over ≥ 256 input channels), where the
     /// packed im2col GEMM's panel reuse beats short Γ tiles on the
-    /// measured frontier (EXPERIMENTS.md, "who wins where") — and GEMM for
-    /// everything the fused path cannot run.
+    /// measured frontier (EXPERIMENTS.md, "who wins where"). Everything
+    /// the fused path cannot run — strided shapes (small OW), filters
+    /// outside the Γ planner's 2..=15 width range (large r) — goes to
+    /// `im2col-indirect`: its one batch-wide GEMM amortises the packed-B
+    /// panel streaming that the row-at-a-time im2col fallback re-pays
+    /// `N·OH` times, and its indirection table handles arbitrary stride
+    /// (EXPERIMENTS.md, indirect-vs-im2col frontier).
     pub fn heuristic_choice(&self, s: &ConvShape) -> &'static str {
         if !self.registry[0].supports(s) {
-            return "im2col-gemm-nhwc";
+            return "im2col-indirect";
         }
         if s.ic >= 256 && s.fh <= 3 && s.fw <= 3 {
             return "im2col-gemm-nhwc";
@@ -270,6 +275,22 @@ impl Engine {
         deconv: bool,
     ) -> Result<Arc<dyn ConvPlan>, ConvError> {
         let _plan_span = obs::span(obs::Stage::EnginePlan);
+        // Capability gate: the registry's explicit `supports` query answers
+        // for shape capability, so no backend's internal stride/geometry
+        // assertion is ever reachable through engine dispatch — a rejected
+        // shape gets an error naming the backends that *can* run it.
+        if !algo.supports(s) {
+            return Err(ConvError::UnsupportedShape {
+                algorithm: algo.name(),
+                shape: Box::new(*s),
+                supported: self
+                    .registry
+                    .iter()
+                    .filter(|a| a.supports(s))
+                    .map(|a| a.name())
+                    .collect(),
+            });
+        }
         // Latency histograms split by outcome: a hit is a guarded map
         // lookup, a miss additionally pays the full plan build — averaging
         // the two together would hide exactly the tail the histograms exist
@@ -476,6 +497,34 @@ mod tests {
         let wrong = Tensor4::<f32>::zeros([1, 7, 8, 3]);
         let e = eng.conv(&h, &wrong, &w, &s, &Epilogue::None).unwrap_err();
         assert!(matches!(e, ConvError::ShapeMismatch { what: "input", .. }), "{e}");
+    }
+
+    #[test]
+    fn forced_backend_on_unsupported_shape_names_capable_backends() {
+        // The engine's capability gate answers before any backend-internal
+        // assertion can: forcing a unit-stride-only backend onto a strided
+        // shape yields an error listing the backends that do support it.
+        let eng = Engine::new();
+        let s = ConvShape {
+            sh: 2,
+            sw: 2,
+            ..ConvShape::square(1, 9, 3, 4, 3)
+        };
+        let (x, w) = tensors(&s);
+        let fft = eng.algorithm("fft").unwrap();
+        let e = eng
+            .conv_with(&fft, FilterId { owner: 1, epoch: 0 }, &x, &w, &s, &Epilogue::None)
+            .unwrap_err();
+        let ConvError::UnsupportedShape {
+            algorithm, supported, ..
+        } = e
+        else {
+            panic!("want UnsupportedShape, got {e}");
+        };
+        assert_eq!(algorithm, "fft");
+        assert!(supported.contains(&"im2col-indirect"), "{supported:?}");
+        assert!(supported.contains(&"direct"), "{supported:?}");
+        assert!(!supported.contains(&"fft"), "{supported:?}");
     }
 
     #[test]

@@ -22,6 +22,20 @@ fn shapes() -> Vec<ConvShape> {
             sw: 2,
             ..ConvShape::square(1, 11, 3, 4, 3)
         },
+        // Stride 3 with a wider filter — exercises the indirection table's
+        // sparser gather pattern.
+        ConvShape {
+            sh: 3,
+            sw: 3,
+            ..ConvShape::square(1, 13, 2, 4, 5)
+        },
+        // Asymmetric stride (2×3): OH ≠ OW, and the table's row/column
+        // geometry diverge.
+        ConvShape {
+            sh: 2,
+            sw: 3,
+            ..ConvShape::square(2, 12, 3, 5, 3)
+        },
     ]
 }
 

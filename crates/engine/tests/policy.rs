@@ -48,7 +48,11 @@ fn heuristic_picks_gemm_for_deep_k_small_filters() {
 }
 
 #[test]
-fn heuristic_picks_gemm_class_for_strides_at_least_2() {
+fn heuristic_picks_indirect_for_strides_at_least_2() {
+    // Strided shapes can't run the fused path; among the GEMM-class
+    // backends the indirection-buffer GEMM owns this region — one
+    // batch-wide GEMM instead of the im2col fallback's per-row B-panel
+    // re-streaming.
     let eng = Engine::new();
     for stride in 2..=4 {
         let s = ConvShape {
@@ -58,10 +62,33 @@ fn heuristic_picks_gemm_class_for_strides_at_least_2() {
         };
         assert_eq!(
             eng.heuristic_choice(&s),
-            "im2col-gemm-nhwc",
-            "stride {stride} must fall back to GEMM (§5.7)"
+            "im2col-indirect",
+            "stride {stride} must fall back to the indirect GEMM (§5.7)"
         );
     }
+}
+
+#[test]
+fn heuristic_frontier_between_indirect_and_im2col_gemm() {
+    // ISSUE-10 satellite: pin both sides of the indirect-vs-im2col
+    // frontier the heuristic encodes.
+    let eng = Engine::new();
+    // Strided ⇒ small OW: indirect wins (BENCH_pr10 pair).
+    let strided = ConvShape {
+        sh: 2,
+        sw: 2,
+        ..ConvShape::square(1, 24, 32, 32, 3)
+    };
+    assert_eq!(eng.heuristic_choice(&strided), "im2col-indirect");
+    // Large r beyond the Γ planner's 2..=15 width range: indirect.
+    let large_r = ConvShape::square(1, 20, 4, 4, 16);
+    assert!(!large_r.is_unit_stride() || large_r.fw > 15);
+    assert_eq!(eng.heuristic_choice(&large_r), "im2col-indirect");
+    // Deep-K r=3 unit stride stays on the materialising im2col GEMM.
+    assert_eq!(
+        eng.heuristic_choice(&ConvShape::square(1, 12, 512, 512, 3)),
+        "im2col-gemm-nhwc"
+    );
 }
 
 #[test]
@@ -153,7 +180,7 @@ fn autotune_on_strided_shape_pins_a_gemm_class_backend() {
     eng.conv(&h, &x, &w, &s, &Epilogue::None).unwrap();
     let winner = eng.pinned_choice(&s).unwrap();
     assert!(
-        ["im2col-gemm-nhwc", "im2col-gemm-nchw", "direct"].contains(&winner),
+        ["im2col-gemm-nhwc", "im2col-gemm-nchw", "direct", "im2col-indirect"].contains(&winner),
         "strided shape pinned {winner}, but only GEMM-class backends are eligible"
     );
 }

@@ -31,8 +31,10 @@
 //! Packing buffers come from a caller-provided [`ScratchProvider`], so the
 //! serving engine's arena owns them and steady-state calls allocate
 //! nothing; `B` can also be packed once at plan time ([`PackedB`]) and
-//! reused across calls — the seam an indirect-convolution backend needs,
-//! where an indirection buffer replaces the materialized patch matrix.
+//! reused across calls. The indirect-convolution backend (`iwino-indirect`)
+//! rides that seam through [`sgemm_gather_prepacked`]: a [`GatherA`]
+//! indirection buffer replaces the materialized patch matrix, and rows are
+//! gathered straight into the A micro-panels.
 
 use iwino_obs as obs;
 use iwino_parallel as par;
@@ -142,6 +144,71 @@ impl PackedB {
     }
 }
 
+/// Sentinel entry in a [`GatherA`] offset table: the whole tap reads the
+/// zero row (an output pixel whose receptive field lies in the padding).
+pub const GATHER_PAD: usize = usize::MAX;
+
+/// An implicit `A[m×k]` described by an indirection table instead of a
+/// materialized matrix — the indirect-convolution form (Dukhan): logical
+/// row `i` is the concatenation of `taps` segments of `seg` contiguous
+/// floats, segment `t` starting at
+/// `base[(i / rows_per_block) · block_stride + offsets[(i % rows_per_block) · taps + t]]`
+/// (or all zeros when the offset is [`GATHER_PAD`]). Offsets are
+/// block-relative float indices, so one `rows_per_block × taps` table
+/// serves every block — for NHWC convolution a block is one image,
+/// `rows_per_block = OH·OW`, `block_stride = IH·IW·IC`, `seg = IC`, and
+/// every segment is a contiguous channel vector.
+pub struct GatherA<'a> {
+    /// Backing storage the offsets index into (e.g. the whole NHWC input).
+    pub base: &'a [f32],
+    /// `rows_per_block × taps` block-relative float offsets, row-major.
+    pub offsets: &'a [usize],
+    /// Segments per logical row (`FH·FW` for convolution).
+    pub taps: usize,
+    /// Contiguous floats per segment (`IC`); `k = taps · seg`.
+    pub seg: usize,
+    /// Logical rows covered by one pass over the offset table (`OH·OW`).
+    pub rows_per_block: usize,
+    /// Float stride between consecutive blocks of `base` (`IH·IW·IC`).
+    pub block_stride: usize,
+}
+
+impl GatherA<'_> {
+    /// The K dimension of the implicit matrix.
+    pub fn k(&self) -> usize {
+        self.taps * self.seg
+    }
+}
+
+/// The A operand of the blocked driver: either a materialized row-major
+/// matrix or an indirected [`GatherA`]. Both pack into identical MR-row
+/// k-major micro-panels, so the microkernel loops downstream are shared —
+/// the gathered path is bitwise equal to running the dense path on the
+/// materialized patch matrix by construction.
+enum ASource<'a> {
+    Dense { a: &'a [f32], k: usize },
+    Gather(&'a GatherA<'a>),
+}
+
+impl ASource<'_> {
+    fn k(&self) -> usize {
+        match self {
+            ASource::Dense { k, .. } => *k,
+            ASource::Gather(g) => g.k(),
+        }
+    }
+
+    /// Pack the `[i0, i0+mb)` row slice, K chunk `[pc, pc+kc)`, into MR-row
+    /// micro-panels, k-major: `out[p·kc·MR + kk·MR + r]`, with edge rows
+    /// zero-padded.
+    fn pack_block(&self, i0: usize, mb: usize, pc: usize, kc: usize, out: &mut [f32]) {
+        match self {
+            ASource::Dense { a, k } => pack_a_block(a, *k, i0, mb, pc, kc, out),
+            ASource::Gather(g) => pack_gather_block(g, i0, mb, pc, kc, out),
+        }
+    }
+}
+
 /// Pack the `[i0, i0+mb)` row slice of `A[·×k]`, K chunk `[pc, pc+kc)`,
 /// into MR-row micro-panels, k-major: `out[p·kc·MR + kk·MR + r]`, with edge
 /// rows zero-padded.
@@ -163,6 +230,46 @@ fn pack_a_block(a: &[f32], k: usize, i0: usize, mb: usize, pc: usize, kc: usize,
     }
 }
 
+/// [`pack_a_block`] for a [`GatherA`]: walk the K chunk tap segment by tap
+/// segment, copying each contiguous `seg`-float run (or zeros for
+/// [`GATHER_PAD`]) into the k-major panel. The patch matrix is never
+/// materialized — rows go straight from `base` into the micro-panels.
+fn pack_gather_block(g: &GatherA<'_>, i0: usize, mb: usize, pc: usize, kc: usize, out: &mut [f32]) {
+    let seg = g.seg;
+    for p in 0..mb.div_ceil(MR) {
+        let r0 = p * MR;
+        let h = MR.min(mb - r0);
+        let panel = &mut out[p * kc * MR..(p + 1) * kc * MR];
+        if h < MR {
+            panel.fill(0.0);
+        }
+        for r in 0..h {
+            let row = i0 + r0 + r;
+            let base = &g.base[(row / g.rows_per_block) * g.block_stride..];
+            let offs = &g.offsets[(row % g.rows_per_block) * g.taps..][..g.taps];
+            let mut kk = 0;
+            let mut t = pc / seg;
+            let mut c0 = pc % seg; // intra-segment start of the first tap
+            while kk < kc {
+                let take = (seg - c0).min(kc - kk);
+                if offs[t] == GATHER_PAD {
+                    for i in 0..take {
+                        panel[(kk + i) * MR + r] = 0.0;
+                    }
+                } else {
+                    let src = &base[offs[t] + c0..][..take];
+                    for (i, &v) in src.iter().enumerate() {
+                        panel[(kk + i) * MR + r] = v;
+                    }
+                }
+                kk += take;
+                t += 1;
+                c0 = 0;
+            }
+        }
+    }
+}
+
 /// The per-task macro kernel: all of `C`'s columns for one `MC`-row block.
 /// `cblk` is rows `[i0, i0+mb)` of `C` (`mb×n`, row-major); `a_buf` must
 /// hold at least `ceil(mb/MR)·MR·min(KC, k)` floats.
@@ -170,20 +277,20 @@ fn pack_a_block(a: &[f32], k: usize, i0: usize, mb: usize, pc: usize, kc: usize,
 fn run_block(
     kern: MicroKernel,
     n: usize,
-    k: usize,
-    a: &[f32],
+    src: &ASource<'_>,
     bp: &[f32],
     i0: usize,
     mb: usize,
     cblk: &mut [f32],
     a_buf: &mut [f32],
 ) {
+    let k = src.k();
     let m_panels = mb.div_ceil(MR);
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
         {
             let _p = obs::span(obs::Stage::GemmPack);
-            pack_a_block(a, k, i0, mb, pc, kc, a_buf);
+            src.pack_block(i0, mb, pc, kc, a_buf);
             obs::add(obs::Counter::GemmPackedABytes, (m_panels * MR * kc * 4) as u64);
         }
         let _g = obs::span(obs::Stage::GemmKernel);
@@ -222,13 +329,12 @@ fn run_block(
     }
 }
 
-/// Shared blocked driver over an already-packed `B`.
-#[allow(clippy::too_many_arguments)] // GEMM operands + block geometry, BLAS-style ordering
+/// Shared blocked driver over an already-packed `B` and a dense or
+/// gathered A.
 fn gemm_blocked(
     m: usize,
     n: usize,
-    k: usize,
-    a: &[f32],
+    src: &ASource<'_>,
     bp: &[f32],
     c: &mut [f32],
     accumulate: bool,
@@ -237,6 +343,7 @@ fn gemm_blocked(
     if m == 0 || n == 0 {
         return;
     }
+    let k = src.k();
     if k == 0 {
         if !accumulate {
             c.fill(0.0);
@@ -268,7 +375,7 @@ fn gemm_blocked(
             cblk.fill(0.0);
         }
         let mut a_buf = scratch.checkout(mb.div_ceil(MR) * MR * kc_max);
-        run_block(kern, n, k, a, bp, i0, mb, cblk, &mut a_buf);
+        run_block(kern, n, src, bp, i0, mb, cblk, &mut a_buf);
         scratch.give_back(a_buf);
     });
 }
@@ -304,7 +411,7 @@ pub fn sgemm_scratch(
         pack_b(k, n, b, &mut bp);
         obs::add(obs::Counter::GemmPackedBBytes, (packed_b_len(k, n) * 4) as u64);
     }
-    gemm_blocked(m, n, k, a, &bp, c, accumulate, scratch);
+    gemm_blocked(m, n, &ASource::Dense { a, k }, &bp, c, accumulate, scratch);
     scratch.give_back(bp);
 }
 
@@ -325,7 +432,7 @@ pub fn sgemm_packed(
     assert_eq!(a.len(), m * k, "A shape");
     assert!(b_packed.len() >= packed_b_len(k, n), "packed-B buffer too short");
     assert_eq!(c.len(), m * n, "C shape");
-    gemm_blocked(m, n, k, a, b_packed, c, accumulate, scratch);
+    gemm_blocked(m, n, &ASource::Dense { a, k }, b_packed, c, accumulate, scratch);
 }
 
 /// [`sgemm_packed`] against a plan-time [`PackedB`].
@@ -338,6 +445,30 @@ pub fn sgemm_prepacked(
     scratch: &dyn ScratchProvider,
 ) {
     sgemm_packed(m, pb.n, pb.k, a, &pb.data, c, accumulate, scratch)
+}
+
+/// [`sgemm_prepacked`] with the A operand described by an indirection
+/// table instead of a materialized matrix: `C[m×n] (+)= Â[m×k] · B`, where
+/// `Â` is the implicit matrix of `g` (see [`GatherA`]). Rows gather from
+/// `g.base` straight into the A micro-panels — bitwise equal to
+/// materializing `Â` and calling [`sgemm_prepacked`], at constant packing
+/// overhead independent of the tap count.
+pub fn sgemm_gather_prepacked(
+    m: usize,
+    g: &GatherA<'_>,
+    pb: &PackedB,
+    c: &mut [f32],
+    accumulate: bool,
+    scratch: &dyn ScratchProvider,
+) {
+    assert_eq!(g.k(), pb.k, "gather K vs packed-B K");
+    assert_eq!(c.len(), m * pb.n, "C shape");
+    if m > 0 {
+        assert!(g.rows_per_block > 0, "gather rows_per_block");
+        assert_eq!(g.offsets.len(), g.rows_per_block * g.taps, "gather offset-table shape");
+        assert_eq!(m % g.rows_per_block, 0, "m must be whole gather blocks");
+    }
+    gemm_blocked(m, pb.n, &ASource::Gather(g), &pb.data, c, accumulate, scratch);
 }
 
 /// `C[m×n] += A[m×k] · B[k×n]` if `accumulate`, else `C = A·B`. Packing
@@ -491,6 +622,141 @@ mod tests {
         }
         for (x, y) in c3.iter().zip(&want) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Materialize the implicit matrix of a [`GatherA`] (the patch matrix
+    /// im2col would have built) — the reference the gathered path must be
+    /// bitwise equal to.
+    fn materialize(g: &GatherA<'_>, m: usize) -> Vec<f32> {
+        let k = g.k();
+        let mut a = vec![0.0f32; m * k];
+        for row in 0..m {
+            let base = &g.base[(row / g.rows_per_block) * g.block_stride..];
+            let offs = &g.offsets[(row % g.rows_per_block) * g.taps..][..g.taps];
+            for (t, &off) in offs.iter().enumerate() {
+                if off != GATHER_PAD {
+                    a[row * k + t * g.seg..row * k + (t + 1) * g.seg].copy_from_slice(&base[off..off + g.seg]);
+                }
+            }
+        }
+        a
+    }
+
+    /// A gather geometry exercising the K-chunk walker: `seg` not dividing
+    /// KC (chunks split mid-segment), PAD taps, multiple blocks, and edge
+    /// `m`/`n` tiles.
+    fn sample_gather(base: &[f32], offsets: &mut Vec<usize>, taps: usize, seg: usize, rows: usize) -> usize {
+        offsets.clear();
+        let block_stride = base.len() / 2; // two blocks
+        for row in 0..rows {
+            for t in 0..taps {
+                if (row + t) % 5 == 0 {
+                    offsets.push(GATHER_PAD);
+                } else {
+                    // Any in-bounds segment start; vary with row and tap.
+                    offsets.push((row * 31 + t * 7) % (block_stride - seg));
+                }
+            }
+        }
+        block_stride
+    }
+
+    #[test]
+    fn gather_bitwise_matches_materialized_dense() {
+        // K straddles KC with seg not dividing KC, so chunk boundaries land
+        // mid-segment; m straddles MR and the block boundary; n has an edge
+        // panel.
+        let (taps, seg, rows) = (9, 37, MR * 3 + 2); // k = 333 > KC
+        let k = taps * seg;
+        let n = NR + 5;
+        let m = 2 * rows;
+        let mut base = vec![0.0f32; 4096];
+        fill(&mut base, 51);
+        let mut offsets = Vec::new();
+        let block_stride = sample_gather(&base, &mut offsets, taps, seg, rows);
+        let g = GatherA {
+            base: &base,
+            offsets: &offsets,
+            taps,
+            seg,
+            rows_per_block: rows,
+            block_stride,
+        };
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut b, 52);
+        let pb = PackedB::pack(k, n, &b);
+        let a = materialize(&g, m);
+        let mut want = vec![0.0f32; m * n];
+        sgemm_prepacked(m, &a, &pb, &mut want, false, &AllocScratch);
+        let mut got = vec![0.0f32; m * n];
+        sgemm_gather_prepacked(m, &g, &pb, &mut got, false, &AllocScratch);
+        for (i, (x, y)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "idx {i}: {x:?} vs dense {y:?}");
+        }
+        // Accumulation folds onto C exactly like the dense path.
+        sgemm_prepacked(m, &a, &pb, &mut want, true, &AllocScratch);
+        sgemm_gather_prepacked(m, &g, &pb, &mut got, true, &AllocScratch);
+        for (x, y) in got.iter().zip(&want) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_all_pad_rows_yield_zero_output() {
+        let (taps, seg, rows) = (4, 3, MR + 1);
+        let k = taps * seg;
+        let n = 7;
+        let base = vec![1.5f32; 64];
+        let offsets = vec![GATHER_PAD; rows * taps];
+        let g = GatherA {
+            base: &base,
+            offsets: &offsets,
+            taps,
+            seg,
+            rows_per_block: rows,
+            block_stride: 0,
+        };
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut b, 53);
+        let pb = PackedB::pack(k, n, &b);
+        let mut c = vec![9.0f32; rows * n];
+        sgemm_gather_prepacked(rows, &g, &pb, &mut c, false, &AllocScratch);
+        assert!(c.iter().all(|&v| v == 0.0), "padded rows must read the zero row");
+    }
+
+    #[test]
+    fn gather_scalar_lane_bitwise_matches_native() {
+        let _g = force_guard();
+        let (taps, seg, rows) = (5, 11, MR + 3);
+        let k = taps * seg;
+        let n = 2 * NR - 3;
+        let m = 2 * rows;
+        let mut base = vec![0.0f32; 1024];
+        fill(&mut base, 61);
+        let mut offsets = Vec::new();
+        let block_stride = sample_gather(&base, &mut offsets, taps, seg, rows);
+        let ga = GatherA {
+            base: &base,
+            offsets: &offsets,
+            taps,
+            seg,
+            rows_per_block: rows,
+            block_stride,
+        };
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut b, 62);
+        let pb = PackedB::pack(k, n, &b);
+        let mut native = vec![0.0f32; m * n];
+        sgemm_gather_prepacked(m, &ga, &pb, &mut native, false, &AllocScratch);
+        let mut scalar_out = vec![0.0f32; m * n];
+        {
+            let _r = RestoreDispatch;
+            iwino_simd::set_force_scalar(true);
+            sgemm_gather_prepacked(m, &ga, &pb, &mut scalar_out, false, &AllocScratch);
+        }
+        for (i, (x, y)) in native.iter().zip(&scalar_out).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "idx {i}: {x:?} vs scalar {y:?}");
         }
     }
 

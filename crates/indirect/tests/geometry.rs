@@ -1,0 +1,48 @@
+//! Property sweep over indirection-table geometry (ISSUE-10 satellite):
+//! padding rows hitting the zero-row, `OW < NR` edge tiles, `K = FH·FW·IC`
+//! straddling the GEMM's KC chunk, asymmetric strides and pads. The
+//! indirect path must be **bitwise** equal to the materialising im2col
+//! baseline on every draw — both feed the same packed GEMM in the same
+//! ascending-k order. check.sh runs this net on both dispatch lanes
+//! (native and `IWINO_FORCE_SCALAR=1`).
+
+use iwino_baselines::{im2col_conv_nhwc, Im2colPlan};
+use iwino_indirect::indirect_conv;
+use iwino_tensor::{ConvShape, Tensor4};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn indirect_bitwise_matches_im2col_over_geometry(
+        n in 1usize..3,
+        ih in 5usize..14,
+        iw in 5usize..14,
+        // 29 and 64 push K = FH·FW·IC past KC = 256 for 3×3 and 5×5 taps.
+        ici in 0usize..4,
+        oci in 0usize..3,
+        ri in 0usize..3,
+        sh in 1usize..4,
+        sw in 1usize..4,
+        ph in 0usize..3,
+        pw in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let ic = [1usize, 3, 29, 64][ici];
+        let oc = [1usize, 5, 17][oci];
+        let r = [1usize, 3, 5][ri];
+        let s = ConvShape { n, ih, iw, ic, oc, fh: r, fw: r, ph, pw, sh, sw };
+        prop_assume!(ih + 2 * ph >= r && iw + 2 * pw >= r);
+        let x = Tensor4::<f32>::random(s.x_dims(), seed, -1.0, 1.0);
+        let w = Tensor4::<f32>::random(s.w_dims(), seed + 1, -1.0, 1.0);
+        let got = indirect_conv(&x, &w, &s);
+        let want = im2col_conv_nhwc(&x, &w, &Im2colPlan::new(&s));
+        prop_assert_eq!(got.dims(), s.y_dims());
+        for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "{:?} idx {}: {:?} vs im2col {:?}", s, i, a, b
+            );
+        }
+    }
+}

@@ -6,9 +6,9 @@
 //! * [`Backend::ImcolWinograd`] — the engine's §5.7 heuristic: unit-stride
 //!   convolutions run the paper's fused kernels, the backward-data pass the
 //!   fused-rotation deconvolution, and non-unit-stride shapes fall back to
-//!   GEMM ("Im2col-Winograd is employed for unit-stride convolution and
-//!   deconvolution, while other algorithms handle the non-unit-stride
-//!   cases").
+//!   the indirect-convolution GEMM (`im2col-indirect`) — "Im2col-Winograd
+//!   is employed for unit-stride convolution and deconvolution, while
+//!   other algorithms handle the non-unit-stride cases".
 //! * [`Backend::Gemm`] — forces the `im2col-gemm-nhwc` registry backend:
 //!   the "PyTorch" control arm of Experiment 3.
 //!

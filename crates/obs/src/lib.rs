@@ -73,6 +73,7 @@ pub enum Stage {
     WorkerChunk,
     GemmPack,
     GemmKernel,
+    IndirectSetup,
     Total,
 }
 
@@ -80,7 +81,7 @@ impl Stage {
     /// Every stage, in declaration (= discriminant) order; the flight
     /// recorder packs `Stage as u64` into event words and decodes through
     /// this array, so the two must stay aligned.
-    pub const ALL: [Stage; 15] = [
+    pub const ALL: [Stage; 16] = [
         Stage::FilterTransform,
         Stage::InputTransform,
         Stage::OuterProduct,
@@ -95,6 +96,7 @@ impl Stage {
         Stage::WorkerChunk,
         Stage::GemmPack,
         Stage::GemmKernel,
+        Stage::IndirectSetup,
         Stage::Total,
     ];
 
@@ -114,6 +116,7 @@ impl Stage {
             Stage::WorkerChunk => "worker_chunk",
             Stage::GemmPack => "gemm_pack",
             Stage::GemmKernel => "gemm_kernel",
+            Stage::IndirectSetup => "indirect_setup",
             Stage::Total => "total",
         }
     }
@@ -169,6 +172,7 @@ pub enum Counter {
     ArenaBytesHighWater,
     GemmPackedABytes,
     GemmPackedBBytes,
+    IndirectTableBytes,
     ServeAdmitted,
     ServeRejected,
     ServeExpired,
@@ -178,7 +182,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 24] = [
         Counter::Flops,
         Counter::BytesLoaded,
         Counter::BytesStored,
@@ -196,6 +200,7 @@ impl Counter {
         Counter::ArenaBytesHighWater,
         Counter::GemmPackedABytes,
         Counter::GemmPackedBBytes,
+        Counter::IndirectTableBytes,
         Counter::ServeAdmitted,
         Counter::ServeRejected,
         Counter::ServeExpired,
@@ -223,6 +228,7 @@ impl Counter {
             Counter::ArenaBytesHighWater => "arena_bytes_high_water",
             Counter::GemmPackedABytes => "gemm_packed_a_bytes",
             Counter::GemmPackedBBytes => "gemm_packed_b_bytes",
+            Counter::IndirectTableBytes => "indirect_table_bytes",
             Counter::ServeAdmitted => "serve_admitted",
             Counter::ServeRejected => "serve_rejected",
             Counter::ServeExpired => "serve_expired",

@@ -1,6 +1,6 @@
 //! Structured metrics export: one JSON document per measured run.
 //!
-//! Schema (version 6). Version 2 added the `"kind"` discriminator so
+//! Schema (version 7). Version 2 added the `"kind"` discriminator so
 //! consumers can tell a metrics document from the static-analysis report
 //! the `analyzer` crate emits with the same `schema_version` ("metrics"
 //! here, "analysis" there); version 3 added the `"dispatch"` section
@@ -15,11 +15,13 @@
 //! `serve_queue_wait` / `serve_batch` / `serve_e2e` histogram sites;
 //! version 6 adds the packed-GEMM sub-stages (`gemm_pack`, `gemm_kernel`)
 //! and the `gemm_packed_a_bytes` / `gemm_packed_b_bytes` counters reported
-//! by `iwino-gemm`:
+//! by `iwino-gemm`; version 7 adds the `indirect_setup` stage and the
+//! `indirect_table_bytes` counter reported by `iwino-indirect` when the
+//! indirect-convolution backend builds its offset table:
 //!
 //! ```text
 //! {
-//!   "schema_version": 6,
+//!   "schema_version": 7,
 //!   "kind": "metrics",
 //!   "label": "<workload name>",
 //!   "wall_ns": <u64>,                    // end-to-end wall time
@@ -53,7 +55,7 @@ use std::path::Path;
 
 /// Version of the JSON layout emitted by [`MetricsReport::to_json`] (and
 /// shared by the analyzer's `"kind": "analysis"` documents).
-pub const SCHEMA_VERSION: u64 = 6;
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// A captured, self-describing metrics document.
 #[derive(Clone, Debug)]
@@ -235,7 +237,7 @@ mod tests {
         assert!((report.stage_gflops(Stage::OuterProduct) - 2_000_000.0 / 750.0).abs() < 1e-9);
         assert_eq!(report.stage_gflops(Stage::Epilogue), 0.0);
         let json = report.to_json().pretty();
-        assert!(json.contains("\"schema_version\": 6"));
+        assert!(json.contains("\"schema_version\": 7"));
         assert!(json.contains("\"kind\": \"metrics\""));
         assert!(json.contains("\"label\": \"unit\""));
         assert!(json.contains("\"outer_product\""));

@@ -13,6 +13,10 @@
 //! * [`baselines`] — direct / im2col-GEMM / fused 2-D Winograd comparators;
 //! * [`gemm`] — the packed, register-blocked SGEMM behind every GEMM-class
 //!   path (Goto-style cache blocking, ISA-dispatched 6×16 register tile);
+//! * [`indirect`] — the indirect-convolution backend: per-shape offset
+//!   tables (stride/padding-aware, batch-relocatable) gathered straight
+//!   into the packed SGEMM's A-panels — the engine's route for strided
+//!   and extra-wide-filter shapes;
 //! * [`transforms`] — exact Cook–Toom transform generation;
 //! * [`tensor`] — NHWC tensors and shapes;
 //! * [`gpu_sim`] — the RTX 3060 Ti / RTX 4090 cost model;
@@ -70,6 +74,7 @@ pub use iwino_core as core;
 pub use iwino_engine as engine;
 pub use iwino_gemm as gemm;
 pub use iwino_gpu_sim as gpu_sim;
+pub use iwino_indirect as indirect;
 pub use iwino_nn as nn;
 pub use iwino_obs as obs;
 pub use iwino_parallel as parallel;
